@@ -1,0 +1,397 @@
+//! Constant-expression evaluator for assembler operands.
+//!
+//! Supports integer literals (decimal, `0x`, `0b`, `0o`, optionally negative),
+//! symbols (labels and `.equ` definitions), `.` for the current location
+//! counter, parentheses, and the operators `| ^ & << >> + - * / %` with
+//! C-like precedence plus unary `-` and `~`.
+
+use std::collections::HashMap;
+
+/// Evaluation context: symbol table plus the current location counter.
+#[derive(Debug)]
+pub struct ExprContext<'a> {
+    /// Symbol values known so far (labels and `.equ` constants).
+    pub symbols: &'a HashMap<String, u32>,
+    /// Value of `.` — the address of the item being assembled.
+    pub location: u32,
+}
+
+/// Expression evaluation failure (undefined symbol, syntax error, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExprError(pub String);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Num(u32),
+    Sym(String),
+    Dot,
+    LParen,
+    RParen,
+    Op(&'static str),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ExprError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '+' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '-' => {
+                let op: &'static str = match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '&' => "&",
+                    '|' => "|",
+                    '^' => "^",
+                    _ => "~",
+                };
+                toks.push(Tok::Op(op));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'<') {
+                    toks.push(Tok::Op("<<"));
+                    i += 2;
+                } else {
+                    return Err(ExprError(format!("unexpected '<' in expression `{input}`")));
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Op(">>"));
+                    i += 2;
+                } else {
+                    return Err(ExprError(format!("unexpected '>' in expression `{input}`")));
+                }
+            }
+            '.' => {
+                // `.` alone is the location counter; `.foo` is a symbol.
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    toks.push(Tok::Dot);
+                } else {
+                    toks.push(Tok::Sym(input[start..i].to_string()));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text: String = input[start..i].chars().filter(|&ch| ch != '_').collect();
+                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                    u32::from_str_radix(hex, 16)
+                } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
+                    u32::from_str_radix(bin, 2)
+                } else if let Some(oct) = text.strip_prefix("0o").or(text.strip_prefix("0O")) {
+                    u32::from_str_radix(oct, 8)
+                } else {
+                    text.parse::<u32>()
+                }
+                .map_err(|_| ExprError(format!("bad integer literal `{text}`")))?;
+                toks.push(Tok::Num(value));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Sym(input[start..i].to_string()));
+            }
+            '\'' => {
+                // Character literal: 'c' or '\n' style escapes.
+                let rest = &input[i + 1..];
+                let (value, len) = if let Some(stripped) = rest.strip_prefix('\\') {
+                    let esc = stripped.chars().next().ok_or_else(|| {
+                        ExprError("unterminated character literal".to_string())
+                    })?;
+                    let v = match esc {
+                        'n' => b'\n',
+                        't' => b'\t',
+                        '0' => 0,
+                        '\\' => b'\\',
+                        '\'' => b'\'',
+                        other => {
+                            return Err(ExprError(format!("unknown escape `\\{other}`")));
+                        }
+                    };
+                    (u32::from(v), 2)
+                } else {
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| ExprError("unterminated character literal".to_string()))?;
+                    (ch as u32, ch.len_utf8())
+                };
+                if input[i + 1 + len..].chars().next() != Some('\'') {
+                    return Err(ExprError("unterminated character literal".to_string()));
+                }
+                toks.push(Tok::Num(value));
+                i += len + 2;
+            }
+            other => {
+                return Err(ExprError(format!(
+                    "unexpected character `{other}` in expression `{input}`"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a, 'c> {
+    toks: &'a [Tok],
+    pos: usize,
+    ctx: &'a ExprContext<'c>,
+}
+
+impl Parser<'_, '_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, ops: &[&str]) -> Option<&'static str> {
+        if let Some(Tok::Op(op)) = self.peek() {
+            if ops.contains(op) {
+                let op = *op;
+                self.pos += 1;
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn primary(&mut self) -> Result<u32, ExprError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(n),
+            Some(Tok::Dot) => Ok(self.ctx.location),
+            Some(Tok::Sym(name)) => self
+                .ctx
+                .symbols
+                .get(&name)
+                .copied()
+                .ok_or_else(|| ExprError(format!("undefined symbol `{name}`"))),
+            Some(Tok::LParen) => {
+                let v = self.or_expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(v),
+                    _ => Err(ExprError("missing `)`".to_string())),
+                }
+            }
+            Some(Tok::Op("-")) => Ok(self.primary()?.wrapping_neg()),
+            Some(Tok::Op("~")) => Ok(!self.primary()?),
+            other => Err(ExprError(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<u32, ExprError> {
+        let mut v = self.primary()?;
+        while let Some(op) = self.eat_op(&["*", "/", "%"]) {
+            let rhs = self.primary()?;
+            v = match op {
+                "*" => v.wrapping_mul(rhs),
+                "/" => {
+                    if rhs == 0 {
+                        return Err(ExprError("division by zero".to_string()));
+                    }
+                    v / rhs
+                }
+                _ => {
+                    if rhs == 0 {
+                        return Err(ExprError("modulo by zero".to_string()));
+                    }
+                    v % rhs
+                }
+            };
+        }
+        Ok(v)
+    }
+
+    fn add_expr(&mut self) -> Result<u32, ExprError> {
+        let mut v = self.mul_expr()?;
+        while let Some(op) = self.eat_op(&["+", "-"]) {
+            let rhs = self.mul_expr()?;
+            v = if op == "+" {
+                v.wrapping_add(rhs)
+            } else {
+                v.wrapping_sub(rhs)
+            };
+        }
+        Ok(v)
+    }
+
+    fn shift_expr(&mut self) -> Result<u32, ExprError> {
+        let mut v = self.add_expr()?;
+        while let Some(op) = self.eat_op(&["<<", ">>"]) {
+            let rhs = self.add_expr()?;
+            v = if op == "<<" {
+                v.wrapping_shl(rhs)
+            } else {
+                v.wrapping_shr(rhs)
+            };
+        }
+        Ok(v)
+    }
+
+    fn and_expr(&mut self) -> Result<u32, ExprError> {
+        let mut v = self.shift_expr()?;
+        while self.eat_op(&["&"]).is_some() {
+            v &= self.shift_expr()?;
+        }
+        Ok(v)
+    }
+
+    fn xor_expr(&mut self) -> Result<u32, ExprError> {
+        let mut v = self.and_expr()?;
+        while self.eat_op(&["^"]).is_some() {
+            v ^= self.and_expr()?;
+        }
+        Ok(v)
+    }
+
+    fn or_expr(&mut self) -> Result<u32, ExprError> {
+        let mut v = self.xor_expr()?;
+        while self.eat_op(&["|"]).is_some() {
+            v |= self.xor_expr()?;
+        }
+        Ok(v)
+    }
+}
+
+/// Evaluates a constant expression to a 32-bit value.
+///
+/// # Errors
+///
+/// Returns [`ExprError`] on syntax errors, undefined symbols, or division by
+/// zero.
+pub fn eval(input: &str, ctx: &ExprContext<'_>) -> Result<u32, ExprError> {
+    let toks = lex(input)?;
+    if toks.is_empty() {
+        return Err(ExprError("empty expression".to_string()));
+    }
+    let mut parser = Parser {
+        toks: &toks,
+        pos: 0,
+        ctx,
+    };
+    let v = parser.or_expr()?;
+    if parser.pos != toks.len() {
+        return Err(ExprError(format!("trailing tokens in expression `{input}`")));
+    }
+    Ok(v)
+}
+
+/// Returns `true` when every symbol referenced by `input` is already defined
+/// (used by the first pass to size `li` expansions deterministically).
+#[must_use]
+pub fn resolvable(input: &str, symbols: &HashMap<String, u32>) -> bool {
+    match lex(input) {
+        Ok(toks) => toks.iter().all(|t| match t {
+            Tok::Sym(name) => symbols.contains_key(name),
+            _ => true,
+        }),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(symbols: &HashMap<String, u32>) -> ExprContext<'_> {
+        ExprContext {
+            symbols,
+            location: 0x100,
+        }
+    }
+
+    #[test]
+    fn literals() {
+        let syms = HashMap::new();
+        let ctx = ctx_with(&syms);
+        assert_eq!(eval("42", &ctx), Ok(42));
+        assert_eq!(eval("0x10", &ctx), Ok(16));
+        assert_eq!(eval("0b101", &ctx), Ok(5));
+        assert_eq!(eval("0o17", &ctx), Ok(15));
+        assert_eq!(eval("1_000", &ctx), Ok(1000));
+        assert_eq!(eval("-1", &ctx), Ok(u32::MAX));
+        assert_eq!(eval("'A'", &ctx), Ok(65));
+        assert_eq!(eval("'\\n'", &ctx), Ok(10));
+    }
+
+    #[test]
+    fn precedence() {
+        let syms = HashMap::new();
+        let ctx = ctx_with(&syms);
+        assert_eq!(eval("2+3*4", &ctx), Ok(14));
+        assert_eq!(eval("(2+3)*4", &ctx), Ok(20));
+        assert_eq!(eval("1<<4|1", &ctx), Ok(17));
+        assert_eq!(eval("0xFF & 0x0F", &ctx), Ok(0x0F));
+        assert_eq!(eval("1 << 2 + 1", &ctx), Ok(8)); // shift binds looser than +
+        assert_eq!(eval("~0", &ctx), Ok(u32::MAX));
+        assert_eq!(eval("10 % 3", &ctx), Ok(1));
+        assert_eq!(eval("7 / 2", &ctx), Ok(3));
+        assert_eq!(eval("1 ^ 3", &ctx), Ok(2));
+    }
+
+    #[test]
+    fn symbols_and_location() {
+        let mut syms = HashMap::new();
+        syms.insert("foo".to_string(), 12);
+        syms.insert("bar.baz".to_string(), 30);
+        let ctx = ctx_with(&syms);
+        assert_eq!(eval("foo*2", &ctx), Ok(24));
+        assert_eq!(eval("bar.baz", &ctx), Ok(30));
+        assert_eq!(eval(".", &ctx), Ok(0x100));
+        assert_eq!(eval(". + 8", &ctx), Ok(0x108));
+        assert!(eval("nope", &ctx).is_err());
+    }
+
+    #[test]
+    fn resolvability() {
+        let mut syms = HashMap::new();
+        syms.insert("known".to_string(), 1);
+        assert!(resolvable("known + 2", &syms));
+        assert!(!resolvable("unknown + 2", &syms));
+        assert!(resolvable("2 * 3", &syms));
+    }
+
+    #[test]
+    fn errors() {
+        let syms = HashMap::new();
+        let ctx = ctx_with(&syms);
+        assert!(eval("", &ctx).is_err());
+        assert!(eval("1 +", &ctx).is_err());
+        assert!(eval("(1", &ctx).is_err());
+        assert!(eval("1 1", &ctx).is_err());
+        assert!(eval("1/0", &ctx).is_err());
+        assert!(eval("0xZZ", &ctx).is_err());
+    }
+}

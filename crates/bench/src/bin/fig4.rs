@@ -1,0 +1,82 @@
+//! Fig. 4 — histogram throughput of lock-based implementations vs generic
+//! RMW atomics at varying contention: Colibri, Colibri lock, Mwait lock
+//! (MCS), LRSC, LRSC lock, Atomic Add lock. Spin locks use a 128-cycle
+//! backoff, as in the paper.
+
+use lrscwait_bench::{fmt_tp, markdown_table, run_histogram, write_csv, BenchArgs};
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::HistImpl;
+use lrscwait_sim::SimConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let bins: Vec<u32> = if args.quick {
+        vec![1, 8, 64, 1024]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    };
+    let iters = if args.quick { 8 } else { 16 };
+    let colibri = SyncArch::Colibri { queues: 4 };
+
+    let series: Vec<(&str, HistImpl, SyncArch)> = vec![
+        ("Colibri", HistImpl::LrscWait, colibri),
+        ("Colibri lock", HistImpl::ColibriLock, colibri),
+        ("Mwait lock", HistImpl::McsMwaitLock, colibri),
+        ("LRSC", HistImpl::Lrsc, SyncArch::Lrsc),
+        ("LRSC lock", HistImpl::TasLock, SyncArch::Lrsc),
+        ("Atomic Add lock", HistImpl::TicketLock, SyncArch::Lrsc),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut results: Vec<(String, u32, f64)> = Vec::new();
+    for (label, impl_, arch) in &series {
+        for &b in &bins {
+            let cfg = SimConfig::mempool(*arch);
+            let m = run_histogram(*arch, *impl_, b, iters, cfg);
+            eprintln!("fig4 {label} bins={b}: {:.4} updates/cycle", m.throughput);
+            rows.push(vec![
+                (*label).to_string(),
+                b.to_string(),
+                fmt_tp(m.throughput),
+                fmt_tp(m.lo),
+                fmt_tp(m.hi),
+                m.cycles.to_string(),
+            ]);
+            results.push(((*label).to_string(), b, m.throughput));
+        }
+    }
+
+    write_csv(
+        "fig4",
+        &["series", "bins", "updates_per_cycle", "slowest_core", "fastest_core", "cycles"],
+        &rows,
+    );
+    println!("\n## Fig. 4 — lock implementations vs generic RMW atomics\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["series", "bins", "updates/cycle"],
+            &rows.iter().map(|r| r[..3].to_vec()).collect::<Vec<_>>(),
+        )
+    );
+
+    let get = |label: &str, bin: u32| -> f64 {
+        results
+            .iter()
+            .find(|(l, b, _)| l == label && *b == bin)
+            .map(|(_, _, t)| *t)
+            .expect("point measured")
+    };
+    let first = bins[0];
+    println!(
+        "paper claim — Colibri outperforms all lock approaches at any contention:"
+    );
+    for other in ["Colibri lock", "Mwait lock", "LRSC", "LRSC lock", "Atomic Add lock"] {
+        let ratio = get("Colibri", first) / get(other, first);
+        println!("  Colibri vs {other} at bins={first}: {ratio:.2}x");
+    }
+    assert!(
+        get("Colibri", first) > get("LRSC lock", first),
+        "Colibri must beat spin locks under contention"
+    );
+}

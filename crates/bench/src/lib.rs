@@ -1,0 +1,267 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — tile area per architecture |
+//! | `fig3` | Fig. 3 — histogram throughput, LRSCwait variants |
+//! | `fig4` | Fig. 4 — histogram throughput, lock variants |
+//! | `fig5` | Fig. 5 — matmul slowdown under atomics interference |
+//! | `fig6` | Fig. 6 — queue throughput vs. core count |
+//! | `table2` | Table II — power and energy per operation |
+//!
+//! Every binary accepts `--quick` (reduced sweep) and writes
+//! `results/<name>.csv` plus a markdown rendering to stdout.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::{HistImpl, HistogramKernel, MatmulKernel, QueueKernel};
+use lrscwait_sim::{ExitReason, Machine, SimConfig, SimStats};
+
+/// A measured throughput point.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Series label (legend entry).
+    pub label: String,
+    /// X value (bins, cores, …).
+    pub x: u32,
+    /// Aggregate throughput in operations per cycle.
+    pub throughput: f64,
+    /// Slowest per-core throughput (fairness band).
+    pub lo: f64,
+    /// Fastest per-core throughput (fairness band).
+    pub hi: f64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Full statistics (for the energy model and diagnostics).
+    pub stats: SimStats,
+}
+
+/// Runs a histogram configuration and returns the measurement.
+///
+/// # Panics
+///
+/// Panics when the kernel fails to load, faults, or hits the watchdog —
+/// benchmarks must run to completion to be meaningful.
+#[must_use]
+pub fn run_histogram(
+    arch: SyncArch,
+    impl_: HistImpl,
+    bins: u32,
+    iters: u32,
+    cfg: SimConfig,
+) -> Measurement {
+    let num_cores = cfg.topology.num_cores as u32;
+    let kernel = HistogramKernel::new(impl_, bins, iters, num_cores);
+    let program = kernel.program();
+    let mut machine = Machine::new(cfg, &program).expect("histogram loads");
+    let summary = machine.run().expect("histogram runs");
+    assert_eq!(
+        summary.exit,
+        ExitReason::AllHalted,
+        "{impl_:?}/{arch} bins={bins}: watchdog"
+    );
+    // Functional conservation check: no benchmark number without a correct run.
+    let base = program.symbol("bins");
+    let total: u64 = (0..bins)
+        .map(|b| u64::from(machine.read_word(base + 4 * b)))
+        .sum();
+    assert_eq!(total, kernel.expected_total(), "{impl_:?} lost updates");
+    let stats = machine.stats();
+    let (lo, hi) = stats.throughput_range().unwrap_or((0.0, 0.0));
+    Measurement {
+        label: impl_.label().to_string(),
+        x: bins,
+        throughput: stats.throughput().unwrap_or(0.0),
+        lo,
+        hi,
+        cycles: summary.cycles,
+        stats,
+    }
+}
+
+/// Runs a queue configuration with `active` participating cores.
+///
+/// # Panics
+///
+/// Panics on load/run failures or lost queue elements.
+#[must_use]
+pub fn run_queue(
+    _arch: SyncArch,
+    impl_: lrscwait_kernels::QueueImpl,
+    active: u32,
+    iters: u32,
+    cfg: SimConfig,
+) -> Measurement {
+    let kernel = QueueKernel::new(impl_, iters, active);
+    let program = kernel.program();
+    let cfg = cfg.with_arg(0, active);
+    let mut machine = Machine::new(cfg, &program).expect("queue kernel loads");
+    let summary = machine.run().expect("queue kernel runs");
+    assert_eq!(summary.exit, ExitReason::AllHalted, "{impl_:?} watchdog");
+    let checks = program.symbol("checks");
+    let mut sum = 0u32;
+    for c in 0..active {
+        sum = sum.wrapping_add(machine.read_word(checks + 4 * c));
+    }
+    assert_eq!(sum, kernel.expected_checksum(), "{impl_:?} lost elements");
+    let stats = machine.stats();
+    let (lo, hi) = stats.throughput_range().unwrap_or((0.0, 0.0));
+    Measurement {
+        label: impl_.label().to_string(),
+        x: active,
+        throughput: stats.throughput().unwrap_or(0.0),
+        lo,
+        hi,
+        cycles: summary.cycles,
+        stats,
+    }
+}
+
+/// Worker region cycles (max across workers) of a matmul run.
+///
+/// # Panics
+///
+/// Panics on load/run failures.
+#[must_use]
+pub fn run_matmul(kernel: &MatmulKernel, arch: SyncArch, cfg: SimConfig) -> (u64, SimStats) {
+    let program = kernel.program();
+    let mut machine = Machine::new(cfg, &program).expect("matmul loads");
+    let summary = machine.run().expect("matmul runs");
+    assert_eq!(
+        summary.exit,
+        ExitReason::AllHalted,
+        "matmul watchdog ({:?} pollers on {arch})",
+        kernel.pollers
+    );
+    let stats = machine.stats();
+    let worker_cycles = stats.cores[..kernel.workers as usize]
+        .iter()
+        .map(|c| c.region_cycles().expect("worker measured a region"))
+        .max()
+        .expect("at least one worker");
+    (worker_cycles, stats)
+}
+
+/// Standard mapping of a figure legend entry to (kernel impl, architecture).
+#[must_use]
+pub fn arch_for(impl_: HistImpl, colibri_queues: usize) -> SyncArch {
+    match impl_ {
+        HistImpl::AmoAdd | HistImpl::Lrsc | HistImpl::TicketLock | HistImpl::TasLock => {
+            SyncArch::Lrsc
+        }
+        HistImpl::LrscWait | HistImpl::ColibriLock | HistImpl::McsMwaitLock => SyncArch::Colibri {
+            queues: colibri_queues,
+        },
+    }
+}
+
+/// Parses harness CLI flags.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchArgs {
+    /// Reduced sweep for CI / smoke testing.
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Reads flags from `std::env::args`.
+    #[must_use]
+    pub fn from_env() -> BenchArgs {
+        let mut args = BenchArgs::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                other => eprintln!("ignoring unknown flag `{other}`"),
+            }
+        }
+        args
+    }
+}
+
+/// Writes rows as CSV under `results/`, creating the directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors (benchmark results must not be silently lost).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let mut text = header.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, text).expect("write results csv");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Renders a markdown table.
+#[must_use]
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Formats a throughput in the paper's updates-per-cycle style.
+#[must_use]
+pub fn fmt_tp(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrscwait_kernels::PollerKind;
+
+    #[test]
+    fn histogram_measurement_small() {
+        let cfg = SimConfig::small(4, SyncArch::Lrsc);
+        let m = run_histogram(SyncArch::Lrsc, HistImpl::AmoAdd, 8, 8, cfg);
+        assert!(m.throughput > 0.0);
+        assert!(m.lo <= m.hi);
+        assert_eq!(m.stats.total_ops(), 32);
+    }
+
+    #[test]
+    fn queue_measurement_small() {
+        let arch = SyncArch::Colibri { queues: 4 };
+        let cfg = SimConfig::small(4, arch);
+        let m = run_queue(arch, lrscwait_kernels::QueueImpl::LrscWaitDirect, 4, 8, cfg);
+        assert!(m.throughput > 0.0);
+        assert_eq!(m.stats.total_ops(), 64);
+    }
+
+    #[test]
+    fn matmul_measurement_small() {
+        let arch = SyncArch::Lrsc;
+        let kernel = MatmulKernel::new(8, 2, 4, PollerKind::Idle);
+        let (cycles, _) = run_matmul(&kernel, arch, SimConfig::small(4, arch));
+        assert!(cycles > 100);
+    }
+
+    #[test]
+    fn arch_mapping() {
+        assert_eq!(arch_for(HistImpl::AmoAdd, 4), SyncArch::Lrsc);
+        assert_eq!(
+            arch_for(HistImpl::McsMwaitLock, 4),
+            SyncArch::Colibri { queues: 4 }
+        );
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,156 @@
+//! The bank-adapter trait and shared building blocks.
+
+use std::fmt;
+
+use crate::msg::{Addr, CoreId, MemRequest, MemResponse};
+use crate::storage::WordStorage;
+
+/// Event counters every adapter maintains (inputs to the energy model and
+/// the interference analysis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdapterStats {
+    /// Requests processed, of any kind.
+    pub requests: u64,
+    /// Plain loads served.
+    pub loads: u64,
+    /// Stores (including masked) performed.
+    pub stores: u64,
+    /// RV32A read–modify-write atomics performed.
+    pub amos: u64,
+    /// Classic `sc.w` attempts that succeeded.
+    pub sc_success: u64,
+    /// Classic `sc.w` attempts that failed.
+    pub sc_failure: u64,
+    /// `lrwait`/`mwait` requests that were enqueued (or served as head).
+    pub wait_enqueued: u64,
+    /// `lrwait`/`mwait` requests that failed fast (structure full).
+    pub wait_failfast: u64,
+    /// `scwait` attempts that succeeded.
+    pub scwait_success: u64,
+    /// `scwait` attempts that failed (reservation lost or misuse).
+    pub scwait_failure: u64,
+    /// `SuccessorUpdate` messages emitted (Colibri only).
+    pub successor_updates: u64,
+    /// `WakeUp` requests processed (Colibri only).
+    pub wakeups: u64,
+    /// Reservations invalidated by an intervening write.
+    pub reservations_broken: u64,
+}
+
+/// A synchronization adapter in front of one SPM bank.
+///
+/// The adapter observes **all** traffic reaching the bank (it must see plain
+/// stores to invalidate reservations and fire `mwait` monitors), performs
+/// the architectural side effects through [`WordStorage`], and produces the
+/// response messages to send.
+///
+/// Implementations are *time-free*: the surrounding simulator decides when
+/// messages are delivered. Correctness of the Colibri implementation relies
+/// on the transport delivering messages between a fixed (bank, core) pair in
+/// FIFO order, which both the test harness and the NoC guarantee.
+pub trait SyncAdapter: fmt::Debug {
+    /// Processes one request from `src`, appending `(destination core,
+    /// response)` pairs to `out` in send order.
+    fn handle(
+        &mut self,
+        src: CoreId,
+        req: &MemRequest,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    );
+
+    /// Human-readable architecture label (used in reports and plots).
+    fn label(&self) -> String;
+
+    /// Event counters accumulated so far.
+    fn stats(&self) -> &AdapterStats;
+
+    /// True when the adapter holds no queued/waiting state (used by tests
+    /// and by the simulator's quiescence check).
+    fn is_quiescent(&self) -> bool;
+}
+
+/// Classic MemPool-style single reservation slot (one per bank).
+///
+/// `lr.w` displaces any previous reservation; `sc.w` succeeds only when the
+/// slot still holds `(core, addr)`; any write to the reserved address clears
+/// the slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SingleSlotLrsc {
+    reservation: Option<(CoreId, Addr)>,
+}
+
+impl SingleSlotLrsc {
+    /// Creates an empty slot.
+    #[must_use]
+    pub fn new() -> SingleSlotLrsc {
+        SingleSlotLrsc::default()
+    }
+
+    /// Handles `lr.w`: places the reservation (displacing any other).
+    pub fn load_reserved(&mut self, core: CoreId, addr: Addr) {
+        self.reservation = Some((core, addr));
+    }
+
+    /// Handles `sc.w`: returns whether the store may proceed and clears the
+    /// slot on success.
+    pub fn store_conditional(&mut self, core: CoreId, addr: Addr) -> bool {
+        if self.reservation == Some((core, addr)) {
+            self.reservation = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Notifies the slot of a successful write to `addr`; returns `true`
+    /// when a reservation was broken.
+    pub fn on_write(&mut self, addr: Addr) -> bool {
+        if self.reservation.is_some_and(|(_, a)| a == addr) {
+            self.reservation = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reservation, if any.
+    #[must_use]
+    pub fn reservation(&self) -> Option<(CoreId, Addr)> {
+        self.reservation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_succeeds_only_with_matching_reservation() {
+        let mut slot = SingleSlotLrsc::new();
+        slot.load_reserved(1, 0x40);
+        assert!(!slot.store_conditional(2, 0x40), "wrong core");
+        assert!(!slot.store_conditional(1, 0x44), "wrong addr");
+        assert!(slot.store_conditional(1, 0x40));
+        assert!(!slot.store_conditional(1, 0x40), "slot cleared after use");
+    }
+
+    #[test]
+    fn newer_lr_displaces_older() {
+        let mut slot = SingleSlotLrsc::new();
+        slot.load_reserved(1, 0x40);
+        slot.load_reserved(2, 0x80);
+        assert!(!slot.store_conditional(1, 0x40));
+        assert!(slot.store_conditional(2, 0x80));
+    }
+
+    #[test]
+    fn write_breaks_reservation() {
+        let mut slot = SingleSlotLrsc::new();
+        slot.load_reserved(1, 0x40);
+        assert!(!slot.on_write(0x44), "other address leaves it alone");
+        assert!(slot.on_write(0x40));
+        assert!(!slot.store_conditional(1, 0x40));
+        assert!(!slot.on_write(0x40), "already clear");
+    }
+}

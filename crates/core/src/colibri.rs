@@ -1,0 +1,546 @@
+//! Colibri: the paper's scalable, distributed LRSCwait implementation.
+//!
+//! Instead of a capacity-`n` queue per bank, each bank controller holds a
+//! parameterizable number of *(head, tail)* register pairs — one per
+//! concurrently tracked address — and each core contributes one hardware
+//! queue node ([`crate::Qnode`]). The waiting cores themselves form a
+//! linked list:
+//!
+//! * An `lrwait`/`mwait` reaching an occupied queue overwrites the tail and
+//!   sends a [`SuccessorUpdate`] to the previous tail's Qnode.
+//! * When the head finishes (its `scwait` passes the Qnode, or its `mwait`
+//!   response arrives), the Qnode bounces a [`WakeUp`] carrying the
+//!   successor back to the controller, which promotes it and releases the
+//!   next withheld response.
+//!
+//! Total state is `O(n + 2m)` — linear in system size — versus `O(n·m)` for
+//! the centralized queue (Fig. 1 of the paper).
+//!
+//! Correctness relies on FIFO delivery per (bank → core) channel: a
+//! `SuccessorUpdate` is always received before the response that retires the
+//! session it belongs to (see `DESIGN.md` and the property tests).
+//!
+//! [`SuccessorUpdate`]: MemResponse::SuccessorUpdate
+//! [`WakeUp`]: MemRequest::WakeUp
+
+use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
+use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode};
+use crate::storage::WordStorage;
+
+/// One (head, tail) register pair: the controller-resident part of a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QueueSlot {
+    occupied: bool,
+    addr: Addr,
+    head: CoreId,
+    tail: CoreId,
+    /// Head is an `lrwait` holder whose reservation is still intact.
+    head_valid: bool,
+    /// Head was dequeued by `scwait`; promotion pends on the bounced WakeUp.
+    waiting_wakeup: bool,
+    /// Head is an `mwait` armed for the next write.
+    armed_mwait: bool,
+}
+
+impl QueueSlot {
+    fn free() -> QueueSlot {
+        QueueSlot {
+            occupied: false,
+            addr: 0,
+            head: 0,
+            tail: 0,
+            head_valid: false,
+            waiting_wakeup: false,
+            armed_mwait: false,
+        }
+    }
+}
+
+/// Colibri bank controller with `queues` concurrently tracked addresses
+/// (Table I evaluates 1, 2, 4 and 8), plus the classic single LR/SC slot and
+/// plain load/store/AMO handling.
+#[derive(Clone, Debug)]
+pub struct ColibriAdapter {
+    slots: Vec<QueueSlot>,
+    slot: SingleSlotLrsc,
+    stats: AdapterStats,
+}
+
+impl ColibriAdapter {
+    /// Creates a controller with `queues` head/tail register pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queues` is zero.
+    #[must_use]
+    pub fn new(queues: usize) -> ColibriAdapter {
+        assert!(queues > 0, "Colibri needs at least one queue per controller");
+        ColibriAdapter {
+            slots: vec![QueueSlot::free(); queues],
+            slot: SingleSlotLrsc::new(),
+            stats: AdapterStats::default(),
+        }
+    }
+
+    /// Number of head/tail register pairs.
+    #[must_use]
+    pub fn queues(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of addresses currently tracked.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.occupied).count()
+    }
+
+    fn slot_for(&mut self, addr: Addr) -> Option<&mut QueueSlot> {
+        self.slots.iter_mut().find(|s| s.occupied && s.addr == addr)
+    }
+
+    fn free_slot(&mut self) -> Option<&mut QueueSlot> {
+        self.slots.iter_mut().find(|s| !s.occupied)
+    }
+
+    /// Enqueue `src` with `mode`; returns the response(s) to emit.
+    fn enqueue_wait(
+        &mut self,
+        src: CoreId,
+        addr: Addr,
+        mode: WaitMode,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        if let Some(slot) = self.slot_for(addr) {
+            debug_assert!(
+                slot.head != src && slot.tail != src,
+                "core {src} enqueued twice on {addr:#x}"
+            );
+            let predecessor = slot.tail;
+            slot.tail = src;
+            self.stats.wait_enqueued += 1;
+            self.stats.successor_updates += 1;
+            out.push((
+                predecessor,
+                MemResponse::SuccessorUpdate {
+                    successor: src,
+                    mode,
+                },
+            ));
+            return;
+        }
+        if let Some(slot) = self.free_slot() {
+            slot.occupied = true;
+            slot.addr = addr;
+            slot.head = src;
+            slot.tail = src;
+            slot.waiting_wakeup = false;
+            match mode {
+                WaitMode::LrWait => {
+                    slot.head_valid = true;
+                    slot.armed_mwait = false;
+                    self.stats.wait_enqueued += 1;
+                    out.push((
+                        src,
+                        MemResponse::Wait {
+                            value: mem.read_word(addr),
+                            reserved: true,
+                        },
+                    ));
+                }
+                WaitMode::MWait => {
+                    slot.head_valid = false;
+                    slot.armed_mwait = true;
+                    self.stats.wait_enqueued += 1;
+                    // No response: the monitor sleeps until a write arrives.
+                }
+            }
+            return;
+        }
+        // All head/tail register pairs busy with other addresses: fail fast.
+        self.stats.wait_failfast += 1;
+        out.push((
+            src,
+            MemResponse::Wait {
+                value: mem.read_word(addr),
+                reserved: false,
+            },
+        ));
+    }
+
+    /// A write to `addr` landed (store, AMO, or successful `sc.w`).
+    fn on_write(
+        &mut self,
+        addr: Addr,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        if self.slot.on_write(addr) {
+            self.stats.reservations_broken += 1;
+        }
+        let mut broke = false;
+        if let Some(slot) = self.slot_for(addr) {
+            if slot.armed_mwait {
+                // Fire the monitor; the rest of the queue drains through the
+                // head's Qnode bouncing WakeUps.
+                slot.armed_mwait = false;
+                let head = slot.head;
+                let last = slot.head == slot.tail;
+                if last {
+                    slot.occupied = false;
+                }
+                out.push((
+                    head,
+                    MemResponse::Wait {
+                        value: mem.read_word(addr),
+                        reserved: true,
+                    },
+                ));
+            } else if !slot.waiting_wakeup && slot.head_valid {
+                slot.head_valid = false;
+                broke = true;
+            }
+        }
+        if broke {
+            self.stats.reservations_broken += 1;
+        }
+    }
+}
+
+impl SyncAdapter for ColibriAdapter {
+    fn handle(
+        &mut self,
+        src: CoreId,
+        req: &MemRequest,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        self.stats.requests += 1;
+        match *req {
+            MemRequest::Load { addr } => {
+                self.stats.loads += 1;
+                out.push((
+                    src,
+                    MemResponse::Load {
+                        value: mem.read_word(addr),
+                    },
+                ));
+            }
+            MemRequest::Store { addr, value, mask } => {
+                self.stats.stores += 1;
+                mem.write_masked(addr, value, mask);
+                self.on_write(addr, mem, out);
+                out.push((src, MemResponse::StoreAck));
+            }
+            MemRequest::Amo { addr, op, operand } => {
+                self.stats.amos += 1;
+                let old = mem.read_word(addr);
+                mem.write_word(addr, op.apply(old, operand));
+                self.on_write(addr, mem, out);
+                out.push((src, MemResponse::Amo { old }));
+            }
+            MemRequest::Lr { addr } => {
+                self.slot.load_reserved(src, addr);
+                out.push((
+                    src,
+                    MemResponse::Lr {
+                        value: mem.read_word(addr),
+                    },
+                ));
+            }
+            MemRequest::Sc { addr, value } => {
+                let success = self.slot.store_conditional(src, addr);
+                if success {
+                    self.stats.sc_success += 1;
+                    mem.write_word(addr, value);
+                    self.on_write(addr, mem, out);
+                } else {
+                    self.stats.sc_failure += 1;
+                }
+                out.push((src, MemResponse::Sc { success }));
+            }
+            MemRequest::LrWait { addr } => {
+                self.enqueue_wait(src, addr, WaitMode::LrWait, mem, out);
+            }
+            MemRequest::MWait { addr, expected } => {
+                let value = mem.read_word(addr);
+                if value != expected {
+                    // Already changed: immediate notification, no enqueue.
+                    out.push((src, MemResponse::Wait { value, reserved: false }));
+                } else {
+                    self.enqueue_wait(src, addr, WaitMode::MWait, mem, out);
+                }
+            }
+            MemRequest::ScWait { addr, value } => {
+                let Some(slot) = self.slot_for(addr) else {
+                    self.stats.scwait_failure += 1;
+                    out.push((src, MemResponse::ScWait { success: false }));
+                    return;
+                };
+                if slot.head != src || slot.waiting_wakeup || slot.armed_mwait {
+                    self.stats.scwait_failure += 1;
+                    out.push((src, MemResponse::ScWait { success: false }));
+                    return;
+                }
+                let success = slot.head_valid;
+                // Dequeue the head either way: on the last member free the
+                // slot, otherwise invalidate the head and wait for the
+                // bounced WakeUp to learn the successor.
+                if slot.head == slot.tail {
+                    slot.occupied = false;
+                } else {
+                    slot.head_valid = false;
+                    slot.waiting_wakeup = true;
+                }
+                if success {
+                    self.stats.scwait_success += 1;
+                    mem.write_word(addr, value);
+                    if self.slot.on_write(addr) {
+                        self.stats.reservations_broken += 1;
+                    }
+                } else {
+                    self.stats.scwait_failure += 1;
+                }
+                out.push((src, MemResponse::ScWait { success }));
+            }
+            MemRequest::WakeUp {
+                addr,
+                successor,
+                mode,
+            } => {
+                self.stats.wakeups += 1;
+                let Some(slot) = self.slot_for(addr) else {
+                    debug_assert!(false, "WakeUp for untracked address {addr:#x}");
+                    return;
+                };
+                slot.head = successor;
+                slot.waiting_wakeup = false;
+                match mode {
+                    WaitMode::LrWait => {
+                        slot.head_valid = true;
+                        slot.armed_mwait = false;
+                    }
+                    WaitMode::MWait => {
+                        // Successor is done the moment it is notified; if it
+                        // is also the tail the queue empties now, otherwise
+                        // its own Qnode continues the cascade.
+                        slot.head_valid = false;
+                        slot.armed_mwait = false;
+                        if slot.head == slot.tail {
+                            slot.occupied = false;
+                        }
+                    }
+                }
+                out.push((
+                    successor,
+                    MemResponse::Wait {
+                        value: mem.read_word(addr),
+                        reserved: true,
+                    },
+                ));
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("Colibri{}", self.slots.len())
+    }
+
+    fn stats(&self) -> &AdapterStats {
+        &self.stats
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.slots.iter().all(|s| !s.occupied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MapStorage;
+
+    fn run(
+        a: &mut ColibriAdapter,
+        mem: &mut MapStorage,
+        src: CoreId,
+        req: MemRequest,
+    ) -> Vec<(CoreId, MemResponse)> {
+        let mut out = Vec::new();
+        a.handle(src, &req, mem, &mut out);
+        out
+    }
+
+    #[test]
+    fn fig2_sequence_two_cores() {
+        // Reproduces the paper's Fig. 2 walk-through.
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        mem.write_word(0x40, 100);
+
+        // (1)+(2) A's lrwait: queue empty, head=tail=A, value returned.
+        let r = run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
+        assert_eq!(r, vec![(0, MemResponse::Wait { value: 100, reserved: true })]);
+
+        // (3)+(4) B's lrwait: appended at tail, SuccessorUpdate to A.
+        let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        assert_eq!(
+            r,
+            vec![(0, MemResponse::SuccessorUpdate { successor: 1, mode: WaitMode::LrWait })]
+        );
+
+        // (5) A's scwait: write accepted, head temporarily invalidated.
+        let r = run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 101 });
+        assert_eq!(r, vec![(0, MemResponse::ScWait { success: true })]);
+        assert!(!a.is_quiescent());
+
+        // (6)+(7) A's Qnode bounces the WakeUp; B gets the fresh value.
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::WakeUp { addr: 0x40, successor: 1, mode: WaitMode::LrWait },
+        );
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 101, reserved: true })]);
+
+        // B finishes; head==tail, slot freed.
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 102 });
+        assert_eq!(r, vec![(1, MemResponse::ScWait { success: true })]);
+        assert!(a.is_quiescent());
+        assert_eq!(mem.read_word(0x40), 102);
+    }
+
+    #[test]
+    fn no_free_queue_fails_fast() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
+        // A different address with all head/tail pairs busy: fail fast.
+        let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x80 });
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 0, reserved: false })]);
+        assert_eq!(a.stats().wait_failfast, 1);
+    }
+
+    #[test]
+    fn two_queues_track_two_addresses() {
+        let mut a = ColibriAdapter::new(2);
+        let mut mem = MapStorage::new();
+        assert_eq!(run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 }).len(), 1);
+        assert_eq!(run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x80 }).len(), 1);
+        assert_eq!(a.occupancy(), 2);
+    }
+
+    #[test]
+    fn store_invalidates_head_reservation() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 2, MemRequest::Store { addr: 0x40, value: 5, mask: !0 });
+        let r = run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 1 });
+        assert_eq!(r, vec![(0, MemResponse::ScWait { success: false })]);
+        assert_eq!(mem.read_word(0x40), 5);
+        assert!(a.is_quiescent(), "single-member queue freed after scwait");
+    }
+
+    #[test]
+    fn scwait_from_non_head_fails() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 9 });
+        assert_eq!(r, vec![(1, MemResponse::ScWait { success: false })]);
+        assert_eq!(mem.read_word(0x40), 0, "non-head must not write");
+    }
+
+    #[test]
+    fn scwait_while_waiting_wakeup_fails() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 1 });
+        // A second scwait from the stale head (before the WakeUp) must fail.
+        let r = run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 7 });
+        assert_eq!(r, vec![(0, MemResponse::ScWait { success: false })]);
+        assert_eq!(mem.read_word(0x40), 1);
+    }
+
+    #[test]
+    fn mwait_armed_fires_on_write_and_frees_single_member() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        let r = run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
+        assert!(r.is_empty(), "armed monitor sleeps");
+        let r = run(&mut a, &mut mem, 1, MemRequest::Store { addr: 0x40, value: 3, mask: !0 });
+        assert_eq!(
+            r,
+            vec![
+                (0, MemResponse::Wait { value: 3, reserved: true }),
+                (1, MemResponse::StoreAck),
+            ]
+        );
+        assert!(a.is_quiescent(), "single-member monitor queue freed on fire");
+    }
+
+    #[test]
+    fn mwait_expected_mismatch_immediate() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        mem.write_word(0x40, 7);
+        let r = run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
+        assert_eq!(r, vec![(0, MemResponse::Wait { value: 7, reserved: false })]);
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn mwait_cascade_via_wakeups() {
+        // Three monitors; a write fires the head, then Qnode-bounced WakeUps
+        // drain the rest, the last promotion freeing the slot.
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
+        assert_eq!(r, vec![(0, MemResponse::SuccessorUpdate { successor: 1, mode: WaitMode::MWait })]);
+        let r = run(&mut a, &mut mem, 2, MemRequest::MWait { addr: 0x40, expected: 0 });
+        assert_eq!(r, vec![(1, MemResponse::SuccessorUpdate { successor: 2, mode: WaitMode::MWait })]);
+
+        let r = run(&mut a, &mut mem, 9, MemRequest::Store { addr: 0x40, value: 1, mask: !0 });
+        assert!(r.contains(&(0, MemResponse::Wait { value: 1, reserved: true })));
+
+        // Core 0's Qnode bounces its successor.
+        let r = run(&mut a, &mut mem, 0, MemRequest::WakeUp { addr: 0x40, successor: 1, mode: WaitMode::MWait });
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 1, reserved: true })]);
+        assert!(!a.is_quiescent());
+
+        // Core 1's Qnode bounces the last member; slot freed.
+        let r = run(&mut a, &mut mem, 1, MemRequest::WakeUp { addr: 0x40, successor: 2, mode: WaitMode::MWait });
+        assert_eq!(r, vec![(2, MemResponse::Wait { value: 1, reserved: true })]);
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn mixed_queue_lrwait_behind_mwait() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        // Write fires the monitor head.
+        run(&mut a, &mut mem, 9, MemRequest::Store { addr: 0x40, value: 2, mask: !0 });
+        // Monitor's Qnode promotes the lrwait member, which becomes a normal head.
+        let r = run(&mut a, &mut mem, 0, MemRequest::WakeUp { addr: 0x40, successor: 1, mode: WaitMode::LrWait });
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 2, reserved: true })]);
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 3 });
+        assert_eq!(r, vec![(1, MemResponse::ScWait { success: true })]);
+        assert_eq!(mem.read_word(0x40), 3);
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn label_and_quiescence() {
+        let a = ColibriAdapter::new(4);
+        assert_eq!(a.label(), "Colibri4");
+        assert_eq!(a.queues(), 4);
+        assert!(a.is_quiescent());
+    }
+}

@@ -1,0 +1,197 @@
+//! Baseline adapter: MemPool's lightweight LRSC (one reservation slot per
+//! bank) plus plain loads/stores/AMOs.
+//!
+//! This is the architecture the paper compares against: under contention,
+//! failing `sc.w` instructions force software retry loops whose traffic is
+//! the source of the polling problem.
+
+use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
+use crate::msg::{CoreId, MemRequest, MemResponse};
+use crate::storage::WordStorage;
+
+/// Bank adapter implementing plain RV32A with a single LR/SC reservation
+/// slot. The Xlrscwait requests are answered with fail-fast responses so a
+/// mis-configured kernel degrades into a retry loop instead of deadlocking.
+#[derive(Clone, Debug, Default)]
+pub struct LrscAdapter {
+    slot: SingleSlotLrsc,
+    stats: AdapterStats,
+}
+
+impl LrscAdapter {
+    /// Creates the adapter with an empty reservation slot.
+    #[must_use]
+    pub fn new() -> LrscAdapter {
+        LrscAdapter::default()
+    }
+
+    fn on_write(&mut self, addr: u32) {
+        if self.slot.on_write(addr) {
+            self.stats.reservations_broken += 1;
+        }
+    }
+}
+
+impl SyncAdapter for LrscAdapter {
+    fn handle(
+        &mut self,
+        src: CoreId,
+        req: &MemRequest,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        self.stats.requests += 1;
+        match *req {
+            MemRequest::Load { addr } => {
+                self.stats.loads += 1;
+                out.push((
+                    src,
+                    MemResponse::Load {
+                        value: mem.read_word(addr),
+                    },
+                ));
+            }
+            MemRequest::Store { addr, value, mask } => {
+                self.stats.stores += 1;
+                mem.write_masked(addr, value, mask);
+                self.on_write(addr);
+                out.push((src, MemResponse::StoreAck));
+            }
+            MemRequest::Amo { addr, op, operand } => {
+                self.stats.amos += 1;
+                let old = mem.read_word(addr);
+                mem.write_word(addr, op.apply(old, operand));
+                self.on_write(addr);
+                out.push((src, MemResponse::Amo { old }));
+            }
+            MemRequest::Lr { addr } => {
+                self.slot.load_reserved(src, addr);
+                out.push((
+                    src,
+                    MemResponse::Lr {
+                        value: mem.read_word(addr),
+                    },
+                ));
+            }
+            MemRequest::Sc { addr, value } => {
+                let success = self.slot.store_conditional(src, addr);
+                if success {
+                    self.stats.sc_success += 1;
+                    mem.write_word(addr, value);
+                    // A successful SC is itself a write; no other reservation
+                    // can exist in the single-slot design, so nothing to break.
+                } else {
+                    self.stats.sc_failure += 1;
+                }
+                out.push((src, MemResponse::Sc { success }));
+            }
+            // Wait-extension requests on non-wait hardware: fail fast.
+            MemRequest::LrWait { addr } | MemRequest::MWait { addr, .. } => {
+                self.stats.wait_failfast += 1;
+                out.push((
+                    src,
+                    MemResponse::Wait {
+                        value: mem.read_word(addr),
+                        reserved: false,
+                    },
+                ));
+            }
+            MemRequest::ScWait { .. } => {
+                self.stats.scwait_failure += 1;
+                out.push((src, MemResponse::ScWait { success: false }));
+            }
+            MemRequest::WakeUp { .. } => {
+                debug_assert!(false, "WakeUp sent to an LRSC-only bank");
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        "LRSC".to_string()
+    }
+
+    fn stats(&self) -> &AdapterStats {
+        &self.stats
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true // never withholds responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MapStorage;
+
+    fn run(adapter: &mut LrscAdapter, mem: &mut MapStorage, src: CoreId, req: MemRequest) -> Vec<(CoreId, MemResponse)> {
+        let mut out = Vec::new();
+        adapter.handle(src, &req, mem, &mut out);
+        out
+    }
+
+    #[test]
+    fn load_store_amo() {
+        let mut a = LrscAdapter::new();
+        let mut mem = MapStorage::new();
+        let r = run(&mut a, &mut mem, 0, MemRequest::Store { addr: 0x40, value: 5, mask: !0 });
+        assert_eq!(r, vec![(0, MemResponse::StoreAck)]);
+        let r = run(&mut a, &mut mem, 1, MemRequest::Load { addr: 0x40 });
+        assert_eq!(r, vec![(1, MemResponse::Load { value: 5 })]);
+        let r = run(&mut a, &mut mem, 2, MemRequest::Amo { addr: 0x40, op: crate::RmwOp::Add, operand: 3 });
+        assert_eq!(r, vec![(2, MemResponse::Amo { old: 5 })]);
+        assert_eq!(mem.read_word(0x40), 8);
+        assert_eq!(a.stats().amos, 1);
+    }
+
+    #[test]
+    fn lr_sc_success_path() {
+        let mut a = LrscAdapter::new();
+        let mut mem = MapStorage::new();
+        mem.write_word(0x40, 10);
+        let r = run(&mut a, &mut mem, 3, MemRequest::Lr { addr: 0x40 });
+        assert_eq!(r, vec![(3, MemResponse::Lr { value: 10 })]);
+        let r = run(&mut a, &mut mem, 3, MemRequest::Sc { addr: 0x40, value: 11 });
+        assert_eq!(r, vec![(3, MemResponse::Sc { success: true })]);
+        assert_eq!(mem.read_word(0x40), 11);
+        assert_eq!(a.stats().sc_success, 1);
+    }
+
+    #[test]
+    fn interleaved_lr_causes_sc_failure() {
+        let mut a = LrscAdapter::new();
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
+        run(&mut a, &mut mem, 2, MemRequest::Lr { addr: 0x40 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::Sc { addr: 0x40, value: 1 });
+        assert_eq!(r, vec![(1, MemResponse::Sc { success: false })]);
+        let r = run(&mut a, &mut mem, 2, MemRequest::Sc { addr: 0x40, value: 2 });
+        assert_eq!(r, vec![(2, MemResponse::Sc { success: true })]);
+        assert_eq!(mem.read_word(0x40), 2);
+        assert_eq!(a.stats().sc_failure, 1);
+    }
+
+    #[test]
+    fn store_breaks_reservation() {
+        let mut a = LrscAdapter::new();
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
+        run(&mut a, &mut mem, 2, MemRequest::Store { addr: 0x40, value: 9, mask: !0 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::Sc { addr: 0x40, value: 1 });
+        assert_eq!(r, vec![(1, MemResponse::Sc { success: false })]);
+        assert_eq!(mem.read_word(0x40), 9);
+        assert_eq!(a.stats().reservations_broken, 1);
+    }
+
+    #[test]
+    fn wait_requests_fail_fast() {
+        let mut a = LrscAdapter::new();
+        let mut mem = MapStorage::new();
+        mem.write_word(0x40, 7);
+        let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 7, reserved: false })]);
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 8 });
+        assert_eq!(r, vec![(1, MemResponse::ScWait { success: false })]);
+        assert_eq!(mem.read_word(0x40), 7, "failed scwait must not write");
+    }
+}

@@ -1,0 +1,509 @@
+//! Centralized LRSCwait implementation: a reservation *queue* per bank.
+//!
+//! This is the paper's Section III-A/B design: an adapter in front of each
+//! bank holding up to `q` outstanding `lrwait`/`mwait` entries in FIFO
+//! order. With `q = n` (number of cores) it is `LRSCwait_ideal`; smaller `q`
+//! trades hardware for fail-fast behaviour under contention. Its hardware
+//! cost is what motivates Colibri — see the area model in `lrscwait-model`.
+
+use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
+use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode, Word};
+use crate::storage::WordStorage;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    core: CoreId,
+    addr: Addr,
+    mode: WaitMode,
+    expected: Word,
+    /// Head-of-queue for its address: response sent (`LrWait`) or armed (`MWait`).
+    active: bool,
+    /// `LrWait`: reservation still valid. `MWait`: armed, waiting for a write.
+    valid: bool,
+}
+
+/// Bank adapter with a capacity-`q` reservation queue (plus the classic
+/// single LR/SC slot and plain load/store/AMO handling).
+#[derive(Clone, Debug)]
+pub struct WaitQueueAdapter {
+    capacity: usize,
+    entries: Vec<Entry>,
+    slot: SingleSlotLrsc,
+    stats: AdapterStats,
+    /// Label override so `q = n` prints as "LRSCwait_ideal".
+    ideal: bool,
+}
+
+impl WaitQueueAdapter {
+    /// Creates an adapter with `capacity` reservation-queue slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> WaitQueueAdapter {
+        assert!(capacity > 0, "reservation queue needs at least one slot");
+        WaitQueueAdapter {
+            capacity,
+            entries: Vec::with_capacity(capacity.min(1024)),
+            slot: SingleSlotLrsc::new(),
+            stats: AdapterStats::default(),
+            ideal: false,
+        }
+    }
+
+    /// Creates the ideal variant (`q = num_cores`), labelled accordingly.
+    #[must_use]
+    pub fn ideal(num_cores: usize) -> WaitQueueAdapter {
+        let mut a = WaitQueueAdapter::new(num_cores.max(1));
+        a.ideal = true;
+        a
+    }
+
+    /// Queue capacity `q`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queued entries right now.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn first_index_for(&self, addr: Addr) -> Option<usize> {
+        self.entries.iter().position(|e| e.addr == addr)
+    }
+
+    /// Activates the head entry for `addr` (after a pop or fresh enqueue),
+    /// cascading through `mwait` entries whose condition already holds.
+    fn activate_next(
+        &mut self,
+        addr: Addr,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        while let Some(idx) = self.first_index_for(addr) {
+            let entry = self.entries[idx];
+            if entry.active {
+                return; // current head still in flight
+            }
+            match entry.mode {
+                WaitMode::LrWait => {
+                    self.entries[idx].active = true;
+                    self.entries[idx].valid = true;
+                    out.push((
+                        entry.core,
+                        MemResponse::Wait {
+                            value: mem.read_word(addr),
+                            reserved: true,
+                        },
+                    ));
+                    return;
+                }
+                WaitMode::MWait => {
+                    let value = mem.read_word(addr);
+                    if value != entry.expected {
+                        // Condition already true: notify and keep cascading.
+                        self.entries.remove(idx);
+                        out.push((entry.core, MemResponse::Wait { value, reserved: true }));
+                    } else {
+                        self.entries[idx].active = true;
+                        self.entries[idx].valid = true; // armed
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A write to `addr` landed: break LRwait reservations, fire armed mwaits.
+    fn on_write(
+        &mut self,
+        addr: Addr,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        if self.slot.on_write(addr) {
+            self.stats.reservations_broken += 1;
+        }
+        if let Some(idx) = self.first_index_for(addr) {
+            let entry = self.entries[idx];
+            if !entry.active {
+                return;
+            }
+            match entry.mode {
+                WaitMode::LrWait => {
+                    if entry.valid {
+                        self.entries[idx].valid = false;
+                        self.stats.reservations_broken += 1;
+                    }
+                }
+                WaitMode::MWait => {
+                    if entry.valid {
+                        // Fire the monitor and wake any satisfied followers.
+                        self.entries.remove(idx);
+                        out.push((
+                            entry.core,
+                            MemResponse::Wait {
+                                value: mem.read_word(addr),
+                                reserved: true,
+                            },
+                        ));
+                        self.activate_next(addr, mem, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SyncAdapter for WaitQueueAdapter {
+    fn handle(
+        &mut self,
+        src: CoreId,
+        req: &MemRequest,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+    ) {
+        self.stats.requests += 1;
+        match *req {
+            MemRequest::Load { addr } => {
+                self.stats.loads += 1;
+                out.push((
+                    src,
+                    MemResponse::Load {
+                        value: mem.read_word(addr),
+                    },
+                ));
+            }
+            MemRequest::Store { addr, value, mask } => {
+                self.stats.stores += 1;
+                mem.write_masked(addr, value, mask);
+                self.on_write(addr, mem, out);
+                out.push((src, MemResponse::StoreAck));
+            }
+            MemRequest::Amo { addr, op, operand } => {
+                self.stats.amos += 1;
+                let old = mem.read_word(addr);
+                mem.write_word(addr, op.apply(old, operand));
+                self.on_write(addr, mem, out);
+                out.push((src, MemResponse::Amo { old }));
+            }
+            MemRequest::Lr { addr } => {
+                self.slot.load_reserved(src, addr);
+                out.push((
+                    src,
+                    MemResponse::Lr {
+                        value: mem.read_word(addr),
+                    },
+                ));
+            }
+            MemRequest::Sc { addr, value } => {
+                let success = self.slot.store_conditional(src, addr);
+                if success {
+                    self.stats.sc_success += 1;
+                    mem.write_word(addr, value);
+                    self.on_write(addr, mem, out);
+                } else {
+                    self.stats.sc_failure += 1;
+                }
+                out.push((src, MemResponse::Sc { success }));
+            }
+            MemRequest::LrWait { addr } => {
+                let duplicate = self.entries.iter().any(|e| e.core == src);
+                if self.entries.len() >= self.capacity || duplicate {
+                    debug_assert!(!duplicate, "core {src} has two outstanding wait ops");
+                    self.stats.wait_failfast += 1;
+                    out.push((
+                        src,
+                        MemResponse::Wait {
+                            value: mem.read_word(addr),
+                            reserved: false,
+                        },
+                    ));
+                    return;
+                }
+                self.stats.wait_enqueued += 1;
+                self.entries.push(Entry {
+                    core: src,
+                    addr,
+                    mode: WaitMode::LrWait,
+                    expected: 0,
+                    active: false,
+                    valid: false,
+                });
+                self.activate_next(addr, mem, out);
+            }
+            MemRequest::MWait { addr, expected } => {
+                let value = mem.read_word(addr);
+                if value != expected {
+                    // Already changed: immediate notification, no enqueue.
+                    out.push((src, MemResponse::Wait { value, reserved: false }));
+                    return;
+                }
+                let duplicate = self.entries.iter().any(|e| e.core == src);
+                if self.entries.len() >= self.capacity || duplicate {
+                    debug_assert!(!duplicate, "core {src} has two outstanding wait ops");
+                    self.stats.wait_failfast += 1;
+                    out.push((src, MemResponse::Wait { value, reserved: false }));
+                    return;
+                }
+                self.stats.wait_enqueued += 1;
+                self.entries.push(Entry {
+                    core: src,
+                    addr,
+                    mode: WaitMode::MWait,
+                    expected,
+                    active: false,
+                    valid: false,
+                });
+                self.activate_next(addr, mem, out);
+            }
+            MemRequest::ScWait { addr, value } => {
+                let pos = self.entries.iter().position(|e| {
+                    e.core == src && e.addr == addr && e.active && e.mode == WaitMode::LrWait
+                });
+                match pos {
+                    Some(idx) if self.entries[idx].valid => {
+                        self.stats.scwait_success += 1;
+                        mem.write_word(addr, value);
+                        if self.slot.on_write(addr) {
+                            self.stats.reservations_broken += 1;
+                        }
+                        self.entries.remove(idx);
+                        out.push((src, MemResponse::ScWait { success: true }));
+                        self.activate_next(addr, mem, out);
+                    }
+                    Some(idx) => {
+                        self.stats.scwait_failure += 1;
+                        self.entries.remove(idx);
+                        out.push((src, MemResponse::ScWait { success: false }));
+                        self.activate_next(addr, mem, out);
+                    }
+                    None => {
+                        self.stats.scwait_failure += 1;
+                        out.push((src, MemResponse::ScWait { success: false }));
+                    }
+                }
+            }
+            MemRequest::WakeUp { .. } => {
+                debug_assert!(false, "WakeUp sent to a centralized wait-queue bank");
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.ideal {
+            "LRSCwait_ideal".to_string()
+        } else {
+            format!("LRSCwait{}", self.capacity)
+        }
+    }
+
+    fn stats(&self) -> &AdapterStats {
+        &self.stats
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MapStorage;
+
+    fn run(
+        a: &mut WaitQueueAdapter,
+        mem: &mut MapStorage,
+        src: CoreId,
+        req: MemRequest,
+    ) -> Vec<(CoreId, MemResponse)> {
+        let mut out = Vec::new();
+        a.handle(src, &req, mem, &mut out);
+        out
+    }
+
+    #[test]
+    fn first_lrwait_served_immediately() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        mem.write_word(0x40, 5);
+        let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 5, reserved: true })]);
+    }
+
+    #[test]
+    fn second_lrwait_withheld_until_scwait() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        let r = run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
+        assert!(r.is_empty(), "second core must sleep: {r:?}");
+        // Core 1 closes its sequence; core 2 receives the new value.
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 9 });
+        assert_eq!(
+            r,
+            vec![
+                (1, MemResponse::ScWait { success: true }),
+                (2, MemResponse::Wait { value: 9, reserved: true }),
+            ]
+        );
+        assert_eq!(a.occupancy(), 1);
+        assert!(!a.is_quiescent());
+        let r = run(&mut a, &mut mem, 2, MemRequest::ScWait { addr: 0x40, value: 10 });
+        assert_eq!(r[0], (2, MemResponse::ScWait { success: true }));
+        assert!(a.is_quiescent());
+        assert_eq!(mem.read_word(0x40), 10);
+    }
+
+    #[test]
+    fn independent_addresses_are_concurrent() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        let r1 = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        let r2 = run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x80 });
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1, "different address must not queue");
+    }
+
+    #[test]
+    fn full_queue_fails_fast() {
+        let mut a = WaitQueueAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        let r = run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
+        assert_eq!(r, vec![(2, MemResponse::Wait { value: 0, reserved: false })]);
+        assert_eq!(a.stats().wait_failfast, 1);
+        // The failed core's scwait also fails and does not write.
+        let r = run(&mut a, &mut mem, 2, MemRequest::ScWait { addr: 0x40, value: 7 });
+        assert_eq!(r, vec![(2, MemResponse::ScWait { success: false })]);
+        assert_eq!(mem.read_word(0x40), 0);
+    }
+
+    #[test]
+    fn store_breaks_active_reservation() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 3, MemRequest::Store { addr: 0x40, value: 99, mask: !0 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 1 });
+        assert_eq!(r[0], (1, MemResponse::ScWait { success: false }));
+        assert_eq!(mem.read_word(0x40), 99, "failed scwait must not write");
+    }
+
+    #[test]
+    fn failed_scwait_still_advances_queue() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 3, MemRequest::Store { addr: 0x40, value: 99, mask: !0 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 1 });
+        assert_eq!(
+            r,
+            vec![
+                (1, MemResponse::ScWait { success: false }),
+                (2, MemResponse::Wait { value: 99, reserved: true }),
+            ]
+        );
+    }
+
+    #[test]
+    fn fifo_order_across_three_cores() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 5, MemRequest::LrWait { addr: 0x40 });
+        assert!(run(&mut a, &mut mem, 6, MemRequest::LrWait { addr: 0x40 }).is_empty());
+        assert!(run(&mut a, &mut mem, 7, MemRequest::LrWait { addr: 0x40 }).is_empty());
+        let r = run(&mut a, &mut mem, 5, MemRequest::ScWait { addr: 0x40, value: 1 });
+        assert_eq!(r[1].0, 6, "service order must be FIFO");
+        let r = run(&mut a, &mut mem, 6, MemRequest::ScWait { addr: 0x40, value: 2 });
+        assert_eq!(r[1].0, 7);
+    }
+
+    #[test]
+    fn mwait_immediate_when_value_differs() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        mem.write_word(0x40, 3);
+        let r = run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
+        assert_eq!(r, vec![(1, MemResponse::Wait { value: 3, reserved: false })]);
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn mwait_sleeps_until_write() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        let r = run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
+        assert!(r.is_empty());
+        let r = run(&mut a, &mut mem, 2, MemRequest::Store { addr: 0x40, value: 8, mask: !0 });
+        assert_eq!(
+            r,
+            vec![
+                (1, MemResponse::Wait { value: 8, reserved: true }),
+                (2, MemResponse::StoreAck),
+            ]
+        );
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn mwait_queue_drains_fully_on_one_write() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        for core in 1..=3 {
+            assert!(run(&mut a, &mut mem, core, MemRequest::MWait { addr: 0x40, expected: 0 }).is_empty());
+        }
+        let r = run(&mut a, &mut mem, 9, MemRequest::Store { addr: 0x40, value: 1, mask: !0 });
+        let woken: Vec<CoreId> = r
+            .iter()
+            .filter(|(_, resp)| matches!(resp, MemResponse::Wait { .. }))
+            .map(|(c, _)| *c)
+            .collect();
+        assert_eq!(woken, vec![1, 2, 3], "whole queue wakes in order");
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn amo_fires_mwait() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
+        let r = run(&mut a, &mut mem, 2, MemRequest::Amo { addr: 0x40, op: crate::RmwOp::Add, operand: 4 });
+        assert!(r.contains(&(1, MemResponse::Wait { value: 4, reserved: true })));
+    }
+
+    #[test]
+    fn plain_lrsc_still_works() {
+        let mut a = WaitQueueAdapter::new(4);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::Sc { addr: 0x40, value: 3 });
+        assert_eq!(r[0], (1, MemResponse::Sc { success: true }));
+    }
+
+    #[test]
+    fn scwait_success_fires_mwait_on_same_address() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 2, MemRequest::MWait { addr: 0x40, expected: 0 });
+        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 5 });
+        assert!(
+            r.contains(&(2, MemResponse::Wait { value: 5, reserved: true })),
+            "mwait behind an lrwait head wakes when the scwait writes: {r:?}"
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WaitQueueAdapter::new(8).label(), "LRSCwait8");
+        assert_eq!(WaitQueueAdapter::ideal(256).label(), "LRSCwait_ideal");
+        assert_eq!(WaitQueueAdapter::ideal(256).capacity(), 256);
+    }
+}

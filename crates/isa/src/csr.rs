@@ -1,0 +1,112 @@
+//! Control and status registers implemented by the simulator.
+
+use std::fmt;
+
+/// CSR address of `mhartid` (hart / core identifier).
+pub const CSR_MHARTID: u16 = 0xF14;
+/// CSR address of `cycle` (low 32 bits of the cycle counter).
+pub const CSR_CYCLE: u16 = 0xC00;
+/// CSR address of `cycleh` (high 32 bits of the cycle counter).
+pub const CSR_CYCLEH: u16 = 0xC80;
+/// CSR address of `instret` (low 32 bits of retired-instruction counter).
+pub const CSR_INSTRET: u16 = 0xC02;
+/// CSR address of `instreth` (high 32 bits of retired-instruction counter).
+pub const CSR_INSTRETH: u16 = 0xC82;
+
+/// A CSR known to the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Csr {
+    /// Hart identifier (read-only).
+    MHartId,
+    /// Cycle counter, low word (read-only).
+    Cycle,
+    /// Cycle counter, high word (read-only).
+    CycleH,
+    /// Retired instruction counter, low word (read-only).
+    InstRet,
+    /// Retired instruction counter, high word (read-only).
+    InstRetH,
+}
+
+impl Csr {
+    /// Resolves a CSR address to a known CSR.
+    #[must_use]
+    pub fn from_address(addr: u16) -> Option<Csr> {
+        match addr {
+            CSR_MHARTID => Some(Csr::MHartId),
+            CSR_CYCLE => Some(Csr::Cycle),
+            CSR_CYCLEH => Some(Csr::CycleH),
+            CSR_INSTRET => Some(Csr::InstRet),
+            CSR_INSTRETH => Some(Csr::InstRetH),
+            _ => None,
+        }
+    }
+
+    /// The architectural CSR address.
+    #[must_use]
+    pub fn address(self) -> u16 {
+        match self {
+            Csr::MHartId => CSR_MHARTID,
+            Csr::Cycle => CSR_CYCLE,
+            Csr::CycleH => CSR_CYCLEH,
+            Csr::InstRet => CSR_INSTRET,
+            Csr::InstRetH => CSR_INSTRETH,
+        }
+    }
+
+    /// The assembly-level name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Csr::MHartId => "mhartid",
+            Csr::Cycle => "cycle",
+            Csr::CycleH => "cycleh",
+            Csr::InstRet => "instret",
+            Csr::InstRetH => "instreth",
+        }
+    }
+
+    /// Parses an assembly-level CSR name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Csr> {
+        match name {
+            "mhartid" => Some(Csr::MHartId),
+            "cycle" | "mcycle" => Some(Csr::Cycle),
+            "cycleh" | "mcycleh" => Some(Csr::CycleH),
+            "instret" | "minstret" => Some(Csr::InstRet),
+            "instreth" | "minstreth" => Some(Csr::InstRetH),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_round_trip() {
+        for csr in [Csr::MHartId, Csr::Cycle, Csr::CycleH, Csr::InstRet, Csr::InstRetH] {
+            assert_eq!(Csr::from_address(csr.address()), Some(csr));
+            assert_eq!(Csr::parse(csr.name()), Some(csr));
+        }
+    }
+
+    #[test]
+    fn machine_aliases_accepted() {
+        assert_eq!(Csr::parse("mcycle"), Some(Csr::Cycle));
+        assert_eq!(Csr::parse("minstret"), Some(Csr::InstRet));
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert_eq!(Csr::from_address(0x123), None);
+        assert_eq!(Csr::parse("satp"), None);
+    }
+}

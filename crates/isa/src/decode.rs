@@ -1,0 +1,369 @@
+//! Binary instruction decoding (32-bit word → decoded form).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, AmoOp, BranchOp, CsrOp, Instr, MemWidth};
+use crate::{Reg, FUNCT5_LRWAIT, FUNCT5_MWAIT, FUNCT5_SCWAIT, OPCODE_AMO};
+
+/// Error returned by [`decode`] for words that are not valid RV32IMA +
+/// Xlrscwait instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn reg(field: u32) -> Reg {
+    Reg::new((field & 0x1F) as u8)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn i_imm(word: u32) -> i32 {
+    sign_extend(word >> 20, 12)
+}
+
+fn s_imm(word: u32) -> i32 {
+    sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+}
+
+fn b_imm(word: u32) -> i32 {
+    let imm = (((word >> 31) & 1) << 12)
+        | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5)
+        | (((word >> 8) & 0xF) << 1);
+    sign_extend(imm, 13)
+}
+
+fn j_imm(word: u32) -> i32 {
+    let imm = (((word >> 31) & 1) << 20)
+        | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 1) << 11)
+        | (((word >> 21) & 0x3FF) << 1);
+    sign_extend(imm, 21)
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for any word outside the implemented
+/// RV32IMA + Xlrscwait subset.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = || DecodeError { word };
+    let opcode = word & 0x7F;
+    let rd = reg(word >> 7);
+    let rs1 = reg(word >> 15);
+    let rs2 = reg(word >> 20);
+    let funct3 = (word >> 12) & 0x7;
+    let funct7 = word >> 25;
+
+    let instr = match opcode {
+        0b011_0111 => Instr::Lui {
+            rd,
+            imm: word & 0xFFFF_F000,
+        },
+        0b001_0111 => Instr::Auipc {
+            rd,
+            imm: word & 0xFFFF_F000,
+        },
+        0b110_1111 => Instr::Jal {
+            rd,
+            offset: j_imm(word),
+        },
+        0b110_0111 => {
+            if funct3 != 0 {
+                return Err(err());
+            }
+            Instr::Jalr {
+                rd,
+                rs1,
+                offset: i_imm(word),
+            }
+        }
+        0b110_0011 => {
+            let op = match funct3 {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return Err(err()),
+            };
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: b_imm(word),
+            }
+        }
+        0b000_0011 => {
+            let (width, signed) = match funct3 {
+                0b000 => (MemWidth::Byte, true),
+                0b001 => (MemWidth::Half, true),
+                0b010 => (MemWidth::Word, true),
+                0b100 => (MemWidth::Byte, false),
+                0b101 => (MemWidth::Half, false),
+                _ => return Err(err()),
+            };
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset: i_imm(word),
+            }
+        }
+        0b010_0011 => {
+            let width = match funct3 {
+                0b000 => MemWidth::Byte,
+                0b001 => MemWidth::Half,
+                0b010 => MemWidth::Word,
+                _ => return Err(err()),
+            };
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset: s_imm(word),
+            }
+        }
+        0b001_0011 => {
+            let imm = i_imm(word);
+            let op = match funct3 {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 => {
+                    if funct7 != 0 {
+                        return Err(err());
+                    }
+                    return Ok(Instr::OpImm {
+                        op: AluOp::Sll,
+                        rd,
+                        rs1,
+                        imm: imm & 0x1F,
+                    });
+                }
+                0b101 => {
+                    let op = match funct7 {
+                        0b000_0000 => AluOp::Srl,
+                        0b010_0000 => AluOp::Sra,
+                        _ => return Err(err()),
+                    };
+                    return Ok(Instr::OpImm {
+                        op,
+                        rd,
+                        rs1,
+                        imm: imm & 0x1F,
+                    });
+                }
+                _ => unreachable!(),
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        }
+        0b011_0011 => {
+            let op = match (funct7, funct3) {
+                (0b000_0000, 0b000) => AluOp::Add,
+                (0b010_0000, 0b000) => AluOp::Sub,
+                (0b000_0000, 0b001) => AluOp::Sll,
+                (0b000_0000, 0b010) => AluOp::Slt,
+                (0b000_0000, 0b011) => AluOp::Sltu,
+                (0b000_0000, 0b100) => AluOp::Xor,
+                (0b000_0000, 0b101) => AluOp::Srl,
+                (0b010_0000, 0b101) => AluOp::Sra,
+                (0b000_0000, 0b110) => AluOp::Or,
+                (0b000_0000, 0b111) => AluOp::And,
+                (0b000_0001, 0b000) => AluOp::Mul,
+                (0b000_0001, 0b001) => AluOp::Mulh,
+                (0b000_0001, 0b010) => AluOp::Mulhsu,
+                (0b000_0001, 0b011) => AluOp::Mulhu,
+                (0b000_0001, 0b100) => AluOp::Div,
+                (0b000_0001, 0b101) => AluOp::Divu,
+                (0b000_0001, 0b110) => AluOp::Rem,
+                (0b000_0001, 0b111) => AluOp::Remu,
+                _ => return Err(err()),
+            };
+            Instr::Op { op, rd, rs1, rs2 }
+        }
+        0b000_1111 => Instr::Fence,
+        0b111_0011 => match funct3 {
+            0b000 => match word >> 20 {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                _ => return Err(err()),
+            },
+            _ => {
+                let op = match funct3 & 0b011 {
+                    0b001 => CsrOp::ReadWrite,
+                    0b010 => CsrOp::ReadSet,
+                    0b011 => CsrOp::ReadClear,
+                    _ => return Err(err()),
+                };
+                Instr::Csr {
+                    op,
+                    rd,
+                    rs1,
+                    csr: (word >> 20) as u16,
+                    imm_form: funct3 & 0b100 != 0,
+                }
+            }
+        },
+        OPCODE_AMO => {
+            if funct3 != 0b010 {
+                return Err(err());
+            }
+            let funct5 = funct7 >> 2;
+            let op = match funct5 {
+                0b00000 => AmoOp::Add,
+                0b00001 => AmoOp::Swap,
+                0b00010 => AmoOp::Lr,
+                0b00011 => AmoOp::Sc,
+                0b00100 => AmoOp::Xor,
+                0b01000 => AmoOp::Or,
+                0b01100 => AmoOp::And,
+                0b10000 => AmoOp::Min,
+                0b10100 => AmoOp::Max,
+                0b11000 => AmoOp::Minu,
+                0b11100 => AmoOp::Maxu,
+                FUNCT5_LRWAIT => AmoOp::LrWait,
+                FUNCT5_SCWAIT => AmoOp::ScWait,
+                FUNCT5_MWAIT => AmoOp::MWait,
+                _ => return Err(err()),
+            };
+            if matches!(op, AmoOp::Lr | AmoOp::LrWait) && rs2.index() != 0 {
+                return Err(err());
+            }
+            Instr::Amo { op, rd, rs1, rs2 }
+        }
+        _ => return Err(err()),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn immediate_sign_extension() {
+        // addi a0, a0, -1
+        let w = encode(&Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: -1,
+        });
+        assert_eq!(
+            decode(w).unwrap(),
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: -1
+            }
+        );
+    }
+
+    #[test]
+    fn negative_branch_offsets_round_trip() {
+        for offset in [-4096, -2, 0, 2, 4094] {
+            let i = Instr::Branch {
+                op: BranchOp::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn negative_jal_offsets_round_trip() {
+        for offset in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
+            let i = Instr::Jal { rd: Reg::RA, offset };
+            assert_eq!(decode(encode(&i)).unwrap(), i, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn store_offsets_round_trip() {
+        for offset in [-2048, -1, 0, 1, 2047] {
+            let i = Instr::Store {
+                width: MemWidth::Word,
+                rs2: Reg::A0,
+                rs1: Reg::SP,
+                offset,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        assert!(decode(0x0000_0000).is_err()); // all zeros is defined illegal
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_707F).is_err()); // bad funct3 combos
+    }
+
+    #[test]
+    fn custom_instructions_decode() {
+        let lrwait = Instr::Amo {
+            op: AmoOp::LrWait,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::ZERO,
+        };
+        assert_eq!(decode(encode(&lrwait)).unwrap(), lrwait);
+        let mwait = Instr::Amo {
+            op: AmoOp::MWait,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(decode(encode(&mwait)).unwrap(), mwait);
+    }
+
+    #[test]
+    fn csr_forms_round_trip() {
+        for (op, imm_form) in [
+            (CsrOp::ReadWrite, false),
+            (CsrOp::ReadSet, false),
+            (CsrOp::ReadClear, true),
+            (CsrOp::ReadWrite, true),
+        ] {
+            let i = Instr::Csr {
+                op,
+                rd: Reg::A0,
+                rs1: Reg::T0,
+                csr: 0xF14,
+                imm_form,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn lr_with_nonzero_rs2_rejected() {
+        // Hand-build an lr.w with rs2 != 0: funct5=00010, rs2=1.
+        let word = (0b00010 << 27) | (1 << 20) | (2 << 15) | (0b010 << 12) | (3 << 7) | OPCODE_AMO;
+        assert!(decode(word).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Instruction disassembler (decoded form → assembly text).
+
+use crate::instr::{AluOp, AmoOp, BranchOp, CsrOp, Instr, MemWidth};
+
+fn alu_name(op: AluOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (AluOp::Add, false) => "add",
+        (AluOp::Add, true) => "addi",
+        (AluOp::Sub, _) => "sub",
+        (AluOp::Sll, false) => "sll",
+        (AluOp::Sll, true) => "slli",
+        (AluOp::Slt, false) => "slt",
+        (AluOp::Slt, true) => "slti",
+        (AluOp::Sltu, false) => "sltu",
+        (AluOp::Sltu, true) => "sltiu",
+        (AluOp::Xor, false) => "xor",
+        (AluOp::Xor, true) => "xori",
+        (AluOp::Srl, false) => "srl",
+        (AluOp::Srl, true) => "srli",
+        (AluOp::Sra, false) => "sra",
+        (AluOp::Sra, true) => "srai",
+        (AluOp::Or, false) => "or",
+        (AluOp::Or, true) => "ori",
+        (AluOp::And, false) => "and",
+        (AluOp::And, true) => "andi",
+        (AluOp::Mul, _) => "mul",
+        (AluOp::Mulh, _) => "mulh",
+        (AluOp::Mulhsu, _) => "mulhsu",
+        (AluOp::Mulhu, _) => "mulhu",
+        (AluOp::Div, _) => "div",
+        (AluOp::Divu, _) => "divu",
+        (AluOp::Rem, _) => "rem",
+        (AluOp::Remu, _) => "remu",
+    }
+}
+
+fn branch_name(op: BranchOp) -> &'static str {
+    match op {
+        BranchOp::Eq => "beq",
+        BranchOp::Ne => "bne",
+        BranchOp::Lt => "blt",
+        BranchOp::Ge => "bge",
+        BranchOp::Ltu => "bltu",
+        BranchOp::Geu => "bgeu",
+    }
+}
+
+fn amo_name(op: AmoOp) -> &'static str {
+    match op {
+        AmoOp::Lr => "lr.w",
+        AmoOp::Sc => "sc.w",
+        AmoOp::Swap => "amoswap.w",
+        AmoOp::Add => "amoadd.w",
+        AmoOp::Xor => "amoxor.w",
+        AmoOp::And => "amoand.w",
+        AmoOp::Or => "amoor.w",
+        AmoOp::Min => "amomin.w",
+        AmoOp::Max => "amomax.w",
+        AmoOp::Minu => "amominu.w",
+        AmoOp::Maxu => "amomaxu.w",
+        AmoOp::LrWait => "lrwait.w",
+        AmoOp::ScWait => "scwait.w",
+        AmoOp::MWait => "mwait.w",
+    }
+}
+
+/// Renders a decoded instruction as canonical assembly text.
+///
+/// ```
+/// use lrscwait_isa::{disasm, AmoOp, Instr, Reg};
+/// let i = Instr::Amo { op: AmoOp::MWait, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+/// assert_eq!(disasm(&i), "mwait.w a0, a2, (a1)");
+/// ```
+#[must_use]
+pub fn disasm(instr: &Instr) -> String {
+    match *instr {
+        Instr::Lui { rd, imm } => format!("lui {rd}, {:#x}", imm >> 12),
+        Instr::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", imm >> 12),
+        Instr::Jal { rd, offset } => format!("jal {rd}, {offset}"),
+        Instr::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
+        Instr::Branch { op, rs1, rs2, offset } => {
+            format!("{} {rs1}, {rs2}, {offset}", branch_name(op))
+        }
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let name = match (width, signed) {
+                (MemWidth::Byte, true) => "lb",
+                (MemWidth::Half, true) => "lh",
+                (MemWidth::Word, _) => "lw",
+                (MemWidth::Byte, false) => "lbu",
+                (MemWidth::Half, false) => "lhu",
+            };
+            format!("{name} {rd}, {offset}({rs1})")
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let name = match width {
+                MemWidth::Byte => "sb",
+                MemWidth::Half => "sh",
+                MemWidth::Word => "sw",
+            };
+            format!("{name} {rs2}, {offset}({rs1})")
+        }
+        Instr::OpImm { op, rd, rs1, imm } => format!("{} {rd}, {rs1}, {imm}", alu_name(op, true)),
+        Instr::Op { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", alu_name(op, false)),
+        Instr::Fence => "fence".to_string(),
+        Instr::Ecall => "ecall".to_string(),
+        Instr::Ebreak => "ebreak".to_string(),
+        Instr::Csr {
+            op,
+            rd,
+            rs1,
+            csr,
+            imm_form,
+        } => {
+            let base = match op {
+                CsrOp::ReadWrite => "csrrw",
+                CsrOp::ReadSet => "csrrs",
+                CsrOp::ReadClear => "csrrc",
+            };
+            let csr_txt = crate::Csr::from_address(csr)
+                .map_or_else(|| format!("{csr:#x}"), |c| c.name().to_string());
+            if imm_form {
+                format!("{base}i {rd}, {csr_txt}, {}", rs1.index())
+            } else {
+                format!("{base} {rd}, {csr_txt}, {rs1}")
+            }
+        }
+        Instr::Amo { op, rd, rs1, rs2 } => match op {
+            AmoOp::Lr | AmoOp::LrWait => format!("{} {rd}, ({rs1})", amo_name(op)),
+            _ => format!("{} {rd}, {rs2}, ({rs1})", amo_name(op)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Reg, Csr};
+
+    #[test]
+    fn representative_forms() {
+        assert_eq!(disasm(&Instr::nop()), "addi zero, zero, 0");
+        assert_eq!(
+            disasm(&Instr::Lui {
+                rd: Reg::A0,
+                imm: 0x1234_5000
+            }),
+            "lui a0, 0x12345"
+        );
+        assert_eq!(
+            disasm(&Instr::Amo {
+                op: AmoOp::LrWait,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::ZERO
+            }),
+            "lrwait.w a0, (a1)"
+        );
+        assert_eq!(
+            disasm(&Instr::Csr {
+                op: CsrOp::ReadSet,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                csr: Csr::MHartId.address(),
+                imm_form: false
+            }),
+            "csrrs a0, mhartid, zero"
+        );
+    }
+
+    #[test]
+    fn never_empty() {
+        assert!(!disasm(&Instr::Fence).is_empty());
+        assert!(!disasm(&Instr::Ecall).is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Binary instruction encoding (decoded form → 32-bit word).
+
+use crate::instr::{AluOp, AmoOp, BranchOp, CsrOp, Instr, MemWidth};
+use crate::{FUNCT5_LRWAIT, FUNCT5_MWAIT, FUNCT5_SCWAIT, OPCODE_AMO};
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+}
+
+fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | opcode
+}
+
+fn u_type(imm: u32, rd: u32, opcode: u32) -> u32 {
+    (imm & 0xFFFF_F000) | (rd << 7) | opcode
+}
+
+fn j_type(offset: i32, rd: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Eq => 0b000,
+        BranchOp::Ne => 0b001,
+        BranchOp::Lt => 0b100,
+        BranchOp::Ge => 0b101,
+        BranchOp::Ltu => 0b110,
+        BranchOp::Geu => 0b111,
+    }
+}
+
+fn amo_funct5(op: AmoOp) -> u32 {
+    match op {
+        AmoOp::Add => 0b00000,
+        AmoOp::Swap => 0b00001,
+        AmoOp::Lr => 0b00010,
+        AmoOp::Sc => 0b00011,
+        AmoOp::Xor => 0b00100,
+        AmoOp::Or => 0b01000,
+        AmoOp::And => 0b01100,
+        AmoOp::Min => 0b10000,
+        AmoOp::Max => 0b10100,
+        AmoOp::Minu => 0b11000,
+        AmoOp::Maxu => 0b11100,
+        AmoOp::LrWait => FUNCT5_LRWAIT,
+        AmoOp::ScWait => FUNCT5_SCWAIT,
+        AmoOp::MWait => FUNCT5_MWAIT,
+    }
+}
+
+/// Encodes a decoded instruction into its 32-bit binary form.
+///
+/// Every value produced by [`crate::decode`] round-trips; see the crate-level
+/// example.
+///
+/// # Panics
+///
+/// Panics if an immediate is out of range for its encoding (e.g. a branch
+/// offset beyond ±4 KiB or a misaligned jump target). The assembler validates
+/// ranges before calling this.
+#[must_use]
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Lui { rd, imm } => {
+            assert_eq!(imm & 0xFFF, 0, "lui immediate must have low 12 bits clear");
+            u_type(imm, rd.index().into(), 0b011_0111)
+        }
+        Instr::Auipc { rd, imm } => {
+            assert_eq!(imm & 0xFFF, 0, "auipc immediate must have low 12 bits clear");
+            u_type(imm, rd.index().into(), 0b001_0111)
+        }
+        Instr::Jal { rd, offset } => {
+            assert!(
+                (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+                "jal offset {offset} out of range or misaligned"
+            );
+            j_type(offset, rd.index().into(), 0b110_1111)
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            assert!((-2048..2048).contains(&offset), "jalr offset {offset} out of range");
+            i_type(offset, rs1.index().into(), 0b000, rd.index().into(), 0b110_0111)
+        }
+        Instr::Branch { op, rs1, rs2, offset } => {
+            assert!(
+                (-4096..4096).contains(&offset) && offset % 2 == 0,
+                "branch offset {offset} out of range or misaligned"
+            );
+            b_type(
+                offset,
+                rs2.index().into(),
+                rs1.index().into(),
+                branch_funct3(op),
+                0b110_0011,
+            )
+        }
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            assert!((-2048..2048).contains(&offset), "load offset {offset} out of range");
+            let funct3 = match (width, signed) {
+                (MemWidth::Byte, true) => 0b000,
+                (MemWidth::Half, true) => 0b001,
+                (MemWidth::Word, _) => 0b010,
+                (MemWidth::Byte, false) => 0b100,
+                (MemWidth::Half, false) => 0b101,
+            };
+            i_type(offset, rs1.index().into(), funct3, rd.index().into(), 0b000_0011)
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            assert!((-2048..2048).contains(&offset), "store offset {offset} out of range");
+            let funct3 = match width {
+                MemWidth::Byte => 0b000,
+                MemWidth::Half => 0b001,
+                MemWidth::Word => 0b010,
+            };
+            s_type(offset, rs2.index().into(), rs1.index().into(), funct3, 0b010_0011)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let (funct3, enc_imm) = match op {
+                AluOp::Add => (0b000, imm),
+                AluOp::Slt => (0b010, imm),
+                AluOp::Sltu => (0b011, imm),
+                AluOp::Xor => (0b100, imm),
+                AluOp::Or => (0b110, imm),
+                AluOp::And => (0b111, imm),
+                AluOp::Sll => {
+                    assert!((0..32).contains(&imm), "slli shamt {imm} out of range");
+                    (0b001, imm)
+                }
+                AluOp::Srl => {
+                    assert!((0..32).contains(&imm), "srli shamt {imm} out of range");
+                    (0b101, imm)
+                }
+                AluOp::Sra => {
+                    assert!((0..32).contains(&imm), "srai shamt {imm} out of range");
+                    (0b101, imm | 0x400)
+                }
+                other => panic!("{other:?} has no immediate form"),
+            };
+            if !matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                assert!((-2048..2048).contains(&imm), "immediate {imm} out of range");
+            }
+            i_type(enc_imm, rs1.index().into(), funct3, rd.index().into(), 0b001_0011)
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (funct7, funct3) = match op {
+                AluOp::Add => (0b000_0000, 0b000),
+                AluOp::Sub => (0b010_0000, 0b000),
+                AluOp::Sll => (0b000_0000, 0b001),
+                AluOp::Slt => (0b000_0000, 0b010),
+                AluOp::Sltu => (0b000_0000, 0b011),
+                AluOp::Xor => (0b000_0000, 0b100),
+                AluOp::Srl => (0b000_0000, 0b101),
+                AluOp::Sra => (0b010_0000, 0b101),
+                AluOp::Or => (0b000_0000, 0b110),
+                AluOp::And => (0b000_0000, 0b111),
+                AluOp::Mul => (0b000_0001, 0b000),
+                AluOp::Mulh => (0b000_0001, 0b001),
+                AluOp::Mulhsu => (0b000_0001, 0b010),
+                AluOp::Mulhu => (0b000_0001, 0b011),
+                AluOp::Div => (0b000_0001, 0b100),
+                AluOp::Divu => (0b000_0001, 0b101),
+                AluOp::Rem => (0b000_0001, 0b110),
+                AluOp::Remu => (0b000_0001, 0b111),
+            };
+            r_type(
+                funct7,
+                rs2.index().into(),
+                rs1.index().into(),
+                funct3,
+                rd.index().into(),
+                0b011_0011,
+            )
+        }
+        Instr::Fence => i_type(0, 0, 0b000, 0, 0b000_1111),
+        Instr::Ecall => i_type(0, 0, 0b000, 0, 0b111_0011),
+        Instr::Ebreak => i_type(1, 0, 0b000, 0, 0b111_0011),
+        Instr::Csr {
+            op,
+            rd,
+            rs1,
+            csr,
+            imm_form,
+        } => {
+            let base = match op {
+                CsrOp::ReadWrite => 0b001,
+                CsrOp::ReadSet => 0b010,
+                CsrOp::ReadClear => 0b011,
+            };
+            let funct3 = if imm_form { base | 0b100 } else { base };
+            i_type(
+                csr as i32,
+                rs1.index().into(),
+                funct3,
+                rd.index().into(),
+                0b111_0011,
+            )
+        }
+        Instr::Amo { op, rd, rs1, rs2 } => {
+            if matches!(op, AmoOp::Lr | AmoOp::LrWait) {
+                assert_eq!(rs2.index(), 0, "lr/lrwait must encode rs2 = x0");
+            }
+            r_type(
+                amo_funct5(op) << 2, // aq/rl bits zero
+                rs2.index().into(),
+                rs1.index().into(),
+                0b010,
+                rd.index().into(),
+                OPCODE_AMO,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn known_encodings_match_spec() {
+        // addi x1, x2, 3  => imm=3 rs1=2 f3=0 rd=1 op=0x13
+        let w = encode(&Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::RA,
+            rs1: Reg::SP,
+            imm: 3,
+        });
+        assert_eq!(w, 0x0031_0093);
+        // add x3, x4, x5
+        let w = encode(&Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::GP,
+            rs1: Reg::TP,
+            rs2: Reg::T0,
+        });
+        assert_eq!(w, 0x0052_01B3);
+        // lw x10, 8(x11)
+        let w = encode(&Instr::Load {
+            width: MemWidth::Word,
+            signed: true,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 8,
+        });
+        assert_eq!(w, 0x0085_A503);
+        // ecall / ebreak
+        assert_eq!(encode(&Instr::Ecall), 0x0000_0073);
+        assert_eq!(encode(&Instr::Ebreak), 0x0010_0073);
+    }
+
+    #[test]
+    fn amo_add_matches_spec() {
+        // amoadd.w a0, a1, (a2): funct5=0 rs2=a1 rs1=a2 f3=010 rd=a0 op=0x2F
+        let w = encode(&Instr::Amo {
+            op: AmoOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A2,
+            rs2: Reg::A1,
+        });
+        assert_eq!(w, 0x00B6_252F);
+    }
+
+    #[test]
+    fn custom_funct5_are_distinct_from_rv32a() {
+        let standard = [
+            0b00000, 0b00001, 0b00010, 0b00011, 0b00100, 0b01000, 0b01100, 0b10000, 0b10100,
+            0b11000, 0b11100,
+        ];
+        for f5 in [FUNCT5_LRWAIT, FUNCT5_SCWAIT, FUNCT5_MWAIT] {
+            assert!(!standard.contains(&f5), "funct5 {f5:#07b} collides with RV32A");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn branch_offset_validated() {
+        let _ = encode(&Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 5000,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rs2 = x0")]
+    fn lrwait_requires_zero_rs2() {
+        let _ = encode(&Instr::Amo {
+            op: AmoOp::LrWait,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests: every encodable instruction round-trips through
+//! encode → decode, and decode never panics on arbitrary words.
+
+use lrscwait_isa::{decode, encode, AluOp, AmoOp, BranchOp, CsrOp, Instr, MemWidth, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_alu_rr() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn any_alu_imm() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn any_shift() -> impl Strategy<Value = AluOp> {
+    prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)]
+}
+
+fn any_branch() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ]
+}
+
+fn any_amo() -> impl Strategy<Value = AmoOp> {
+    prop_oneof![
+        Just(AmoOp::Lr),
+        Just(AmoOp::Sc),
+        Just(AmoOp::Swap),
+        Just(AmoOp::Add),
+        Just(AmoOp::Xor),
+        Just(AmoOp::And),
+        Just(AmoOp::Or),
+        Just(AmoOp::Min),
+        Just(AmoOp::Max),
+        Just(AmoOp::Minu),
+        Just(AmoOp::Maxu),
+        Just(AmoOp::LrWait),
+        Just(AmoOp::ScWait),
+        Just(AmoOp::MWait),
+    ]
+}
+
+fn any_width() -> impl Strategy<Value = (MemWidth, bool)> {
+    prop_oneof![
+        Just((MemWidth::Byte, true)),
+        Just((MemWidth::Half, true)),
+        Just((MemWidth::Word, true)),
+        Just((MemWidth::Byte, false)),
+        Just((MemWidth::Half, false)),
+    ]
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::Lui {
+            rd,
+            imm: imm & 0xFFFF_F000
+        }),
+        (any_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::Auipc {
+            rd,
+            imm: imm & 0xFFFF_F000
+        }),
+        (any_reg(), -(1i32 << 20)..(1 << 20)).prop_map(|(rd, off)| Instr::Jal {
+            rd,
+            offset: off & !1
+        }),
+        (any_reg(), any_reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (any_branch(), any_reg(), any_reg(), -4096i32..4096).prop_map(|(op, rs1, rs2, off)| {
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: off & !1,
+            }
+        }),
+        (any_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |((width, signed), rd, rs1, offset)| Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset
+            }
+        ),
+        (any_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |((width, _), rs2, rs1, offset)| Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset
+            }
+        ),
+        (any_alu_imm(), any_reg(), any_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, imm)| {
+            Instr::OpImm { op, rd, rs1, imm }
+        }),
+        (any_shift(), any_reg(), any_reg(), 0i32..32).prop_map(|(op, rd, rs1, imm)| {
+            Instr::OpImm { op, rd, rs1, imm }
+        }),
+        (any_alu_rr(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        Just(Instr::Fence),
+        Just(Instr::Ecall),
+        Just(Instr::Ebreak),
+        (
+            prop_oneof![
+                Just(CsrOp::ReadWrite),
+                Just(CsrOp::ReadSet),
+                Just(CsrOp::ReadClear)
+            ],
+            any_reg(),
+            any_reg(),
+            any::<u16>().prop_map(|c| c & 0xFFF),
+            any::<bool>()
+        )
+            .prop_map(|(op, rd, rs1, csr, imm_form)| Instr::Csr {
+                op,
+                rd,
+                rs1,
+                csr,
+                imm_form
+            }),
+        (any_amo(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Amo {
+            op,
+            rd,
+            rs1,
+            rs2: if matches!(op, AmoOp::Lr | AmoOp::LrWait) {
+                Reg::ZERO
+            } else {
+                rs2
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(instr in any_instr()) {
+        let word = encode(&instr);
+        let back = decode(word).expect("encoded instruction must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_encode_fixpoint(word in any::<u32>()) {
+        // Whenever a word decodes, re-encoding the decoded form and decoding
+        // again yields the same instruction (canonical form is stable).
+        if let Ok(instr) = decode(word) {
+            let reencoded = encode(&instr);
+            prop_assert_eq!(decode(reencoded).unwrap(), instr);
+        }
+    }
+
+    #[test]
+    fn disasm_never_empty(instr in any_instr()) {
+        prop_assert!(!lrscwait_isa::disasm(&instr).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmark kernels for the LRSCwait evaluation — every workload from the
+//! paper's Section V, written in real RV32IMA + Xlrscwait assembly and
+//! assembled at run time with workload parameters injected as constants.
+//!
+//! | Paper experiment | Kernel |
+//! |---|---|
+//! | Fig. 3 / Fig. 4 / Table II — histogram under contention | [`HistogramKernel`] |
+//! | Fig. 5 — matmul with atomics interference | [`MatmulKernel`] |
+//! | Fig. 6 — concurrent queue throughput | [`QueueKernel`] |
+//!
+//! All kernels use the MMIO harness (barrier, op counter, region markers)
+//! so measured regions exclude setup, exactly as bare-metal MemPool
+//! benchmarks do.
+//!
+//! # Example
+//!
+//! ```
+//! use lrscwait_core::SyncArch;
+//! use lrscwait_kernels::{HistImpl, HistogramKernel};
+//! use lrscwait_sim::{Machine, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = HistogramKernel::new(HistImpl::AmoAdd, 16, 8, 4);
+//! let program = kernel.program();
+//! let mut machine = Machine::new(SimConfig::small(4, SyncArch::Lrsc), &program)?;
+//! machine.run()?;
+//! assert_eq!(machine.stats().total_ops(), kernel.expected_total());
+//! # Ok(())
+//! # }
+//! ```
+
+mod histogram;
+mod matmul;
+mod queue;
+
+pub use histogram::{HistImpl, HistogramKernel};
+pub use matmul::{MatmulKernel, PollerKind};
+pub use queue::{QueueImpl, QueueKernel};

@@ -1,0 +1,171 @@
+//! Event-based energy model (paper Table II).
+//!
+//! The paper measures post-layout power (GF22FDX, TT/0.80 V/25 °C, 600 MHz)
+//! of the histogram benchmark at maximum contention and reports energy per
+//! atomic operation. We substitute an event-energy model: the simulator
+//! counts architectural events (instructions, active/sleeping core cycles,
+//! network hops, bank accesses) and the model weights them with per-event
+//! energies typical of a 22 nm low-power design. Absolute picojoules
+//! depend on calibration; the *ratios* between synchronization variants —
+//! the paper's headline (+613% for LRSC, +780% for the lock, −77% for the
+//! single-purpose AMO) — are driven by the event counts the simulator
+//! measures directly (retry traffic, polling cycles, sleeping cores).
+
+use lrscwait_sim::SimStats;
+
+/// Per-event energies in picojoules, plus the clock for power conversion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyParams {
+    /// Static + clock-tree energy of the whole system per cycle. The
+    /// paper's power spread is narrow (169–188 mW across all variants),
+    /// showing consumption is dominated by this term — energy per op then
+    /// tracks *runtime* per op, which the simulator measures directly.
+    pub static_pj_per_cycle: f64,
+    /// Energy per retired instruction.
+    pub instr_pj: f64,
+    /// Energy per active core cycle (fetch/clock overhead).
+    pub active_cycle_pj: f64,
+    /// Energy per sleeping core cycle (clock-gated, waiting on memory).
+    pub sleep_cycle_pj: f64,
+    /// Energy per cycle parked at the barrier.
+    pub barrier_cycle_pj: f64,
+    /// Energy per network hop traversal (either virtual network).
+    pub hop_pj: f64,
+    /// Energy per message injection (serialization cost).
+    pub inject_pj: f64,
+    /// Energy per bank request processed (SRAM access + adapter logic).
+    pub bank_pj: f64,
+    /// Clock frequency in Hz (600 MHz in the paper).
+    pub clock_hz: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        EnergyParams {
+            static_pj_per_cycle: 250.0, // ~150 mW at 600 MHz for 256 cores
+            instr_pj: 0.5,
+            active_cycle_pj: 0.3,
+            sleep_cycle_pj: 0.05,
+            barrier_cycle_pj: 0.05,
+            hop_pj: 1.5,
+            inject_pj: 0.5,
+            bank_pj: 2.5,
+            clock_hz: 600.0e6,
+        }
+    }
+}
+
+/// Energy accounting for one run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy in picojoules.
+    pub total_pj: f64,
+    /// Energy per counted benchmark operation.
+    pub pj_per_op: f64,
+    /// Average power in milliwatts at the configured clock.
+    pub power_mw: f64,
+    /// Core-side energy (instructions + cycles).
+    pub core_pj: f64,
+    /// Network energy (injections + hops).
+    pub network_pj: f64,
+    /// Bank/memory energy.
+    pub bank_pj: f64,
+}
+
+impl EnergyParams {
+    /// Evaluates the model over a finished run.
+    #[must_use]
+    pub fn evaluate(&self, stats: &SimStats, cycles: u64) -> EnergyReport {
+        let mut instret = 0.0;
+        let mut active = 0.0;
+        let mut sleep = 0.0;
+        let mut barrier = 0.0;
+        for c in &stats.cores {
+            instret += c.instret as f64;
+            active += c.active_cycles as f64;
+            sleep += c.sleep_cycles as f64;
+            barrier += c.barrier_cycles as f64;
+        }
+        let core_pj = instret * self.instr_pj
+            + active * self.active_cycle_pj
+            + sleep * self.sleep_cycle_pj
+            + barrier * self.barrier_cycle_pj;
+        let injected = (stats.req_network.injected + stats.resp_network.injected) as f64;
+        let hops = (stats.req_network.hops
+            + stats.resp_network.hops
+            + stats.req_network.delivered
+            + stats.resp_network.delivered) as f64;
+        let network_pj = injected * self.inject_pj + hops * self.hop_pj;
+        let bank_pj = stats.adapters.requests as f64 * self.bank_pj;
+        let total_pj =
+            core_pj + network_pj + bank_pj + cycles as f64 * self.static_pj_per_cycle;
+        let ops = stats.total_ops().max(1) as f64;
+        let seconds = cycles as f64 / self.clock_hz;
+        EnergyReport {
+            total_pj,
+            pj_per_op: total_pj / ops,
+            power_mw: if seconds > 0.0 {
+                total_pj * 1e-12 / seconds * 1e3
+            } else {
+                0.0
+            },
+            core_pj,
+            network_pj,
+            bank_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrscwait_sim::CoreStats;
+
+    fn stats_with(instret: u64, active: u64, sleep: u64, ops: u64) -> SimStats {
+        let mut s = SimStats::default();
+        s.cores.push(CoreStats {
+            instret,
+            active_cycles: active,
+            sleep_cycles: sleep,
+            ops,
+            ..CoreStats::default()
+        });
+        s
+    }
+
+    #[test]
+    fn energy_accumulates_components() {
+        let p = EnergyParams::default();
+        let stats = stats_with(100, 100, 0, 10);
+        let report = p.evaluate(&stats, 100);
+        let expected_core = 100.0 * p.instr_pj + 100.0 * p.active_cycle_pj;
+        assert!((report.core_pj - expected_core).abs() < 1e-9);
+        assert!((report.pj_per_op - report.total_pj / 10.0).abs() < 1e-9);
+        assert!(report.power_mw > 0.0);
+    }
+
+    #[test]
+    fn sleeping_is_cheaper_than_spinning() {
+        let p = EnergyParams::default();
+        // Same duration; one run slept, the other spun actively.
+        let sleeper = p.evaluate(&stats_with(1000, 100, 10_000, 100), 10_100);
+        let spinner = p.evaluate(&stats_with(10_000, 10_100, 0, 100), 10_100);
+        assert!(
+            spinner.pj_per_op > sleeper.pj_per_op,
+            "polling must cost more: {} vs {}",
+            spinner.pj_per_op,
+            sleeper.pj_per_op
+        );
+        // The *dynamic* core energy gap is large even though static power
+        // dominates the totals (as in the paper's narrow mW spread).
+        assert!(spinner.core_pj > 3.0 * sleeper.core_pj);
+    }
+
+    #[test]
+    fn zero_ops_guarded() {
+        let p = EnergyParams::default();
+        let report = p.evaluate(&SimStats::default(), 0);
+        assert_eq!(report.total_pj, 0.0);
+        assert_eq!(report.power_mw, 0.0);
+    }
+}

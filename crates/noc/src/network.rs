@@ -1,0 +1,413 @@
+//! Generic backpressured store-and-forward network engine.
+//!
+//! A network is a set of [`NodeSpec`]-configured FIFO nodes. A message is
+//! injected with a [`Route`] (a short sequence of node ids) and traverses
+//! one node per `latency` cycles, subject to each node's service `rate`
+//! (messages per cycle) and queue `capacity`. When the next node's queue is
+//! full the message stays put and blocks everything behind it — strict
+//! head-of-line blocking, which is the mechanism that lets polling traffic
+//! degrade unrelated traffic (paper Fig. 5).
+//!
+//! Ordering guarantee: two messages injected in order with identical routes
+//! are delivered in order (every node is a FIFO). The Colibri protocol
+//! relies on this for its (bank → core) channels.
+
+use std::collections::VecDeque;
+
+/// Index of a node within a [`Network`].
+pub type NodeId = u32;
+
+/// Service parameters of one network node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Messages forwarded per cycle.
+    pub rate: u32,
+    /// Queue slots; a full queue backpressures upstream.
+    pub capacity: usize,
+    /// Cycles a message spends in this node before it may move on.
+    pub latency: u32,
+}
+
+impl NodeSpec {
+    /// Creates a spec, validating the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` or `capacity` is zero, or `latency` is zero
+    /// (zero-latency hops would allow same-cycle teleporting and break
+    /// determinism).
+    #[must_use]
+    pub fn new(rate: u32, capacity: usize, latency: u32) -> NodeSpec {
+        assert!(rate > 0, "node rate must be positive");
+        assert!(capacity > 0, "node capacity must be positive");
+        assert!(latency > 0, "node latency must be at least one cycle");
+        NodeSpec {
+            rate,
+            capacity,
+            latency,
+        }
+    }
+}
+
+/// A route of at most [`Route::MAX_HOPS`] nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    hops: [NodeId; Route::MAX_HOPS],
+    len: u8,
+}
+
+impl Route {
+    /// Maximum number of hops a route may have.
+    pub const MAX_HOPS: usize = 6;
+
+    /// Builds a route from a slice of node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hops` is empty or longer than [`Route::MAX_HOPS`].
+    #[must_use]
+    pub fn new(hops: &[NodeId]) -> Route {
+        assert!(!hops.is_empty(), "routes need at least one hop");
+        assert!(hops.len() <= Route::MAX_HOPS, "route too long");
+        let mut array = [0; Route::MAX_HOPS];
+        array[..hops.len()].copy_from_slice(hops);
+        Route {
+            hops: array,
+            len: hops.len() as u8,
+        }
+    }
+
+    /// Number of hops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false (routes have ≥ 1 hop).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node ids of this route.
+    #[must_use]
+    pub fn hops(&self) -> &[NodeId] {
+        &self.hops[..self.len as usize]
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Flit<P> {
+    payload: P,
+    route: Route,
+    hop: u8,
+    ready_at: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Node<P> {
+    spec: NodeSpec,
+    queue: VecDeque<Flit<P>>,
+}
+
+/// Statistics of a network (for utilization reports and the energy model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages injected successfully.
+    pub injected: u64,
+    /// Injection attempts refused because the first node was full.
+    pub inject_stalls: u64,
+    /// Node-to-node hop traversals completed (energy-relevant).
+    pub hops: u64,
+    /// Messages delivered at the end of their route.
+    pub delivered: u64,
+    /// Forwarding attempts blocked by a full downstream queue.
+    pub hol_blocks: u64,
+}
+
+/// A backpressured store-and-forward network carrying payloads of type `P`.
+#[derive(Clone, Debug)]
+pub struct Network<P> {
+    nodes: Vec<Node<P>>,
+    /// Node ids with at least one queued flit (scan set for `advance`).
+    active: Vec<NodeId>,
+    active_flag: Vec<bool>,
+    stats: NetworkStats,
+}
+
+impl<P> Network<P> {
+    /// Creates a network with the given node specifications. Node ids are
+    /// indices into `specs`.
+    #[must_use]
+    pub fn new(specs: Vec<NodeSpec>) -> Network<P> {
+        let nodes = specs
+            .into_iter()
+            .map(|spec| Node {
+                spec,
+                queue: VecDeque::new(),
+            })
+            .collect::<Vec<_>>();
+        let n = nodes.len();
+        Network {
+            nodes,
+            active: Vec::with_capacity(n),
+            active_flag: vec![false; n],
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Total messages currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.active
+            .iter()
+            .map(|&id| self.nodes[id as usize].queue.len())
+            .sum()
+    }
+
+    fn mark_active(&mut self, id: NodeId) {
+        if !self.active_flag[id as usize] {
+            self.active_flag[id as usize] = true;
+            self.active.push(id);
+        }
+    }
+
+    /// Attempts to inject `payload` along `route` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back when the first node's queue is full — the
+    /// caller must stall and retry (backpressure reaches the source).
+    pub fn try_send(&mut self, route: Route, payload: P, now: u64) -> Result<(), P> {
+        let first = route.hops()[0];
+        let node = &mut self.nodes[first as usize];
+        if node.queue.len() >= node.spec.capacity {
+            self.stats.inject_stalls += 1;
+            return Err(payload);
+        }
+        let ready_at = now + u64::from(node.spec.latency);
+        node.queue.push_back(Flit {
+            payload,
+            route,
+            hop: 0,
+            ready_at,
+        });
+        self.stats.injected += 1;
+        self.mark_active(first);
+        Ok(())
+    }
+
+    /// Advances the network by one cycle, appending delivered payloads to
+    /// `out`.
+    ///
+    /// Nodes are processed in a sorted order *rotated by the cycle number*:
+    /// rotation provides round-robin fairness between producers competing
+    /// for a full downstream queue (e.g. remote ingress vs. local cores at
+    /// a saturated bank), which real fabrics implement with round-robin
+    /// arbiters. Without it, a retry storm can starve one producer forever.
+    pub fn advance(&mut self, now: u64, out: &mut Vec<P>) {
+        if self.active.is_empty() {
+            return;
+        }
+        self.active.sort_unstable();
+        let rotation = (now as usize) % self.active.len();
+        self.active.rotate_left(rotation);
+        let mut still_active: Vec<NodeId> = Vec::with_capacity(self.active.len());
+        let active = std::mem::take(&mut self.active);
+        for id in active {
+            self.active_flag[id as usize] = false;
+            let rate = self.nodes[id as usize].spec.rate;
+            let mut moved = 0;
+            while moved < rate {
+                let node = &mut self.nodes[id as usize];
+                let Some(front) = node.queue.front() else {
+                    break;
+                };
+                if front.ready_at > now {
+                    break; // strict FIFO: later flits wait behind it
+                }
+                let at_last_hop = usize::from(front.hop) + 1 == front.route.len();
+                if at_last_hop {
+                    let flit = node.queue.pop_front().expect("front exists");
+                    self.stats.delivered += 1;
+                    out.push(flit.payload);
+                } else {
+                    let next = front.route.hops()[usize::from(front.hop) + 1];
+                    let next_free = {
+                        let next_node = &self.nodes[next as usize];
+                        next_node.queue.len() < next_node.spec.capacity
+                    };
+                    if !next_free {
+                        self.stats.hol_blocks += 1;
+                        break; // head-of-line blocking
+                    }
+                    let mut flit = self.nodes[id as usize]
+                        .queue
+                        .pop_front()
+                        .expect("front exists");
+                    flit.hop += 1;
+                    flit.ready_at = now + u64::from(self.nodes[next as usize].spec.latency);
+                    self.nodes[next as usize].queue.push_back(flit);
+                    self.stats.hops += 1;
+                    self.mark_active(next);
+                }
+                moved += 1;
+            }
+            if !self.nodes[id as usize].queue.is_empty() {
+                still_active.push(id);
+            }
+        }
+        for id in still_active {
+            self.mark_active(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_node_net() -> Network<u32> {
+        Network::new(vec![NodeSpec::new(1, 2, 1)])
+    }
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut net = single_node_net();
+        let route = Route::new(&[0]);
+        net.try_send(route, 42, 0).unwrap();
+        let mut out = Vec::new();
+        net.advance(0, &mut out);
+        assert!(out.is_empty(), "latency 1: not ready at cycle 0");
+        net.advance(1, &mut out);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn rate_limits_throughput() {
+        let mut net = Network::<u32>::new(vec![NodeSpec::new(1, 8, 1)]);
+        let route = Route::new(&[0]);
+        for i in 0..4 {
+            net.try_send(route, i, 0).unwrap();
+        }
+        let mut out = Vec::new();
+        for cycle in 1..=4 {
+            let before = out.len();
+            net.advance(cycle, &mut out);
+            assert_eq!(out.len() - before, 1, "rate 1 delivers one per cycle");
+        }
+        assert_eq!(out, vec![0, 1, 2, 3], "FIFO order");
+    }
+
+    #[test]
+    fn capacity_backpressures_source() {
+        let mut net = single_node_net();
+        let route = Route::new(&[0]);
+        net.try_send(route, 1, 0).unwrap();
+        net.try_send(route, 2, 0).unwrap();
+        assert_eq!(net.try_send(route, 3, 0), Err(3), "queue of 2 is full");
+        assert_eq!(net.stats().inject_stalls, 1);
+    }
+
+    #[test]
+    fn two_hop_route_accumulates_latency() {
+        // Node 0 = downstream (processed first), node 1 = upstream.
+        let mut net = Network::<u32>::new(vec![
+            NodeSpec::new(4, 4, 2), // final hop, latency 2
+            NodeSpec::new(4, 4, 1), // first hop, latency 1
+        ]);
+        let route = Route::new(&[1, 0]);
+        net.try_send(route, 7, 0).unwrap();
+        let mut out = Vec::new();
+        // cycle 1: leaves node 1, enters node 0 with ready_at 3.
+        net.advance(1, &mut out);
+        assert!(out.is_empty());
+        net.advance(2, &mut out);
+        assert!(out.is_empty());
+        net.advance(3, &mut out);
+        assert_eq!(out, vec![7], "1 + 2 cycles of latency");
+        assert_eq!(net.stats().hops, 1);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn hol_blocking_stalls_upstream() {
+        // Downstream node with capacity 1 and rate 1; upstream feeds it.
+        let mut net = Network::<u32>::new(vec![
+            NodeSpec::new(1, 1, 1), // node 0: bottleneck
+            NodeSpec::new(4, 8, 1), // node 1: upstream
+        ]);
+        let route = Route::new(&[1, 0]);
+        for i in 0..4 {
+            net.try_send(route, i, 0).unwrap();
+        }
+        let mut out = Vec::new();
+        // Upstream can move only one flit into the bottleneck per cycle and
+        // only when it has space; deliveries are serialized.
+        for cycle in 1..=20 {
+            net.advance(cycle, &mut out);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(net.stats().hol_blocks > 0, "upstream must have blocked");
+    }
+
+    #[test]
+    fn per_route_fifo_preserved_under_load() {
+        let mut net = Network::<(u8, u32)>::new(vec![
+            NodeSpec::new(2, 4, 1),
+            NodeSpec::new(1, 2, 1),
+            NodeSpec::new(4, 16, 1),
+        ]);
+        let ra = Route::new(&[2, 1, 0]);
+        let rb = Route::new(&[2, 0]);
+        let mut now = 0;
+        let mut sent_a = 0;
+        let mut sent_b = 0;
+        let mut out = Vec::new();
+        while sent_a < 50 || sent_b < 50 {
+            if sent_a < 50 && net.try_send(ra, (0, sent_a), now).is_ok() {
+                sent_a += 1;
+            }
+            if sent_b < 50 && net.try_send(rb, (1, sent_b), now).is_ok() {
+                sent_b += 1;
+            }
+            now += 1;
+            net.advance(now, &mut out);
+        }
+        for _ in 0..200 {
+            now += 1;
+            net.advance(now, &mut out);
+        }
+        let a_seq: Vec<u32> = out.iter().filter(|(s, _)| *s == 0).map(|&(_, i)| i).collect();
+        let b_seq: Vec<u32> = out.iter().filter(|(s, _)| *s == 1).map(|&(_, i)| i).collect();
+        assert_eq!(a_seq, (0..50).collect::<Vec<_>>(), "route A FIFO");
+        assert_eq!(b_seq, (0..50).collect::<Vec<_>>(), "route B FIFO");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = NodeSpec::new(1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route too long")]
+    fn overlong_route_rejected() {
+        let _ = Route::new(&[0, 1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,393 @@
+//! MemPool-style hierarchical topology: tiles of cores and banks, groups of
+//! tiles, and a fully connected group level.
+//!
+//! Geometry (defaults mirror the 256-core MemPool configuration the paper
+//! evaluates): 4 cores + 16 banks per tile, 16 tiles per group, 4 groups.
+//! Zero-load round-trip latencies come out at ~2 cycles for tile-local
+//! accesses, ~7 for same-group remote and ~11 for cross-group remote —
+//! matching the flavor of MemPool's reported hierarchy.
+
+use crate::network::{Network, NodeId, NodeSpec, Route};
+
+/// Link/queue parameters for every node class of one virtual network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpecs {
+    /// Per-bank input queue (requests) — rate 1 models the single-ported
+    /// SPM bank. Unused by the response network.
+    pub bank: NodeSpec,
+    /// Per-tile remote ingress port.
+    pub ingress: NodeSpec,
+    /// Per-group router.
+    pub router: NodeSpec,
+    /// Per ordered group pair link.
+    pub xlink: NodeSpec,
+    /// Per-tile remote egress port.
+    pub egress: NodeSpec,
+    /// Per-tile local crossbar (responses within a tile).
+    pub local: NodeSpec,
+}
+
+impl Default for LinkSpecs {
+    fn default() -> LinkSpecs {
+        LinkSpecs {
+            bank: NodeSpec::new(1, 4, 1),
+            ingress: NodeSpec::new(4, 8, 1),
+            router: NodeSpec::new(8, 16, 1),
+            xlink: NodeSpec::new(4, 8, 2),
+            egress: NodeSpec::new(4, 8, 1),
+            local: NodeSpec::new(8, 16, 1),
+        }
+    }
+}
+
+/// Geometry of the manycore fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyConfig {
+    /// Total cores.
+    pub num_cores: usize,
+    /// Cores per tile.
+    pub cores_per_tile: usize,
+    /// Banks per tile.
+    pub banks_per_tile: usize,
+    /// Tiles per group.
+    pub tiles_per_group: usize,
+    /// Request-network link parameters.
+    pub request_links: LinkSpecs,
+    /// Response-network link parameters.
+    pub response_links: LinkSpecs,
+}
+
+impl TopologyConfig {
+    /// The paper's MemPool configuration: 256 cores, 64 tiles, 4 groups,
+    /// 1024 banks.
+    #[must_use]
+    pub fn mempool() -> TopologyConfig {
+        TopologyConfig {
+            num_cores: 256,
+            cores_per_tile: 4,
+            banks_per_tile: 16,
+            tiles_per_group: 16,
+            request_links: LinkSpecs::default(),
+            response_links: LinkSpecs::default(),
+        }
+    }
+
+    /// A small single-group configuration for tests (`num_cores` cores in
+    /// tiles of up to 4, 4 banks per core).
+    #[must_use]
+    pub fn small(num_cores: usize) -> TopologyConfig {
+        let cores_per_tile = if num_cores % 4 == 0 && num_cores >= 4 {
+            4
+        } else if num_cores % 2 == 0 && num_cores >= 2 {
+            2
+        } else {
+            1
+        };
+        TopologyConfig {
+            num_cores,
+            cores_per_tile,
+            banks_per_tile: 4 * cores_per_tile,
+            tiles_per_group: (num_cores / cores_per_tile).max(1),
+            request_links: LinkSpecs::default(),
+            response_links: LinkSpecs::default(),
+        }
+    }
+
+    /// Number of tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is not a multiple of `cores_per_tile`.
+    #[must_use]
+    pub fn num_tiles(&self) -> usize {
+        assert_eq!(self.num_cores % self.cores_per_tile, 0);
+        self.num_cores / self.cores_per_tile
+    }
+
+    /// Number of groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile count is not a multiple of `tiles_per_group`.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        let tiles = self.num_tiles();
+        assert_eq!(tiles % self.tiles_per_group, 0);
+        tiles / self.tiles_per_group
+    }
+
+    /// Total SPM banks.
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.num_tiles() * self.banks_per_tile
+    }
+}
+
+/// Node-id layout plus route computation for both virtual networks.
+#[derive(Clone, Debug)]
+pub struct MempoolTopology {
+    cfg: TopologyConfig,
+    tiles: usize,
+    groups: usize,
+    banks: usize,
+    // Request network bases (downstream-first allocation).
+    req_ingress_base: u32,
+    req_xlink_base: u32,
+    req_router_base: u32,
+    req_egress_base: u32,
+    // Response network bases.
+    resp_local_base: u32,
+    resp_ingress_base: u32,
+    resp_xlink_base: u32,
+    resp_router_base: u32,
+    resp_egress_base: u32,
+}
+
+impl MempoolTopology {
+    /// Lays out node ids for the given geometry.
+    #[must_use]
+    pub fn new(cfg: TopologyConfig) -> MempoolTopology {
+        let tiles = cfg.num_tiles();
+        let groups = cfg.num_groups();
+        let banks = cfg.num_banks();
+        // Request net: banks | ingress | xlinks | routers | egress.
+        let req_ingress_base = banks as u32;
+        let req_xlink_base = req_ingress_base + tiles as u32;
+        let req_router_base = req_xlink_base + (groups * groups) as u32;
+        let req_egress_base = req_router_base + groups as u32;
+        // Response net: local | ingress | xlinks | routers | egress.
+        let resp_local_base = 0;
+        let resp_ingress_base = resp_local_base + tiles as u32;
+        let resp_xlink_base = resp_ingress_base + tiles as u32;
+        let resp_router_base = resp_xlink_base + (groups * groups) as u32;
+        let resp_egress_base = resp_router_base + groups as u32;
+        MempoolTopology {
+            cfg,
+            tiles,
+            groups,
+            banks,
+            req_ingress_base,
+            req_xlink_base,
+            req_router_base,
+            req_egress_base,
+            resp_local_base,
+            resp_ingress_base,
+            resp_xlink_base,
+            resp_router_base,
+            resp_egress_base,
+        }
+    }
+
+    /// Geometry this topology was built from.
+    #[must_use]
+    pub fn config(&self) -> &TopologyConfig {
+        &self.cfg
+    }
+
+    /// Tile containing `core`.
+    #[must_use]
+    pub fn tile_of_core(&self, core: usize) -> usize {
+        core / self.cfg.cores_per_tile
+    }
+
+    /// Tile containing `bank`.
+    #[must_use]
+    pub fn tile_of_bank(&self, bank: usize) -> usize {
+        bank / self.cfg.banks_per_tile
+    }
+
+    /// Group containing `tile`.
+    #[must_use]
+    pub fn group_of_tile(&self, tile: usize) -> usize {
+        tile / self.cfg.tiles_per_group
+    }
+
+    /// Builds the request-side network (banks are the terminal nodes).
+    #[must_use]
+    pub fn build_request_network<P>(&self) -> Network<P> {
+        let l = self.cfg.request_links;
+        let mut specs = Vec::with_capacity(
+            self.banks + 2 * self.tiles + self.groups * self.groups + self.groups,
+        );
+        specs.extend(std::iter::repeat_n(l.bank, self.banks));
+        specs.extend(std::iter::repeat_n(l.ingress, self.tiles));
+        specs.extend(std::iter::repeat_n(l.xlink, self.groups * self.groups));
+        specs.extend(std::iter::repeat_n(l.router, self.groups));
+        specs.extend(std::iter::repeat_n(l.egress, self.tiles));
+        Network::new(specs)
+    }
+
+    /// Builds the response-side network (tile local / ingress nodes are the
+    /// terminal hops before cores).
+    #[must_use]
+    pub fn build_response_network<P>(&self) -> Network<P> {
+        let l = self.cfg.response_links;
+        let mut specs = Vec::with_capacity(
+            2 * self.tiles + self.groups * self.groups + self.groups + self.tiles,
+        );
+        specs.extend(std::iter::repeat_n(l.local, self.tiles));
+        specs.extend(std::iter::repeat_n(l.ingress, self.tiles));
+        specs.extend(std::iter::repeat_n(l.xlink, self.groups * self.groups));
+        specs.extend(std::iter::repeat_n(l.router, self.groups));
+        specs.extend(std::iter::repeat_n(l.egress, self.tiles));
+        Network::new(specs)
+    }
+
+    fn req_bank(&self, bank: usize) -> NodeId {
+        bank as NodeId
+    }
+
+    fn req_xlink(&self, from_group: usize, to_group: usize) -> NodeId {
+        self.req_xlink_base + (from_group * self.groups + to_group) as u32
+    }
+
+    /// Route of a request from `core` to `bank`.
+    #[must_use]
+    pub fn request_route(&self, core: usize, bank: usize) -> Route {
+        debug_assert!(core < self.cfg.num_cores && bank < self.banks);
+        let ts = self.tile_of_core(core);
+        let td = self.tile_of_bank(bank);
+        if ts == td {
+            return Route::new(&[self.req_bank(bank)]);
+        }
+        let gs = self.group_of_tile(ts);
+        let gd = self.group_of_tile(td);
+        let egress = self.req_egress_base + ts as u32;
+        let ingress = self.req_ingress_base + td as u32;
+        if gs == gd {
+            Route::new(&[
+                egress,
+                self.req_router_base + gs as u32,
+                ingress,
+                self.req_bank(bank),
+            ])
+        } else {
+            Route::new(&[
+                egress,
+                self.req_router_base + gs as u32,
+                self.req_xlink(gs, gd),
+                ingress,
+                self.req_bank(bank),
+            ])
+        }
+    }
+
+    /// Route of a response (or `SuccessorUpdate`) from `bank` to `core`.
+    #[must_use]
+    pub fn response_route(&self, bank: usize, core: usize) -> Route {
+        debug_assert!(core < self.cfg.num_cores && bank < self.banks);
+        let ts = self.tile_of_bank(bank);
+        let td = self.tile_of_core(core);
+        if ts == td {
+            return Route::new(&[self.resp_local_base + ts as u32]);
+        }
+        let gs = self.group_of_tile(ts);
+        let gd = self.group_of_tile(td);
+        let egress = self.resp_egress_base + ts as u32;
+        let ingress = self.resp_ingress_base + td as u32;
+        if gs == gd {
+            Route::new(&[egress, self.resp_router_base + gs as u32, ingress])
+        } else {
+            Route::new(&[
+                egress,
+                self.resp_router_base + gs as u32,
+                self.resp_xlink_base + (gs * self.groups + gd) as u32,
+                ingress,
+            ])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mempool_geometry() {
+        let cfg = TopologyConfig::mempool();
+        assert_eq!(cfg.num_tiles(), 64);
+        assert_eq!(cfg.num_groups(), 4);
+        assert_eq!(cfg.num_banks(), 1024);
+    }
+
+    #[test]
+    fn small_geometry() {
+        let cfg = TopologyConfig::small(4);
+        assert_eq!(cfg.num_tiles(), 1);
+        assert_eq!(cfg.num_groups(), 1);
+        assert_eq!(cfg.num_banks(), 16);
+    }
+
+    #[test]
+    fn local_route_is_single_hop() {
+        let topo = MempoolTopology::new(TopologyConfig::mempool());
+        // Core 0 (tile 0) to bank 0 (tile 0).
+        assert_eq!(topo.request_route(0, 0).len(), 1);
+        assert_eq!(topo.response_route(0, 0).len(), 1);
+    }
+
+    #[test]
+    fn same_group_route_shape() {
+        let topo = MempoolTopology::new(TopologyConfig::mempool());
+        // Core 0 (tile 0, group 0) to bank in tile 1 (group 0).
+        let r = topo.request_route(0, 16);
+        assert_eq!(r.len(), 4, "egress, router, ingress, bank");
+        let r = topo.response_route(16, 0);
+        assert_eq!(r.len(), 3, "egress, router, ingress");
+    }
+
+    #[test]
+    fn cross_group_route_shape() {
+        let topo = MempoolTopology::new(TopologyConfig::mempool());
+        // Core 0 (group 0) to a bank in the last tile (group 3).
+        let bank = 1023;
+        let r = topo.request_route(0, bank);
+        assert_eq!(r.len(), 5, "egress, router, xlink, ingress, bank");
+        let r = topo.response_route(bank, 0);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn routes_stay_within_network() {
+        let topo = MempoolTopology::new(TopologyConfig::mempool());
+        let req: Network<u32> = topo.build_request_network();
+        let resp: Network<u32> = topo.build_response_network();
+        for &core in &[0usize, 3, 17, 255] {
+            for &bank in &[0usize, 15, 16, 512, 1023] {
+                for &id in topo.request_route(core, bank).hops() {
+                    assert!((id as usize) < req.num_nodes());
+                }
+                for &id in topo.response_route(bank, core).hops() {
+                    assert!((id as usize) < resp.num_nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_load_round_trip_latencies() {
+        // Measure request + response delivery latency with empty networks.
+        let topo = MempoolTopology::new(TopologyConfig::mempool());
+        let mut req: Network<u32> = topo.build_request_network();
+
+        let measure = |net: &mut Network<u32>, route: Route| -> u64 {
+            let mut out = Vec::new();
+            net.try_send(route, 1, 0).unwrap();
+            for cycle in 1..100 {
+                net.advance(cycle, &mut out);
+                if !out.is_empty() {
+                    return cycle;
+                }
+            }
+            panic!("message never delivered");
+        };
+
+        let local = measure(&mut req, topo.request_route(0, 0));
+        let same_group = measure(&mut req, topo.request_route(0, 16));
+        let cross_group = measure(&mut req, topo.request_route(0, 1023));
+        assert!(local < same_group && same_group < cross_group);
+        assert_eq!(local, 1);
+        assert_eq!(same_group, 4);
+        assert_eq!(cross_group, 6);
+    }
+}

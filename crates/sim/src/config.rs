@@ -1,0 +1,145 @@
+//! Simulator configuration: geometry, synchronization architecture, core
+//! timing, memory map and harness parameters.
+
+use lrscwait_core::SyncArch;
+use lrscwait_noc::TopologyConfig;
+
+/// Base address of the instruction ROM.
+pub const ROM_BASE: u32 = 0x0040_0000;
+/// Base address of the MMIO harness device.
+pub const MMIO_BASE: u32 = 0xFFFF_0000;
+/// Size of the MMIO window in bytes.
+pub const MMIO_SIZE: u32 = 0x1000;
+
+/// MMIO register offsets (byte offsets from [`MMIO_BASE`]).
+pub mod mmio_reg {
+    /// Write: halt this core (end of computation).
+    pub const EXIT: u32 = 0x00;
+    /// Write: count `value` completed benchmark operations for this core.
+    pub const OP_COUNT: u32 = 0x04;
+    /// Write 1: enter the measured region; write 0: leave it.
+    pub const REGION: u32 = 0x08;
+    /// Write: block until every running core has written (barrier).
+    pub const BARRIER: u32 = 0x0C;
+    /// Read: this core's hart id.
+    pub const HARTID: u32 = 0x10;
+    /// Read: total number of cores.
+    pub const NUM_CORES: u32 = 0x14;
+    /// Read: benchmark argument `i` at `ARG0 + 4*i` (8 slots).
+    pub const ARG0: u32 = 0x18;
+    /// Write: append `value` to the host-visible debug log.
+    pub const PRINT: u32 = 0x38;
+}
+
+/// Number of MMIO argument registers.
+pub const NUM_ARGS: usize = 8;
+
+/// Core pipeline timing knobs (Snitch-like single-issue in-order core).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreTiming {
+    /// Extra cycles on a taken branch or jump.
+    pub branch_penalty: u32,
+    /// Cycles for `div`/`rem` (multiplication is single-cycle).
+    pub div_latency: u32,
+    /// Posted-store buffer depth (stores beyond this stall the core).
+    pub store_buffer: u32,
+}
+
+impl Default for CoreTiming {
+    fn default() -> CoreTiming {
+        CoreTiming {
+            branch_penalty: 1,
+            div_latency: 8,
+            store_buffer: 4,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Fabric geometry and link parameters.
+    pub topology: TopologyConfig,
+    /// Synchronization hardware in front of every bank.
+    pub arch: SyncArch,
+    /// Total SPM size in bytes (split evenly across banks).
+    pub spm_bytes: u32,
+    /// Core timing parameters.
+    pub timing: CoreTiming,
+    /// Watchdog: abort after this many cycles.
+    pub max_cycles: u64,
+    /// Benchmark arguments visible at `ARG0..`.
+    pub args: [u32; NUM_ARGS],
+}
+
+impl SimConfig {
+    /// The paper's full-scale system: 256 cores, 1024 banks, 1 MiB SPM.
+    #[must_use]
+    pub fn mempool(arch: SyncArch) -> SimConfig {
+        SimConfig {
+            topology: TopologyConfig::mempool(),
+            arch,
+            spm_bytes: 1 << 20,
+            timing: CoreTiming::default(),
+            max_cycles: 10_000_000,
+            args: [0; NUM_ARGS],
+        }
+    }
+
+    /// A small configuration for unit and integration tests.
+    #[must_use]
+    pub fn small(num_cores: usize, arch: SyncArch) -> SimConfig {
+        SimConfig {
+            topology: TopologyConfig::small(num_cores),
+            arch,
+            spm_bytes: 1 << 16,
+            timing: CoreTiming::default(),
+            max_cycles: 2_000_000,
+            args: [0; NUM_ARGS],
+        }
+    }
+
+    /// Sets argument `i` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= NUM_ARGS`.
+    #[must_use]
+    pub fn with_arg(mut self, i: usize, value: u32) -> SimConfig {
+        self.args[i] = value;
+        self
+    }
+
+    /// Words per bank given the geometry.
+    #[must_use]
+    pub fn words_per_bank(&self) -> usize {
+        (self.spm_bytes as usize / 4) / self.topology.num_banks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mempool_defaults() {
+        let cfg = SimConfig::mempool(SyncArch::Lrsc);
+        assert_eq!(cfg.topology.num_cores, 256);
+        assert_eq!(cfg.topology.num_banks(), 1024);
+        assert_eq!(cfg.words_per_bank(), 256); // 1 MiB / 4 / 1024
+    }
+
+    #[test]
+    fn small_config_is_consistent() {
+        let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
+        assert!(cfg.topology.num_banks() >= 4);
+        assert!(cfg.words_per_bank() > 0);
+    }
+
+    #[test]
+    fn args_builder() {
+        let cfg = SimConfig::small(2, SyncArch::Lrsc).with_arg(0, 7).with_arg(3, 9);
+        assert_eq!(cfg.args[0], 7);
+        assert_eq!(cfg.args[3], 9);
+    }
+}

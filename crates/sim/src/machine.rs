@@ -1,0 +1,738 @@
+//! The manycore machine: cores + Qnodes + banks with synchronization
+//! adapters, glued together by the two virtual networks.
+//!
+//! # Cycle order
+//!
+//! 1. Advance the request network; every delivered request is processed by
+//!    its bank's [`SyncAdapter`] (one per cycle per bank, enforced by the
+//!    bank node's rate), responses land in the bank's outbox.
+//! 2. Flush bank outboxes into the response network (FIFO per bank, so the
+//!    (bank → core) ordering Colibri relies on holds).
+//! 3. Advance the response network; deliveries pass through the core's
+//!    [`Qnode`] (which may swallow `SuccessorUpdate`s or emit `WakeUp`s) and
+//!    complete the core's in-flight operation.
+//! 4. Step every runnable core by one instruction; memory intents are
+//!    resolved against MMIO (instant), ROM (instant) or the SPM (queued).
+//! 5. Flush core outboxes into the request network (backpressure stalls
+//!    the core).
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use lrscwait_asm::Program;
+use lrscwait_core::{
+    AdapterStats, MemRequest, MemResponse, Qnode, RmwOp, SyncAdapter, WordStorage,
+};
+use lrscwait_isa::AmoOp;
+use lrscwait_noc::{MempoolTopology, Network};
+
+use crate::config::{mmio_reg, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE};
+use crate::cpu::{
+    extract, store_lanes, Action, Core, CoreState, DecodedProgram, ExecError, MemIntent,
+    PendingKind, PendingMem,
+};
+use crate::stats::{ExitReason, RunSummary, SimStats};
+
+/// Fatal simulation error (software bug in a kernel or harness misuse).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Core fetched outside the program image.
+    IllegalPc {
+        /// Offending core.
+        core: u32,
+        /// Program counter value.
+        pc: u32,
+    },
+    /// `ebreak` executed.
+    Breakpoint {
+        /// Offending core.
+        core: u32,
+        /// Program counter value.
+        pc: u32,
+        /// 1-based source line, when known.
+        line: Option<u32>,
+    },
+    /// Misaligned access.
+    Misaligned {
+        /// Offending core.
+        core: u32,
+        /// Program counter value.
+        pc: u32,
+        /// Accessed address.
+        addr: u32,
+        /// 1-based source line, when known.
+        line: Option<u32>,
+    },
+    /// Access to an unmapped or illegal address.
+    Fault {
+        /// Offending core.
+        core: u32,
+        /// Accessed address.
+        addr: u32,
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// The program text does not decode (corrupt image).
+    BadProgram {
+        /// Word index within the text segment.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllegalPc { core, pc } => {
+                write!(f, "core {core}: illegal pc {pc:#010x}")
+            }
+            SimError::Breakpoint { core, pc, line } => {
+                write!(f, "core {core}: ebreak at {pc:#010x} (line {line:?})")
+            }
+            SimError::Misaligned { core, pc, addr, line } => write!(
+                f,
+                "core {core}: misaligned access to {addr:#010x} at pc {pc:#010x} (line {line:?})"
+            ),
+            SimError::Fault { core, addr, what } => {
+                write!(f, "core {core}: {what} at {addr:#010x}")
+            }
+            SimError::BadProgram { index } => {
+                write!(f, "text word {index} does not decode")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Request-network payload.
+#[derive(Clone, Copy, Debug)]
+struct ReqMsg {
+    src: u32,
+    bank: u32,
+    req: MemRequest,
+}
+
+/// Response-network payload.
+#[derive(Clone, Copy, Debug)]
+struct RespMsg {
+    core: u32,
+    resp: MemResponse,
+}
+
+/// Adapter-facing view of one bank's storage with global addressing.
+struct BankView<'a> {
+    words: &'a mut [u32],
+    num_banks: u32,
+    bank: u32,
+}
+
+impl WordStorage for BankView<'_> {
+    fn read_word(&self, addr: u32) -> u32 {
+        let w = addr / 4;
+        debug_assert_eq!(w % self.num_banks, self.bank, "address routed to wrong bank");
+        self.words[(w / self.num_banks) as usize]
+    }
+
+    fn write_word(&mut self, addr: u32, value: u32) {
+        let w = addr / 4;
+        debug_assert_eq!(w % self.num_banks, self.bank, "address routed to wrong bank");
+        self.words[(w / self.num_banks) as usize] = value;
+    }
+}
+
+/// The simulated manycore system.
+pub struct Machine {
+    cfg: SimConfig,
+    topo: MempoolTopology,
+    program: DecodedProgram,
+    cores: Vec<Core>,
+    qnodes: Vec<Qnode>,
+    adapters: Vec<Box<dyn SyncAdapter>>,
+    banks: Vec<Vec<u32>>,
+    req_net: Network<ReqMsg>,
+    resp_net: Network<RespMsg>,
+    core_outbox: Vec<VecDeque<ReqMsg>>,
+    bank_outbox: Vec<VecDeque<RespMsg>>,
+    dirty_banks: Vec<u32>,
+    cycle: u64,
+    halted: usize,
+    barrier_waiting: usize,
+    debug_log: Vec<(u64, u32, u32)>,
+    // Scratch buffers (allocation-free steady state).
+    req_buf: Vec<ReqMsg>,
+    resp_buf: Vec<RespMsg>,
+    adapter_out: Vec<(u32, MemResponse)>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("banks", &self.banks.len())
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine and loads `program` (text into ROM, data into SPM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadProgram`] when a text word does not decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program's text base does not match [`ROM_BASE`] or
+    /// its data segment does not fit the configured SPM.
+    pub fn new(cfg: SimConfig, program: &Program) -> Result<Machine, SimError> {
+        assert_eq!(
+            program.text_base, ROM_BASE,
+            "assemble kernels with the default text base"
+        );
+        let mut instrs = Vec::with_capacity(program.text.len());
+        for (index, &word) in program.text.iter().enumerate() {
+            match lrscwait_isa::decode(word) {
+                Ok(i) => instrs.push(i),
+                Err(_) => return Err(SimError::BadProgram { index }),
+            }
+        }
+        let decoded = DecodedProgram {
+            base: program.text_base,
+            instrs,
+            raw: program.text.clone(),
+            source_lines: program.source_lines.clone(),
+        };
+        let topo = MempoolTopology::new(cfg.topology);
+        let num_cores = cfg.topology.num_cores;
+        let num_banks = cfg.topology.num_banks();
+        let words_per_bank = cfg.words_per_bank();
+        assert!(words_per_bank > 0, "SPM too small for the bank count");
+        let footprint = program.bss_base + program.bss_size;
+        assert!(
+            footprint <= cfg.spm_bytes,
+            "program data ({footprint} B) exceeds SPM ({} B)",
+            cfg.spm_bytes
+        );
+
+        let mut machine = Machine {
+            topo,
+            program: decoded,
+            cores: (0..num_cores as u32)
+                .map(|id| Core::new(id, program.entry))
+                .collect(),
+            qnodes: vec![Qnode::new(); num_cores],
+            adapters: (0..num_banks).map(|_| cfg.arch.build(num_cores)).collect(),
+            banks: vec![vec![0u32; words_per_bank]; num_banks],
+            req_net: MempoolTopology::new(cfg.topology).build_request_network(),
+            resp_net: MempoolTopology::new(cfg.topology).build_response_network(),
+            core_outbox: vec![VecDeque::new(); num_cores],
+            bank_outbox: vec![VecDeque::new(); num_banks],
+            dirty_banks: Vec::new(),
+            cycle: 0,
+            halted: 0,
+            barrier_waiting: 0,
+            debug_log: Vec::new(),
+            req_buf: Vec::new(),
+            resp_buf: Vec::new(),
+            adapter_out: Vec::new(),
+            cfg,
+        };
+
+        // Load the initialized data image.
+        for (i, chunk) in program.data.chunks(4).enumerate() {
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            machine.write_word(program.data_base + 4 * i as u32, u32::from_le_bytes(word));
+        }
+        Ok(machine)
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Values written to the MMIO PRINT register: `(cycle, core, value)`.
+    #[must_use]
+    pub fn debug_log(&self) -> &[(u64, u32, u32)] {
+        &self.debug_log
+    }
+
+    /// Bank holding the word at `addr`.
+    #[must_use]
+    pub fn bank_of(&self, addr: u32) -> u32 {
+        (addr / 4) % self.banks.len() as u32
+    }
+
+    /// Host read of an SPM word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is outside the SPM.
+    #[must_use]
+    pub fn read_word(&self, addr: u32) -> u32 {
+        assert!(addr < self.cfg.spm_bytes, "host read outside SPM");
+        let w = addr / 4;
+        let nb = self.banks.len() as u32;
+        self.banks[(w % nb) as usize][(w / nb) as usize]
+    }
+
+    /// Host write of an SPM word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is outside the SPM.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        assert!(addr < self.cfg.spm_bytes, "host write outside SPM");
+        let w = addr / 4;
+        let nb = self.banks.len() as u32;
+        self.banks[(w % nb) as usize][(w / nb) as usize] = value;
+    }
+
+    /// Gathers current statistics.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut adapters = AdapterStats::default();
+        for a in &self.adapters {
+            let s = a.stats();
+            adapters.requests += s.requests;
+            adapters.loads += s.loads;
+            adapters.stores += s.stores;
+            adapters.amos += s.amos;
+            adapters.sc_success += s.sc_success;
+            adapters.sc_failure += s.sc_failure;
+            adapters.wait_enqueued += s.wait_enqueued;
+            adapters.wait_failfast += s.wait_failfast;
+            adapters.scwait_success += s.scwait_success;
+            adapters.scwait_failure += s.scwait_failure;
+            adapters.successor_updates += s.successor_updates;
+            adapters.wakeups += s.wakeups;
+            adapters.reservations_broken += s.reservations_broken;
+        }
+        SimStats {
+            cores: self.cores.iter().map(|c| c.stats).collect(),
+            req_network: self.req_net.stats(),
+            resp_network: self.resp_net.stats(),
+            adapters,
+        }
+    }
+
+    /// Runs until every core halts or the watchdog fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on kernel bugs (illegal pc, misalignment,
+    /// breakpoints, faults).
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        while self.halted < self.cores.len() {
+            if self.cycle >= self.cfg.max_cycles {
+                return Ok(RunSummary {
+                    cycles: self.cycle,
+                    exit: ExitReason::Watchdog,
+                });
+            }
+            self.step_cycle()?;
+        }
+        Ok(RunSummary {
+            cycles: self.cycle,
+            exit: ExitReason::AllHalted,
+        })
+    }
+
+    /// Advances the machine by exactly one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on kernel bugs.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        let now = self.cycle;
+
+        // Phase 1: requests reach banks.
+        let mut req_buf = std::mem::take(&mut self.req_buf);
+        req_buf.clear();
+        self.req_net.advance(now, &mut req_buf);
+        for msg in &req_buf {
+            let bank = msg.bank as usize;
+            let mut view = BankView {
+                words: &mut self.banks[bank],
+                num_banks: self.cfg.topology.num_banks() as u32,
+                bank: msg.bank,
+            };
+            let mut out = std::mem::take(&mut self.adapter_out);
+            out.clear();
+            self.adapters[bank].handle(msg.src, &msg.req, &mut view, &mut out);
+            if self.bank_outbox[bank].is_empty() && !out.is_empty() {
+                self.dirty_banks.push(msg.bank);
+            }
+            for (core, resp) in out.drain(..) {
+                self.bank_outbox[bank].push_back(RespMsg { core, resp });
+            }
+            self.adapter_out = out;
+        }
+        self.req_buf = req_buf;
+
+        // Phase 2: flush bank outboxes into the response network.
+        if !self.dirty_banks.is_empty() {
+            let mut still_dirty = Vec::new();
+            let dirty = std::mem::take(&mut self.dirty_banks);
+            for bank in dirty {
+                while let Some(&msg) = self.bank_outbox[bank as usize].front() {
+                    let route = self.topo.response_route(bank as usize, msg.core as usize);
+                    match self.resp_net.try_send(route, msg, now) {
+                        Ok(()) => {
+                            self.bank_outbox[bank as usize].pop_front();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if !self.bank_outbox[bank as usize].is_empty() {
+                    still_dirty.push(bank);
+                }
+            }
+            self.dirty_banks = still_dirty;
+        }
+
+        // Phase 3: responses reach cores (through their Qnodes).
+        let mut resp_buf = std::mem::take(&mut self.resp_buf);
+        resp_buf.clear();
+        self.resp_net.advance(now, &mut resp_buf);
+        for msg in &resp_buf {
+            let c = msg.core as usize;
+            let output = self.qnodes[c].on_response(msg.resp);
+            if let Some(delivered) = output.deliver {
+                self.complete_response(c, delivered, now);
+            }
+            if let Some(wakeup) = output.wakeup {
+                let bank = self.bank_of(wakeup.addr());
+                self.core_outbox[c].push_back(ReqMsg {
+                    src: msg.core,
+                    bank,
+                    req: wakeup,
+                });
+            }
+        }
+        self.resp_buf = resp_buf;
+
+        // Phase 4: step cores.
+        for c in 0..self.cores.len() {
+            self.step_core(c, now)?;
+        }
+
+        // Phase 5: flush core outboxes into the request network. The start
+        // index rotates each cycle so no core gets static injection
+        // priority (round-robin arbitration, as in the real fabric).
+        let n = self.cores.len();
+        let start = (now as usize) % n;
+        for i in 0..n {
+            let c = (start + i) % n;
+            while let Some(&msg) = self.core_outbox[c].front() {
+                let route = self.topo.request_route(c, msg.bank as usize);
+                match self.req_net.try_send(route, msg, now) {
+                    Ok(()) => {
+                        self.core_outbox[c].pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn complete_response(&mut self, c: usize, resp: MemResponse, now: u64) {
+        match resp {
+            MemResponse::StoreAck => {
+                debug_assert!(self.cores[c].outstanding_stores > 0);
+                self.cores[c].outstanding_stores -= 1;
+            }
+            MemResponse::Load { value }
+            | MemResponse::Amo { old: value }
+            | MemResponse::Lr { value }
+            | MemResponse::Wait { value, .. } => {
+                self.cores[c].complete(value, now);
+            }
+            MemResponse::Sc { success } | MemResponse::ScWait { success } => {
+                self.cores[c].complete(u32::from(!success), now);
+            }
+            MemResponse::SuccessorUpdate { .. } => {
+                unreachable!("SuccessorUpdate must be consumed by the Qnode")
+            }
+        }
+    }
+
+    fn line_of(&self, pc: u32) -> Option<u32> {
+        self.program
+            .index_of(pc)
+            .and_then(|i| self.program.source_lines.get(i).copied())
+    }
+
+    fn step_core(&mut self, c: usize, now: u64) -> Result<(), SimError> {
+        match self.cores[c].state {
+            CoreState::Halted => return Ok(()),
+            CoreState::Barrier => {
+                self.cores[c].stats.barrier_cycles += 1;
+                return Ok(());
+            }
+            CoreState::WaitingMem => {
+                self.cores[c].stats.sleep_cycles += 1;
+                return Ok(());
+            }
+            CoreState::Running => {}
+        }
+        self.cores[c].stats.active_cycles += 1;
+        if now < self.cores[c].ready_at || self.core_outbox[c].len() >= 4 {
+            return Ok(());
+        }
+        let action = {
+            let program = &self.program;
+            let timing = self.cfg.timing;
+            self.cores[c].execute(program, now, &timing)
+        };
+        let action = match action {
+            Ok(a) => a,
+            Err(ExecError::IllegalPc(pc)) => {
+                return Err(SimError::IllegalPc { core: c as u32, pc })
+            }
+            Err(ExecError::Breakpoint(pc)) => {
+                return Err(SimError::Breakpoint {
+                    core: c as u32,
+                    pc,
+                    line: self.line_of(pc),
+                })
+            }
+            Err(ExecError::Misaligned { pc, addr }) => {
+                return Err(SimError::Misaligned {
+                    core: c as u32,
+                    pc,
+                    addr,
+                    line: self.line_of(pc),
+                })
+            }
+        };
+        match action {
+            Action::Done => Ok(()),
+            Action::Halt => {
+                self.halt_core(c, now);
+                Ok(())
+            }
+            Action::Mem(intent) => self.apply_intent(c, intent, now),
+        }
+    }
+
+    fn halt_core(&mut self, c: usize, now: u64) {
+        if self.cores[c].state != CoreState::Halted {
+            self.cores[c].state = CoreState::Halted;
+            self.halted += 1;
+            self.release_barrier_if_ready(now);
+        }
+    }
+
+    fn release_barrier_if_ready(&mut self, now: u64) {
+        let running = self.cores.len() - self.halted;
+        if running > 0 && self.barrier_waiting == running {
+            for core in &mut self.cores {
+                if core.state == CoreState::Barrier {
+                    core.state = CoreState::Running;
+                    core.ready_at = now + 1;
+                }
+            }
+            self.barrier_waiting = 0;
+        }
+    }
+
+    fn apply_intent(&mut self, c: usize, intent: MemIntent, now: u64) -> Result<(), SimError> {
+        match intent {
+            MemIntent::Fence => {
+                if self.cores[c].outstanding_stores == 0 && self.core_outbox[c].is_empty() {
+                    self.cores[c].pc += 4;
+                }
+                // Otherwise: retry next cycle (fence stalls the pipeline).
+                Ok(())
+            }
+            MemIntent::Load {
+                addr,
+                rd,
+                width,
+                signed,
+            } => {
+                if addr >= MMIO_BASE && addr < MMIO_BASE + MMIO_SIZE {
+                    let value = self.mmio_read(c, addr - MMIO_BASE);
+                    self.cores[c].set_reg(rd, extract(value, addr, width, signed));
+                    self.cores[c].pc += 4;
+                    return Ok(());
+                }
+                if addr >= ROM_BASE {
+                    let idx = ((addr - ROM_BASE) / 4) as usize;
+                    let Some(&word) = self.program.raw.get(idx) else {
+                        return Err(SimError::Fault {
+                            core: c as u32,
+                            addr,
+                            what: "load beyond ROM",
+                        });
+                    };
+                    self.cores[c].set_reg(rd, extract(word, addr, width, signed));
+                    self.cores[c].pc += 4;
+                    return Ok(());
+                }
+                if addr >= self.cfg.spm_bytes {
+                    return Err(SimError::Fault {
+                        core: c as u32,
+                        addr,
+                        what: "load outside SPM",
+                    });
+                }
+                self.cores[c].pending = Some(PendingMem {
+                    rd,
+                    addr,
+                    kind: PendingKind::Load { width, signed },
+                });
+                self.cores[c].state = CoreState::WaitingMem;
+                self.cores[c].pc += 4;
+                self.push_request(c, MemRequest::Load { addr: addr & !3 });
+                Ok(())
+            }
+            MemIntent::Store { addr, value, width } => {
+                if addr >= MMIO_BASE && addr < MMIO_BASE + MMIO_SIZE {
+                    self.cores[c].pc += 4;
+                    self.mmio_write(c, addr - MMIO_BASE, value, now);
+                    return Ok(());
+                }
+                if addr >= self.cfg.spm_bytes {
+                    return Err(SimError::Fault {
+                        core: c as u32,
+                        addr,
+                        what: "store outside SPM (ROM is read-only)",
+                    });
+                }
+                if self.cores[c].outstanding_stores >= self.cfg.timing.store_buffer {
+                    return Ok(()); // buffer full: stall, retry next cycle
+                }
+                let (aligned, lane_value, mask) = store_lanes(addr, value, width);
+                self.cores[c].outstanding_stores += 1;
+                self.cores[c].pc += 4;
+                self.push_request(
+                    c,
+                    MemRequest::Store {
+                        addr: aligned,
+                        value: lane_value,
+                        mask,
+                    },
+                );
+                Ok(())
+            }
+            MemIntent::Atomic {
+                addr,
+                rd,
+                op,
+                operand,
+            } => {
+                if addr >= self.cfg.spm_bytes {
+                    return Err(SimError::Fault {
+                        core: c as u32,
+                        addr,
+                        what: "atomic outside SPM",
+                    });
+                }
+                let (req, kind) = match op {
+                    AmoOp::Lr => (MemRequest::Lr { addr }, PendingKind::Value),
+                    AmoOp::Sc => (MemRequest::Sc { addr, value: operand }, PendingKind::Flag),
+                    AmoOp::LrWait => (MemRequest::LrWait { addr }, PendingKind::Value),
+                    AmoOp::ScWait => (
+                        MemRequest::ScWait { addr, value: operand },
+                        PendingKind::Flag,
+                    ),
+                    AmoOp::MWait => (
+                        MemRequest::MWait { addr, expected: operand },
+                        PendingKind::Value,
+                    ),
+                    rmw => (
+                        MemRequest::Amo {
+                            addr,
+                            op: map_rmw(rmw),
+                            operand,
+                        },
+                        PendingKind::Value,
+                    ),
+                };
+                self.cores[c].pending = Some(PendingMem { rd, addr, kind });
+                self.cores[c].state = CoreState::WaitingMem;
+                self.cores[c].pc += 4;
+                self.push_request(c, req);
+                Ok(())
+            }
+        }
+    }
+
+    fn push_request(&mut self, c: usize, req: MemRequest) {
+        let wakeup = self.qnodes[c].on_core_request(&req);
+        let bank = self.bank_of(req.addr());
+        self.core_outbox[c].push_back(ReqMsg {
+            src: c as u32,
+            bank,
+            req,
+        });
+        if let Some(wk) = wakeup {
+            let wk_bank = self.bank_of(wk.addr());
+            self.core_outbox[c].push_back(ReqMsg {
+                src: c as u32,
+                bank: wk_bank,
+                req: wk,
+            });
+        }
+    }
+
+    fn mmio_read(&self, c: usize, offset: u32) -> u32 {
+        match offset {
+            mmio_reg::HARTID => c as u32,
+            mmio_reg::NUM_CORES => self.cores.len() as u32,
+            o if (mmio_reg::ARG0..mmio_reg::ARG0 + 4 * NUM_ARGS as u32).contains(&o)
+                && o % 4 == 0 =>
+            {
+                self.cfg.args[((o - mmio_reg::ARG0) / 4) as usize]
+            }
+            _ => 0,
+        }
+    }
+
+    fn mmio_write(&mut self, c: usize, offset: u32, value: u32, now: u64) {
+        match offset {
+            mmio_reg::EXIT => self.halt_core(c, now),
+            mmio_reg::OP_COUNT => self.cores[c].stats.ops += u64::from(value),
+            mmio_reg::REGION => {
+                if value != 0 {
+                    if self.cores[c].stats.region_start.is_none() {
+                        self.cores[c].stats.region_start = Some(now);
+                    }
+                } else {
+                    self.cores[c].stats.region_end = Some(now);
+                }
+            }
+            mmio_reg::BARRIER => {
+                self.cores[c].state = CoreState::Barrier;
+                self.barrier_waiting += 1;
+                self.release_barrier_if_ready(now);
+            }
+            mmio_reg::PRINT => self.debug_log.push((now, c as u32, value)),
+            _ => {}
+        }
+    }
+}
+
+fn map_rmw(op: AmoOp) -> RmwOp {
+    match op {
+        AmoOp::Swap => RmwOp::Swap,
+        AmoOp::Add => RmwOp::Add,
+        AmoOp::Xor => RmwOp::Xor,
+        AmoOp::And => RmwOp::And,
+        AmoOp::Or => RmwOp::Or,
+        AmoOp::Min => RmwOp::Min,
+        AmoOp::Max => RmwOp::Max,
+        AmoOp::Minu => RmwOp::Minu,
+        AmoOp::Maxu => RmwOp::Maxu,
+        other => unreachable!("{other:?} is not an RMW AMO"),
+    }
+}

@@ -1,0 +1,68 @@
+//! # lrscwait — polling-free, retry-free manycore synchronization
+//!
+//! A full-system Rust reproduction of the DATE 2024 paper
+//! *"LRSCwait: Enabling Scalable and Efficient Synchronization in Manycore
+//! Systems through Polling-Free and Retry-Free Operation"*
+//! (Riedel, Gantenbein, Ottaviano, Hoefler, Benini — arXiv:2401.09359).
+//!
+//! The paper extends RISC-V with three instructions — `lrwait.w`,
+//! `scwait.w` and `mwait.w` — that move the linearization point of atomic
+//! read-modify-write sequences from the store-conditional to the
+//! load-reserved, letting contending cores *sleep* in a hardware
+//! reservation queue instead of polling and retrying. **Colibri** is its
+//! scalable implementation: a distributed linked-list queue with one
+//! (head, tail) register pair per tracked address and one queue node per
+//! core.
+//!
+//! This workspace rebuilds the entire evaluated system in Rust:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`core`](lrscwait_core) | The protocol: LRSC baseline, centralized LRSCwait queue, Colibri controller + Qnode, Mwait |
+//! | [`isa`](lrscwait_isa) | RV32IMA + Xlrscwait instruction set |
+//! | [`asm`](lrscwait_asm) | Assembler for benchmark kernels |
+//! | [`noc`](lrscwait_noc) | Backpressured hierarchical interconnect |
+//! | [`sim`](lrscwait_sim) | Cycle-accurate MemPool-like manycore simulator |
+//! | [`kernels`](lrscwait_kernels) | The paper's benchmarks as real assembly |
+//! | [`model`](lrscwait_model) | Area (Table I) and energy (Table II) models |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lrscwait::asm::Assembler;
+//! use lrscwait::core::SyncArch;
+//! use lrscwait::sim::{Machine, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Four cores atomically increment a counter through the wait extension.
+//! let program = Assembler::new().assemble(
+//!     r#"
+//!     _start:
+//!         la   a0, counter
+//!     retry:
+//!         lrwait.w t0, (a0)      # response withheld until we own the queue head
+//!         addi     t0, t0, 1
+//!         scwait.w t1, t0, (a0)  # commit and wake the successor
+//!         bnez     t1, retry
+//!         ecall
+//!     .data
+//!     counter: .word 0
+//!     "#,
+//! )?;
+//! let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
+//! let mut machine = Machine::new(cfg, &program)?;
+//! machine.run()?;
+//! assert_eq!(machine.read_word(program.symbol("counter")), 4);
+//! // Nobody retried: the queue serialized the four cores.
+//! assert_eq!(machine.stats().adapters.scwait_failure, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lrscwait_asm as asm;
+pub use lrscwait_core as core;
+pub use lrscwait_isa as isa;
+pub use lrscwait_kernels as kernels;
+pub use lrscwait_model as model;
+pub use lrscwait_noc as noc;
+pub use lrscwait_sim as sim;
