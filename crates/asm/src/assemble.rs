@@ -106,8 +106,14 @@ impl Default for Assembler {
 
 #[derive(Clone, Debug)]
 enum Stmt {
-    Directive { name: String, args: Vec<String> },
-    Instr { mnemonic: String, operands: Vec<String> },
+    Directive {
+        name: String,
+        args: Vec<String>,
+    },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -415,14 +421,8 @@ impl Assembler {
                     other => return Err(err(format!("internal: directive {other} in data"))),
                 },
                 (Stmt::Instr { mnemonic, operands }, _) => {
-                    let instrs = emit_instr(
-                        mnemonic,
-                        operands,
-                        &symbols,
-                        item.addr,
-                        item.size,
-                    )
-                    .map_err(|message| err(message))?;
+                    let instrs = emit_instr(mnemonic, operands, &symbols, item.addr, item.size)
+                        .map_err(err)?;
                     debug_assert_eq!(instrs.len() as u32, item.size, "pass-1/2 size mismatch");
                     for i in &instrs {
                         text.push(encode(i));
@@ -736,7 +736,11 @@ fn emit_instr(
     let branch_zero = |op: BranchOp, swap: bool| -> Result<Vec<Instr>, String> {
         expect_operands(operands, 2, mnemonic)?;
         let rs = parse_reg(&operands[0])?;
-        let (rs1, rs2) = if swap { (Reg::ZERO, rs) } else { (rs, Reg::ZERO) };
+        let (rs1, rs2) = if swap {
+            (Reg::ZERO, rs)
+        } else {
+            (rs, Reg::ZERO)
+        };
         Ok(vec![Instr::Branch {
             op,
             rs1,
@@ -748,7 +752,11 @@ fn emit_instr(
         expect_operands(operands, 2, mnemonic)?;
         let rd = parse_reg(&operands[0])?;
         let (off, rs1) = parse_mem_operand(&operands[1])?;
-        let offset = if off.is_empty() { 0 } else { ctx.eval_i12(&off)? };
+        let offset = if off.is_empty() {
+            0
+        } else {
+            ctx.eval_i12(&off)?
+        };
         Ok(vec![Instr::Load {
             width,
             signed,
@@ -761,7 +769,11 @@ fn emit_instr(
         expect_operands(operands, 2, mnemonic)?;
         let rs2 = parse_reg(&operands[0])?;
         let (off, rs1) = parse_mem_operand(&operands[1])?;
-        let offset = if off.is_empty() { 0 } else { ctx.eval_i12(&off)? };
+        let offset = if off.is_empty() {
+            0
+        } else {
+            ctx.eval_i12(&off)?
+        };
         Ok(vec![Instr::Store {
             width,
             rs2,
@@ -898,7 +910,11 @@ fn emit_instr(
                 Ok(vec![Instr::Jalr {
                     rd,
                     rs1,
-                    offset: if off.is_empty() { 0 } else { ctx.eval_i12(&off)? },
+                    offset: if off.is_empty() {
+                        0
+                    } else {
+                        ctx.eval_i12(&off)?
+                    },
                 }])
             }
             n => Err(format!("`jalr` expects 1 or 2 operands, got {n}")),

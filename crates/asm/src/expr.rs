@@ -96,16 +96,17 @@ fn lex(input: &str) -> Result<Vec<Tok>, ExprError> {
                     i += 1;
                 }
                 let text: String = input[start..i].chars().filter(|&ch| ch != '_').collect();
-                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
-                    u32::from_str_radix(hex, 16)
-                } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
-                    u32::from_str_radix(bin, 2)
-                } else if let Some(oct) = text.strip_prefix("0o").or(text.strip_prefix("0O")) {
-                    u32::from_str_radix(oct, 8)
-                } else {
-                    text.parse::<u32>()
-                }
-                .map_err(|_| ExprError(format!("bad integer literal `{text}`")))?;
+                let value =
+                    if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                        u32::from_str_radix(hex, 16)
+                    } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
+                        u32::from_str_radix(bin, 2)
+                    } else if let Some(oct) = text.strip_prefix("0o").or(text.strip_prefix("0O")) {
+                        u32::from_str_radix(oct, 8)
+                    } else {
+                        text.parse::<u32>()
+                    }
+                    .map_err(|_| ExprError(format!("bad integer literal `{text}`")))?;
                 toks.push(Tok::Num(value));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -120,29 +121,29 @@ fn lex(input: &str) -> Result<Vec<Tok>, ExprError> {
             '\'' => {
                 // Character literal: 'c' or '\n' style escapes.
                 let rest = &input[i + 1..];
-                let (value, len) = if let Some(stripped) = rest.strip_prefix('\\') {
-                    let esc = stripped.chars().next().ok_or_else(|| {
-                        ExprError("unterminated character literal".to_string())
-                    })?;
-                    let v = match esc {
-                        'n' => b'\n',
-                        't' => b'\t',
-                        '0' => 0,
-                        '\\' => b'\\',
-                        '\'' => b'\'',
-                        other => {
-                            return Err(ExprError(format!("unknown escape `\\{other}`")));
-                        }
+                let (value, len) =
+                    if let Some(stripped) = rest.strip_prefix('\\') {
+                        let esc = stripped.chars().next().ok_or_else(|| {
+                            ExprError("unterminated character literal".to_string())
+                        })?;
+                        let v = match esc {
+                            'n' => b'\n',
+                            't' => b'\t',
+                            '0' => 0,
+                            '\\' => b'\\',
+                            '\'' => b'\'',
+                            other => {
+                                return Err(ExprError(format!("unknown escape `\\{other}`")));
+                            }
+                        };
+                        (u32::from(v), 2)
+                    } else {
+                        let ch = rest.chars().next().ok_or_else(|| {
+                            ExprError("unterminated character literal".to_string())
+                        })?;
+                        (ch as u32, ch.len_utf8())
                     };
-                    (u32::from(v), 2)
-                } else {
-                    let ch = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| ExprError("unterminated character literal".to_string()))?;
-                    (ch as u32, ch.len_utf8())
-                };
-                if input[i + 1 + len..].chars().next() != Some('\'') {
+                if !input[i + 1 + len..].starts_with('\'') {
                     return Err(ExprError("unterminated character literal".to_string()));
                 }
                 toks.push(Tok::Num(value));
@@ -207,7 +208,9 @@ impl Parser<'_, '_> {
             }
             Some(Tok::Op("-")) => Ok(self.primary()?.wrapping_neg()),
             Some(Tok::Op("~")) => Ok(!self.primary()?),
-            other => Err(ExprError(format!("unexpected token {other:?} in expression"))),
+            other => Err(ExprError(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 
@@ -303,7 +306,9 @@ pub fn eval(input: &str, ctx: &ExprContext<'_>) -> Result<u32, ExprError> {
     };
     let v = parser.or_expr()?;
     if parser.pos != toks.len() {
-        return Err(ExprError(format!("trailing tokens in expression `{input}`")));
+        return Err(ExprError(format!(
+            "trailing tokens in expression `{input}`"
+        )));
     }
     Ok(v)
 }

@@ -3,7 +3,6 @@
 
 use lrscwait_asm::{assemble, Assembler, DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE};
 use lrscwait_isa::{decode, disasm};
-use proptest::prelude::*;
 
 fn disasm_all(program: &lrscwait_asm::Program) -> Vec<String> {
     program
@@ -65,8 +64,18 @@ fn li_small_is_one_instr_large_is_two() {
 #[test]
 fn li_edge_values_round_trip() {
     // Execute the lui+addi expansion mentally for tricky values.
-    for value in [0u32, 1, 2047, 2048, 0x800, 0xFFF, 0x1000, 0xFFFF_FFFF, 0x8000_0000, 0x7FFF_FFFF]
-    {
+    for value in [
+        0u32,
+        1,
+        2047,
+        2048,
+        0x800,
+        0xFFF,
+        0x1000,
+        0xFFFF_FFFF,
+        0x8000_0000,
+        0x7FFF_FFFF,
+    ] {
         let p = assemble(&format!("li a0, {value:#x}\n")).unwrap();
         // Reconstruct the value from the encoded expansion.
         let mut acc: u32 = 0;
@@ -313,17 +322,21 @@ fn program_disassemble_helper() {
     assert_eq!(listing[1].2, "ecall");
 }
 
-proptest! {
-    #[test]
-    fn every_assembled_word_decodes(n in 1u32..200, seed in any::<u64>()) {
-        // Generate a random but valid program and confirm every emitted word
-        // decodes (i.e. the assembler never emits illegal encodings).
-        let mut src = String::from("_start:\n");
-        let mut state = seed | 1;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+#[test]
+fn every_assembled_word_decodes() {
+    // Generate random but valid programs and confirm every emitted word
+    // decodes (i.e. the assembler never emits illegal encodings). The
+    // deterministic LCG seeds make any failure reproduce exactly.
+    for seed in 1u64..=64 {
+        let mut state = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
+        let n = 1 + next() % 200;
+        let mut src = String::from("_start:\n");
         for _ in 0..n {
             match next() % 8 {
                 0 => src.push_str("addi a0, a0, 1\n"),
@@ -339,7 +352,7 @@ proptest! {
         src.push_str("ecall\n");
         let p = assemble(&src).unwrap();
         for &w in &p.text {
-            prop_assert!(decode(w).is_ok());
+            assert!(decode(w).is_ok(), "seed {seed}: {w:#010x} must decode");
         }
     }
 }

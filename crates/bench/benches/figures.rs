@@ -1,102 +1,111 @@
-//! Criterion benches of representative figure points — one point per paper
+//! Timed benches of representative figure points — one point per paper
 //! artifact so `cargo bench` exercises every experiment quickly. The full
 //! sweeps are produced by the `fig*`/`table*` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+mod timer;
 
-use lrscwait_bench::{run_histogram, run_matmul, run_queue};
+use timer::{black_box, Group};
+
+use lrscwait_bench::Experiment;
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::{HistImpl, MatmulKernel, PollerKind, QueueImpl};
+use lrscwait_kernels::{
+    HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl, QueueKernel,
+};
 use lrscwait_sim::SimConfig;
 
-fn bench_fig3_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3");
-    group.sample_size(10);
-    for (name, impl_, arch, bins) in [
-        ("colibri_high_contention", HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }, 1u32),
-        ("lrsc_high_contention", HistImpl::Lrsc, SyncArch::Lrsc, 1),
-        ("amoadd_low_contention", HistImpl::AmoAdd, SyncArch::Lrsc, 1024),
-    ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = SimConfig::mempool(arch);
-                black_box(run_histogram(arch, impl_, bins, 4, cfg).throughput)
-            });
-        });
-    }
-    group.finish();
+fn histogram_point(impl_: HistImpl, arch: SyncArch, bins: u32) -> f64 {
+    let cfg = SimConfig::builder().mempool().arch(arch).build().unwrap();
+    let kernel = HistogramKernel::new(impl_, bins, 4, 256);
+    Experiment::new(&kernel, cfg)
+        .x(bins)
+        .run()
+        .unwrap()
+        .throughput
 }
 
-fn bench_fig4_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(10);
+fn bench_fig3_points() {
+    let group = Group::new("fig3", 10);
+    for (name, impl_, arch, bins) in [
+        (
+            "colibri_high_contention",
+            HistImpl::LrscWait,
+            SyncArch::Colibri { queues: 4 },
+            1u32,
+        ),
+        ("lrsc_high_contention", HistImpl::Lrsc, SyncArch::Lrsc, 1),
+        (
+            "amoadd_low_contention",
+            HistImpl::AmoAdd,
+            SyncArch::Lrsc,
+            1024,
+        ),
+    ] {
+        group.bench(name, || black_box(histogram_point(impl_, arch, bins)));
+    }
+}
+
+fn bench_fig4_points() {
+    let group = Group::new("fig4", 10);
     for (name, impl_, arch) in [
-        ("mwait_mcs_lock", HistImpl::McsMwaitLock, SyncArch::Colibri { queues: 4 }),
+        (
+            "mwait_mcs_lock",
+            HistImpl::McsMwaitLock,
+            SyncArch::Colibri { queues: 4 },
+        ),
         ("ticket_lock", HistImpl::TicketLock, SyncArch::Lrsc),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = SimConfig::mempool(arch);
-                black_box(run_histogram(arch, impl_, 16, 4, cfg).throughput)
-            });
-        });
+        group.bench(name, || black_box(histogram_point(impl_, arch, 16)));
     }
-    group.finish();
 }
 
-fn bench_fig5_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5");
-    group.sample_size(10);
-    group.bench_function("matmul_under_lrsc_pollers", |b| {
-        b.iter(|| {
-            let arch = SyncArch::Lrsc;
-            let mut cfg = SimConfig::mempool(arch);
-            cfg.max_cycles = 100_000_000;
-            let kernel = MatmulKernel::new(32, 8, 256, PollerKind::Lrsc).with_poll_bins(1);
-            let (cycles, _) = run_matmul(&kernel, arch, cfg);
-            black_box(cycles)
-        });
+fn bench_fig5_point() {
+    let group = Group::new("fig5", 10);
+    group.bench("matmul_under_lrsc_pollers", || {
+        let arch = SyncArch::Lrsc;
+        let cfg = SimConfig::builder()
+            .mempool()
+            .arch(arch)
+            .max_cycles(100_000_000)
+            .build()
+            .unwrap();
+        let kernel = MatmulKernel::new(32, 8, 256, PollerKind::Lrsc).with_poll_bins(1);
+        let m = Experiment::new(&kernel, cfg).run().unwrap();
+        black_box(m.max_region_cycles(0..8).unwrap())
     });
-    group.finish();
 }
 
-fn bench_fig6_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
-    group.bench_function("colibri_queue_8_cores", |b| {
-        b.iter(|| {
-            let arch = SyncArch::Colibri { queues: 4 };
-            let mut cfg = SimConfig::mempool(arch);
-            cfg.max_cycles = 100_000_000;
-            black_box(run_queue(arch, QueueImpl::LrscWaitDirect, 8, 8, cfg).throughput)
-        });
-    });
-    group.finish();
-}
-
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(20);
-    group.bench_function("table1_area_model", |b| {
-        b.iter(|| black_box(lrscwait_model::table1()));
-    });
-    group.bench_function("table2_energy_eval", |b| {
+fn bench_fig6_point() {
+    let group = Group::new("fig6", 10);
+    group.bench("colibri_queue_8_cores", || {
         let arch = SyncArch::Colibri { queues: 4 };
-        let cfg = SimConfig::mempool(arch);
-        let m = run_histogram(arch, HistImpl::LrscWait, 1, 4, cfg);
-        let energy = lrscwait_model::EnergyParams::default();
-        b.iter(|| black_box(energy.evaluate(&m.stats, m.cycles)));
+        let cfg = SimConfig::builder()
+            .mempool()
+            .arch(arch)
+            .max_cycles(100_000_000)
+            .build()
+            .unwrap();
+        let kernel = QueueKernel::new(QueueImpl::LrscWaitDirect, 8, 8);
+        black_box(Experiment::new(&kernel, cfg).x(8).run().unwrap().throughput)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig3_points,
-    bench_fig4_points,
-    bench_fig5_point,
-    bench_fig6_point,
-    bench_tables
-);
-criterion_main!(benches);
+fn bench_tables() {
+    let group = Group::new("tables", 20);
+    group.bench("table1_area_model", || black_box(lrscwait_model::table1()));
+    let arch = SyncArch::Colibri { queues: 4 };
+    let cfg = SimConfig::builder().mempool().arch(arch).build().unwrap();
+    let kernel = HistogramKernel::new(HistImpl::LrscWait, 1, 4, 256);
+    let m = Experiment::new(&kernel, cfg).x(1).run().unwrap();
+    let energy = lrscwait_model::EnergyParams::default();
+    group.bench("table2_energy_eval", || {
+        black_box(energy.evaluate(&m.stats, m.cycles))
+    });
+}
+
+fn main() {
+    bench_fig3_points();
+    bench_fig4_points();
+    bench_fig5_point();
+    bench_fig6_point();
+    bench_tables();
+}

@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the substrates themselves: ISA
-//! decode/encode, assembler, protocol engine, NoC, and the full simulator's
+//! Timed micro-benchmarks of the substrates themselves: ISA decode/encode,
+//! assembler, protocol engine, NoC, and the full simulator's
 //! cycles-per-second.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+mod timer;
+
+use timer::{black_box, Group};
 
 use lrscwait_asm::Assembler;
 use lrscwait_core::harness::{drive_rmw_increments, Harness, SplitMix64};
@@ -12,106 +13,86 @@ use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_noc::{MempoolTopology, Network, TopologyConfig};
 use lrscwait_sim::{Machine, SimConfig};
 
-fn bench_isa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("isa");
-    group.sample_size(20);
+fn bench_isa() {
+    let group = Group::new("isa", 20);
     let words: Vec<u32> = (0..4096u32)
         .filter_map(|i| {
             let w = i.wrapping_mul(0x9E37_79B1) ^ 0x33;
-            lrscwait_isa::decode(w).ok().map(|d| lrscwait_isa::encode(&d))
+            lrscwait_isa::decode(w)
+                .ok()
+                .map(|d| lrscwait_isa::encode(&d))
         })
         .collect();
-    group.throughput(Throughput::Elements(words.len() as u64));
-    group.bench_function("decode", |b| {
-        b.iter(|| {
-            for &w in &words {
-                let _ = black_box(lrscwait_isa::decode(black_box(w)));
-            }
-        });
+    println!("({} decodable words)", words.len());
+    group.bench("decode", || {
+        for &w in &words {
+            let _ = black_box(lrscwait_isa::decode(black_box(w)));
+        }
     });
-    group.finish();
 }
 
-fn bench_assembler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assembler");
-    group.sample_size(20);
+fn bench_assembler() {
+    let group = Group::new("assembler", 20);
     let kernel = HistogramKernel::new(HistImpl::McsMwaitLock, 64, 16, 256);
-    group.bench_function("histogram_kernel", |b| {
-        b.iter(|| black_box(kernel.program()));
-    });
+    group.bench("histogram_kernel", || black_box(kernel.program()));
     let src = r#"
         _start: li t0, 100
         loop: addi t0, t0, -1
         bnez t0, loop
         ecall
     "#;
-    group.bench_function("small_program", |b| {
-        b.iter(|| black_box(Assembler::new().assemble(black_box(src)).unwrap()));
+    group.bench("small_program", || {
+        black_box(Assembler::new().assemble(black_box(src)).unwrap())
     });
-    group.finish();
 }
 
-fn bench_protocol(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol");
-    group.sample_size(20);
-    group.bench_function("colibri_rmw_ops", |b| {
-        b.iter(|| {
-            let arch = SyncArch::Colibri { queues: 2 };
-            let mut h = Harness::new(arch.build(8), 8);
-            let mut rng = SplitMix64::new(7);
-            let cores: Vec<u32> = (0..8).collect();
-            black_box(drive_rmw_increments(&mut h, &mut rng, &cores, 0x40, 10))
-        });
+fn bench_protocol() {
+    let group = Group::new("protocol", 20);
+    group.bench("colibri_rmw_ops", || {
+        let arch = SyncArch::Colibri { queues: 2 };
+        let mut h = Harness::new(arch.build(8), 8);
+        let mut rng = SplitMix64::new(7);
+        let cores: Vec<u32> = (0..8).collect();
+        black_box(drive_rmw_increments(&mut h, &mut rng, &cores, 0x40, 10))
     });
-    group.finish();
 }
 
-fn bench_noc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noc");
-    group.sample_size(20);
+fn bench_noc() {
+    let group = Group::new("noc", 20);
     let topo = MempoolTopology::new(TopologyConfig::mempool());
-    group.bench_function("advance_loaded", |b| {
-        b.iter(|| {
-            let mut net: Network<u32> = topo.build_request_network();
-            let mut out = Vec::new();
-            let mut now = 0u64;
-            for i in 0..512u32 {
-                let route = topo.request_route((i % 256) as usize, (i * 7 % 1024) as usize);
-                let _ = net.try_send(route, i, now);
-            }
-            for _ in 0..64 {
-                now += 1;
-                net.advance(now, &mut out);
-            }
-            black_box(out.len())
-        });
+    group.bench("advance_loaded", || {
+        let mut net: Network<u32> = topo.build_request_network();
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        for i in 0..512u32 {
+            let route = topo.request_route((i % 256) as usize, (i * 7 % 1024) as usize);
+            let _ = net.try_send(route, i, now);
+        }
+        for _ in 0..64 {
+            now += 1;
+            net.advance(now, &mut out);
+        }
+        black_box(out.len())
     });
-    group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn bench_simulator() {
+    let group = Group::new("simulator", 10);
     // Cycles/second of the full 256-core machine running the histogram.
     let kernel = HistogramKernel::new(HistImpl::AmoAdd, 64, 4, 256);
     let program = kernel.program();
-    group.bench_function("mempool_histogram_run", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::mempool(SyncArch::Lrsc);
-            let mut machine = Machine::new(cfg, &program).unwrap();
-            let summary = machine.run().unwrap();
-            black_box(summary.cycles)
-        });
+    group.bench("mempool_histogram_run", || {
+        let cfg = SimConfig::mempool(SyncArch::Lrsc);
+        let mut machine = Machine::new(cfg, &program).unwrap();
+        let summary = machine.run().unwrap();
+        black_box(summary.cycles)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_isa,
-    bench_assembler,
-    bench_protocol,
-    bench_noc,
-    bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    bench_isa();
+    bench_assembler();
+    bench_protocol();
+    bench_noc();
+    bench_simulator();
+}

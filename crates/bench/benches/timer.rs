@@ -1,0 +1,61 @@
+//! Minimal self-contained bench harness (no external deps, offline-safe).
+//!
+//! Used by the `figures` and `substrate` benches with `harness = false`:
+//! each case is warmed up once, run `samples` times, and reported as
+//! median / min wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named group of timed cases (mirrors the criterion API shape loosely).
+pub struct Group {
+    name: &'static str,
+    samples: usize,
+}
+
+impl Group {
+    /// A group running each case `samples` times.
+    pub fn new(name: &'static str, samples: usize) -> Group {
+        println!("\n# {name}");
+        Group { name, samples }
+    }
+
+    /// Times one case and prints median/min per-iteration wall time.
+    pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) {
+        // One warm-up iteration (page-in, allocator warm-up).
+        black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        println!(
+            "{}/{case}: median {} , min {} ({} samples)",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            self.samples
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

@@ -7,59 +7,85 @@
 //! 3. Colibri's extra hand-off round trips — measured against the ideal
 //!    queue at identical contention.
 
-use lrscwait_bench::{fmt_tp, markdown_table, run_histogram, write_csv, BenchArgs};
+use std::process::ExitCode;
+
+use lrscwait_bench::{fmt_tp, markdown_table, write_csv, BenchArgs, BenchError, Experiment};
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::HistImpl;
+use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_sim::SimConfig;
 
-fn main() {
-    let args = BenchArgs::from_env();
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("ablation", run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     let iters = if args.quick { 4 } else { 16 };
-    let bins_list: Vec<u32> = if args.quick { vec![16] } else { vec![1, 16, 256] };
+    let bins_list: Vec<u32> = if args.quick {
+        vec![16]
+    } else {
+        vec![1, 16, 256]
+    };
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-
-    // --- Ablation 1: Colibri queues per controller ---
+    // Ablation 1: Colibri queues per controller; ablation 2: centralized
+    // queue capacity. One flat (arch × bins) matrix across the sweep.
+    let mut points: Vec<(SyncArch, u32)> = Vec::new();
     for &bins in &bins_list {
         for queues in [1usize, 2, 4, 8] {
-            let arch = SyncArch::Colibri { queues };
-            let m = run_histogram(arch, HistImpl::LrscWait, bins, iters, SimConfig::mempool(arch));
-            eprintln!("ablation colibri q={queues} bins={bins}: {:.4}", m.throughput);
-            rows.push(vec![
-                format!("Colibri{queues}"),
-                bins.to_string(),
-                fmt_tp(m.throughput),
-                m.stats.adapters.wait_failfast.to_string(),
-            ]);
+            points.push((SyncArch::Colibri { queues }, bins));
         }
     }
-
-    // --- Ablation 2: centralized queue capacity ---
     for &bins in &bins_list {
         for slots in [1usize, 8, 64, 256] {
-            let arch = SyncArch::LrscWait { slots };
-            let m = run_histogram(arch, HistImpl::LrscWait, bins, iters, SimConfig::mempool(arch));
-            eprintln!("ablation waitq q={slots} bins={bins}: {:.4}", m.throughput);
-            rows.push(vec![
-                format!("LRSCwait{slots}"),
-                bins.to_string(),
-                fmt_tp(m.throughput),
-                m.stats.adapters.wait_failfast.to_string(),
-            ]);
+            points.push((SyncArch::LrscWait { slots }, bins));
         }
     }
 
+    let results = args.sweep("ablation").run(points, |(arch, bins)| {
+        let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+        let num_cores = cfg.topology.num_cores as u32;
+        let kernel = HistogramKernel::new(HistImpl::LrscWait, bins, iters, num_cores);
+        let m = Experiment::new(&kernel, cfg)
+            .label(arch.to_string())
+            .x(bins)
+            .run()?;
+        eprintln!("ablation {arch} bins={bins}: {:.4}", m.throughput);
+        Ok(m)
+    })?;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.clone(),
+                m.x.to_string(),
+                fmt_tp(m.throughput),
+                m.stats.adapters.wait_failfast.to_string(),
+            ]
+        })
+        .collect();
+
     write_csv(
+        &args.out,
         "ablation",
-        &["architecture", "bins", "updates_per_cycle", "failfast_responses"],
+        &[
+            "architecture",
+            "bins",
+            "updates_per_cycle",
+            "failfast_responses",
+        ],
         &rows,
-    );
+    )?;
     println!("\n## Ablation — reservation capacity vs contention\n");
     println!(
         "{}",
-        markdown_table(&["architecture", "bins", "updates/cycle", "fail-fast"], &rows)
+        markdown_table(
+            &["architecture", "bins", "updates/cycle", "fail-fast"],
+            &rows
+        )
     );
     println!("Findings: a single Colibri queue per controller already serves the");
     println!("histogram (one hot address per bank); the centralized queue needs");
     println!("q >= contenders-per-address before fail-fast retries disappear.");
+    Ok(())
 }

@@ -2,13 +2,22 @@
 //! contention (1…1024 bins, 256 cores): Atomic Add roofline, LRSCwait_ideal,
 //! LRSCwait128, LRSCwait1, Colibri, LRSC.
 
-use lrscwait_bench::{fmt_tp, markdown_table, run_histogram, write_csv, BenchArgs, Measurement};
+use std::process::ExitCode;
+
+use lrscwait_bench::{
+    check_claim, find_throughput, markdown_table, write_csv, BenchArgs, BenchError, Experiment,
+    Measurement,
+};
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::HistImpl;
+use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_sim::SimConfig;
 
-fn main() {
-    let args = BenchArgs::from_env();
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("fig3", run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     let bins: Vec<u32> = if args.quick {
         vec![1, 8, 64, 1024]
     } else {
@@ -18,39 +27,64 @@ fn main() {
 
     let series: Vec<(&str, HistImpl, SyncArch)> = vec![
         ("Atomic Add", HistImpl::AmoAdd, SyncArch::Lrsc),
-        ("LRSCwait_ideal", HistImpl::LrscWait, SyncArch::LrscWaitIdeal),
-        ("LRSCwait128", HistImpl::LrscWait, SyncArch::LrscWait { slots: 128 }),
-        ("LRSCwait1", HistImpl::LrscWait, SyncArch::LrscWait { slots: 1 }),
-        ("Colibri", HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }),
+        (
+            "LRSCwait_ideal",
+            HistImpl::LrscWait,
+            SyncArch::LrscWaitIdeal,
+        ),
+        (
+            "LRSCwait128",
+            HistImpl::LrscWait,
+            SyncArch::LrscWait { slots: 128 },
+        ),
+        (
+            "LRSCwait1",
+            HistImpl::LrscWait,
+            SyncArch::LrscWait { slots: 1 },
+        ),
+        (
+            "Colibri",
+            HistImpl::LrscWait,
+            SyncArch::Colibri { queues: 4 },
+        ),
         ("LRSC", HistImpl::Lrsc, SyncArch::Lrsc),
     ];
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut by_label: Vec<(String, Vec<Measurement>)> = Vec::new();
-    for (label, impl_, arch) in &series {
-        let mut points = Vec::new();
-        for &b in &bins {
-            let cfg = SimConfig::mempool(*arch);
-            let m = run_histogram(*arch, *impl_, b, iters, cfg);
-            eprintln!("fig3 {label} bins={b}: {:.4} updates/cycle", m.throughput);
-            rows.push(vec![
-                (*label).to_string(),
-                b.to_string(),
-                fmt_tp(m.throughput),
-                fmt_tp(m.lo),
-                fmt_tp(m.hi),
-                m.cycles.to_string(),
-            ]);
-            points.push(m);
-        }
-        by_label.push(((*label).to_string(), points));
-    }
+    // The full (series × bins) matrix, fanned across worker threads.
+    let points: Vec<(String, HistImpl, SyncArch, u32)> = series
+        .iter()
+        .flat_map(|&(label, impl_, arch)| {
+            bins.iter()
+                .map(move |&b| (label.to_string(), impl_, arch, b))
+        })
+        .collect();
+    let measurements = args.sweep("fig3").run(points, |(label, impl_, arch, b)| {
+        let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+        let num_cores = cfg.topology.num_cores as u32;
+        let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
+        let m = Experiment::new(&kernel, cfg).label(label).x(b).run()?;
+        eprintln!(
+            "fig3 {} bins={b}: {:.4} updates/cycle",
+            m.label, m.throughput
+        );
+        Ok(m)
+    })?;
+
+    let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();
 
     write_csv(
+        &args.out,
         "fig3",
-        &["series", "bins", "updates_per_cycle", "slowest_core", "fastest_core", "cycles"],
+        &[
+            "series",
+            "bins",
+            "updates_per_cycle",
+            "slowest_core",
+            "fastest_core",
+            "cycles",
+        ],
         &rows,
-    );
+    )?;
     println!("\n## Fig. 3 — histogram updates/cycle vs bins\n");
     println!(
         "{}",
@@ -61,29 +95,25 @@ fn main() {
     );
 
     // Qualitative checks mirroring the paper's claims.
-    let get = |label: &str, bin: u32| -> f64 {
-        by_label
-            .iter()
-            .find(|(l, _)| l == label)
-            .and_then(|(_, pts)| pts.iter().find(|m| m.x == bin))
-            .map(|m| m.throughput)
-            .expect("series present")
-    };
     let first_bin = bins[0];
-    let last_bin = *bins.last().expect("bins non-empty");
-    let colibri_hi = get("Colibri", first_bin);
-    let lrsc_hi = get("LRSC", first_bin);
+    let last_bin = *bins.last().unwrap_or(&first_bin);
+    let colibri_hi = find_throughput(&measurements, "Colibri", first_bin)?;
+    let lrsc_hi = find_throughput(&measurements, "LRSC", first_bin)?;
     println!(
         "high contention (bins={first_bin}): Colibri/LRSC = {:.2}x (paper: 6.5x)",
         colibri_hi / lrsc_hi
     );
     println!(
         "low contention (bins={last_bin}): Colibri/LRSC = {:.2}x (paper: 1.13x)",
-        get("Colibri", last_bin) / get("LRSC", last_bin)
+        find_throughput(&measurements, "Colibri", last_bin)?
+            / find_throughput(&measurements, "LRSC", last_bin)?
     );
     println!(
         "Colibri vs ideal at bins={first_bin}: {:.2}x (paper: slightly below 1)",
-        colibri_hi / get("LRSCwait_ideal", first_bin)
+        colibri_hi / find_throughput(&measurements, "LRSCwait_ideal", first_bin)?
     );
-    assert!(colibri_hi > lrsc_hi, "Colibri must beat LRSC under contention");
+    check_claim(
+        colibri_hi > lrsc_hi,
+        "Colibri must beat LRSC under contention",
+    )
 }

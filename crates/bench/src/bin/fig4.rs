@@ -3,13 +3,22 @@
 //! (MCS), LRSC, LRSC lock, Atomic Add lock. Spin locks use a 128-cycle
 //! backoff, as in the paper.
 
-use lrscwait_bench::{fmt_tp, markdown_table, run_histogram, write_csv, BenchArgs};
+use std::process::ExitCode;
+
+use lrscwait_bench::{
+    check_claim, find_throughput, markdown_table, write_csv, BenchArgs, BenchError, Experiment,
+    Measurement,
+};
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::HistImpl;
+use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_sim::SimConfig;
 
-fn main() {
-    let args = BenchArgs::from_env();
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("fig4", run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     let bins: Vec<u32> = if args.quick {
         vec![1, 8, 64, 1024]
     } else {
@@ -27,30 +36,40 @@ fn main() {
         ("Atomic Add lock", HistImpl::TicketLock, SyncArch::Lrsc),
     ];
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut results: Vec<(String, u32, f64)> = Vec::new();
-    for (label, impl_, arch) in &series {
-        for &b in &bins {
-            let cfg = SimConfig::mempool(*arch);
-            let m = run_histogram(*arch, *impl_, b, iters, cfg);
-            eprintln!("fig4 {label} bins={b}: {:.4} updates/cycle", m.throughput);
-            rows.push(vec![
-                (*label).to_string(),
-                b.to_string(),
-                fmt_tp(m.throughput),
-                fmt_tp(m.lo),
-                fmt_tp(m.hi),
-                m.cycles.to_string(),
-            ]);
-            results.push(((*label).to_string(), b, m.throughput));
-        }
-    }
+    let points: Vec<(String, HistImpl, SyncArch, u32)> = series
+        .iter()
+        .flat_map(|&(label, impl_, arch)| {
+            bins.iter()
+                .map(move |&b| (label.to_string(), impl_, arch, b))
+        })
+        .collect();
+    let measurements = args.sweep("fig4").run(points, |(label, impl_, arch, b)| {
+        let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+        let num_cores = cfg.topology.num_cores as u32;
+        let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
+        let m = Experiment::new(&kernel, cfg).label(label).x(b).run()?;
+        eprintln!(
+            "fig4 {} bins={b}: {:.4} updates/cycle",
+            m.label, m.throughput
+        );
+        Ok(m)
+    })?;
+
+    let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();
 
     write_csv(
+        &args.out,
         "fig4",
-        &["series", "bins", "updates_per_cycle", "slowest_core", "fastest_core", "cycles"],
+        &[
+            "series",
+            "bins",
+            "updates_per_cycle",
+            "slowest_core",
+            "fastest_core",
+            "cycles",
+        ],
         &rows,
-    );
+    )?;
     println!("\n## Fig. 4 — lock implementations vs generic RMW atomics\n");
     println!(
         "{}",
@@ -60,23 +79,21 @@ fn main() {
         )
     );
 
-    let get = |label: &str, bin: u32| -> f64 {
-        results
-            .iter()
-            .find(|(l, b, _)| l == label && *b == bin)
-            .map(|(_, _, t)| *t)
-            .expect("point measured")
-    };
     let first = bins[0];
-    println!(
-        "paper claim — Colibri outperforms all lock approaches at any contention:"
-    );
-    for other in ["Colibri lock", "Mwait lock", "LRSC", "LRSC lock", "Atomic Add lock"] {
-        let ratio = get("Colibri", first) / get(other, first);
+    println!("paper claim — Colibri outperforms all lock approaches at any contention:");
+    let colibri_first = find_throughput(&measurements, "Colibri", first)?;
+    for other in [
+        "Colibri lock",
+        "Mwait lock",
+        "LRSC",
+        "LRSC lock",
+        "Atomic Add lock",
+    ] {
+        let ratio = colibri_first / find_throughput(&measurements, other, first)?;
         println!("  Colibri vs {other} at bins={first}: {ratio:.2}x");
     }
-    assert!(
-        get("Colibri", first) > get("LRSC lock", first),
-        "Colibri must beat spin locks under contention"
-    );
+    check_claim(
+        colibri_first > find_throughput(&measurements, "LRSC lock", first)?,
+        "Colibri must beat spin locks under contention",
+    )
 }

@@ -1,89 +1,159 @@
 //! Fig. 5 — matrix-multiplication performance under interference from
 //! concurrent atomics. 256 cores are split poller:worker (252:4, 248:8,
-//! 192:64, 128:128); pollers hammer a small histogram while the workers run
-//! a matmul. Reported: worker throughput relative to an interference-free
+//! 192:64); pollers hammer a small histogram while the workers run a
+//! matmul. Reported: worker throughput relative to an interference-free
 //! baseline with the same worker count. Colibri pollers sleep in the
 //! reservation queue and leave the workers untouched; LRSC pollers' retry
 //! traffic congests the shared fabric and slows them severely.
 
-use lrscwait_bench::{markdown_table, run_matmul, write_csv, BenchArgs};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use lrscwait_bench::{check_claim, markdown_table, write_csv, BenchArgs, BenchError, Experiment};
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{MatmulKernel, PollerKind};
 use lrscwait_sim::SimConfig;
 
-fn main() {
-    let args = BenchArgs::from_env();
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("fig5", run)
+}
+
+/// One sweep point: a poller kind against a worker split and bin count.
+struct Point {
+    label: &'static str,
+    kind: PollerKind,
+    arch: SyncArch,
+    workers: u32,
+    bins: u32,
+    max_cycles: u64,
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     // Matrix dimension: 64 keeps the slowest point (4 workers) tractable;
     // the paper's 128:128 ratio is therefore approximated by 192:64 — the
     // trend (more pollers → more interference for LRSC, none for Colibri)
     // is unaffected. Worker counts must divide N.
     let n: u32 = if args.quick { 32 } else { 64 };
-    let bins: Vec<u32> = if args.quick { vec![1, 16] } else { vec![1, 4, 8, 12, 16] };
-    let ratios: Vec<u32> = if args.quick { vec![4, 8] } else { vec![4, 8, 64] };
+    let bins: Vec<u32> = if args.quick {
+        vec![1, 16]
+    } else {
+        vec![1, 4, 8, 12, 16]
+    };
+    let ratios: Vec<u32> = if args.quick {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 64]
+    };
     let num_cores = 256u32;
 
-    // Baselines: idle pollers, one per worker count.
-    let mut baseline = std::collections::HashMap::new();
+    // One flat matrix: the idle-poller baselines plus both loaded series,
+    // all fanned across the sweep workers together.
+    let mut points: Vec<Point> = ratios
+        .iter()
+        .map(|&workers| Point {
+            label: "baseline",
+            kind: PollerKind::Idle,
+            arch: SyncArch::Lrsc,
+            workers,
+            bins: 1,
+            max_cycles: 200_000_000,
+        })
+        .collect();
+    // Colibri pollers: the paper plots only the most extreme ratio (252:4).
+    for &b in &bins {
+        points.push(Point {
+            label: "Colibri",
+            kind: PollerKind::LrscWait,
+            arch: SyncArch::Colibri { queues: 4 },
+            workers: 4,
+            bins: b,
+            max_cycles: 400_000_000,
+        });
+    }
+    // LRSC pollers: every ratio.
     for &workers in &ratios {
-        let arch = SyncArch::Lrsc;
-        let mut cfg = SimConfig::mempool(arch);
-        cfg.max_cycles = 200_000_000;
-        let kernel = MatmulKernel::new(n, workers, num_cores, PollerKind::Idle);
-        let (cycles, _) = run_matmul(&kernel, arch, cfg);
-        eprintln!("fig5 baseline workers={workers}: {cycles} cycles");
-        baseline.insert(workers, cycles);
+        for &b in &bins {
+            points.push(Point {
+                label: "LRSC",
+                kind: PollerKind::Lrsc,
+                arch: SyncArch::Lrsc,
+                workers,
+                bins: b,
+                max_cycles: 400_000_000,
+            });
+        }
     }
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let run_series = |label: &str, kind: PollerKind, arch: SyncArch, workers: u32,
-                          rows: &mut Vec<Vec<String>>|
-     -> Vec<f64> {
-        let mut rels = Vec::new();
-        for &b in &bins {
-            let mut cfg = SimConfig::mempool(arch);
-            cfg.max_cycles = 400_000_000;
-            let kernel =
-                MatmulKernel::new(n, workers, num_cores, kind).with_poll_bins(b);
-            let (cycles, _) = run_matmul(&kernel, arch, cfg);
-            let rel = baseline[&workers] as f64 / cycles as f64;
-            eprintln!(
-                "fig5 {label} {}:{workers} bins={b}: relative {rel:.3} ({cycles} cycles)",
-                num_cores - workers
-            );
-            rows.push(vec![
-                label.to_string(),
-                format!("{}:{workers}", num_cores - workers),
-                b.to_string(),
-                format!("{rel:.4}"),
-                cycles.to_string(),
-            ]);
-            rels.push(rel);
-        }
-        rels
-    };
+    let results = args.sweep("fig5").run(points, |p| {
+        let cfg = SimConfig::builder()
+            .mempool()
+            .arch(p.arch)
+            .max_cycles(p.max_cycles)
+            .build()?;
+        let kernel = MatmulKernel::new(n, p.workers, num_cores, p.kind).with_poll_bins(p.bins);
+        let m = Experiment::new(&kernel, cfg)
+            .label(p.label)
+            .x(p.bins)
+            .run()?;
+        let cycles =
+            m.max_region_cycles(0..p.workers as usize)
+                .ok_or(BenchError::MissingMeasurement {
+                    label: p.label.to_string(),
+                    what: "worker region cycles",
+                })?;
+        eprintln!(
+            "fig5 {} {}:{} bins={}: {cycles} worker cycles",
+            p.label,
+            num_cores - p.workers,
+            p.workers,
+            p.bins
+        );
+        Ok((p, cycles))
+    })?;
 
-    // Colibri pollers: the paper plots only the most extreme ratio (252:4).
-    let colibri_rel = run_series(
-        "Colibri",
-        PollerKind::LrscWait,
-        SyncArch::Colibri { queues: 4 },
-        4,
-        &mut rows,
-    );
-    // LRSC pollers: every ratio.
-    let mut lrsc_extreme = Vec::new();
-    for &workers in &ratios {
-        let rels = run_series("LRSC", PollerKind::Lrsc, SyncArch::Lrsc, workers, &mut rows);
-        if workers == 4 {
-            lrsc_extreme = rels;
+    // Baselines: idle pollers, one per worker count.
+    let baseline: HashMap<u32, u64> = results
+        .iter()
+        .filter(|(p, _)| p.label == "baseline")
+        .map(|(p, cycles)| (p.workers, *cycles))
+        .collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut colibri_rel: Vec<f64> = Vec::new();
+    let mut lrsc_extreme: Vec<f64> = Vec::new();
+    for (p, cycles) in results.iter().filter(|(p, _)| p.label != "baseline") {
+        let base = *baseline.get(&p.workers).ok_or(BenchError::MissingPoint {
+            series: "baseline".to_string(),
+            x: p.workers,
+        })?;
+        let rel = base as f64 / *cycles as f64;
+        rows.push(vec![
+            p.label.to_string(),
+            format!("{}:{}", num_cores - p.workers, p.workers),
+            p.bins.to_string(),
+            format!("{rel:.4}"),
+            cycles.to_string(),
+        ]);
+        if p.label == "Colibri" {
+            colibri_rel.push(rel);
+        } else if p.workers == 4 {
+            lrsc_extreme.push(rel);
         }
     }
 
     write_csv(
+        &args.out,
         "fig5",
-        &["series", "poller_to_worker", "bins", "relative_throughput", "worker_cycles"],
+        &[
+            "series",
+            "poller_to_worker",
+            "bins",
+            "relative_throughput",
+            "worker_cycles",
+        ],
         &rows,
-    );
+    )?;
     println!("\n## Fig. 5 — matmul relative performance under interference\n");
     println!(
         "{}",
@@ -97,8 +167,8 @@ fn main() {
     let lrsc_min = lrsc_extreme.iter().copied().fold(f64::INFINITY, f64::min);
     println!("Colibri 252:4 worst-case relative throughput: {colibri_min:.3} (paper: ~1.0)");
     println!("LRSC    252:4 worst-case relative throughput: {lrsc_min:.3} (paper: ~0.26)");
-    assert!(
+    check_claim(
         colibri_min > lrsc_min,
-        "Colibri pollers must interfere less than LRSC pollers"
-    );
+        "Colibri pollers must interfere less than LRSC pollers",
+    )
 }

@@ -2,13 +2,22 @@
 //! queue on Colibri, Michael–Scott queue on LRSC, ticket-lock ring queue.
 //! The shaded fairness band (slowest/fastest core) is reported alongside.
 
-use lrscwait_bench::{fmt_tp, markdown_table, run_queue, write_csv, BenchArgs};
+use std::process::ExitCode;
+
+use lrscwait_bench::{
+    check_claim, find_throughput, markdown_table, write_csv, BenchArgs, BenchError, Experiment,
+    Measurement,
+};
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::QueueImpl;
+use lrscwait_kernels::{QueueImpl, QueueKernel};
 use lrscwait_sim::SimConfig;
 
-fn main() {
-    let args = BenchArgs::from_env();
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("fig6", run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     let cores: Vec<u32> = if args.quick {
         vec![1, 8, 64]
     } else {
@@ -17,48 +26,66 @@ fn main() {
     let iters = if args.quick { 8 } else { 16 };
 
     let series: Vec<(&str, QueueImpl, SyncArch)> = vec![
-        ("Colibri", QueueImpl::LrscWaitDirect, SyncArch::Colibri { queues: 4 }),
+        (
+            "Colibri",
+            QueueImpl::LrscWaitDirect,
+            SyncArch::Colibri { queues: 4 },
+        ),
         ("Atomic Add lock", QueueImpl::TicketRing, SyncArch::Lrsc),
         ("LRSC", QueueImpl::LrscMs, SyncArch::Lrsc),
     ];
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut results: Vec<(String, u32, f64)> = Vec::new();
-    for (label, impl_, arch) in &series {
-        for &active in &cores {
-            if *impl_ == QueueImpl::LrscMs && active > 128 {
-                // The Michael–Scott queue's CAS retry loops livelock beyond
-                // 128 cores on the single-slot-per-bank reservation even
-                // with exponential backoff — the degenerate end of the
-                // paper's "excessive retries and polling" curve.
-                eprintln!("fig6 {label} cores={active}: skipped (CAS livelock at this scale)");
-                continue;
-            }
-            let mut cfg = SimConfig::mempool(*arch);
-            cfg.max_cycles = 100_000_000;
+    let points: Vec<(String, QueueImpl, SyncArch, u32)> = series
+        .iter()
+        .flat_map(|&(label, impl_, arch)| {
+            cores.iter().filter_map(move |&active| {
+                if impl_ == QueueImpl::LrscMs && active > 128 {
+                    // The Michael–Scott queue's CAS retry loops livelock
+                    // beyond 128 cores on the single-slot-per-bank
+                    // reservation even with exponential backoff — the
+                    // degenerate end of the paper's "excessive retries and
+                    // polling" curve.
+                    eprintln!("fig6 {label} cores={active}: skipped (CAS livelock at this scale)");
+                    return None;
+                }
+                Some((label.to_string(), impl_, arch, active))
+            })
+        })
+        .collect();
+
+    let measurements = args
+        .sweep("fig6")
+        .run(points, |(label, impl_, arch, active)| {
+            let cfg = SimConfig::builder()
+                .mempool()
+                .arch(arch)
+                .max_cycles(100_000_000)
+                .build()?;
             // Non-participating cores halt immediately inside the kernel.
-            let m = run_queue(*arch, *impl_, active, iters, cfg);
+            let kernel = QueueKernel::new(impl_, iters, active);
+            let m = Experiment::new(&kernel, cfg).label(label).x(active).run()?;
             eprintln!(
-                "fig6 {label} cores={active}: {:.4} accesses/cycle [{:.4}, {:.4}]",
-                m.throughput, m.lo, m.hi
+                "fig6 {} cores={active}: {:.4} accesses/cycle [{:.4}, {:.4}]",
+                m.label, m.throughput, m.lo, m.hi
             );
-            rows.push(vec![
-                (*label).to_string(),
-                active.to_string(),
-                fmt_tp(m.throughput),
-                fmt_tp(m.lo),
-                fmt_tp(m.hi),
-                m.cycles.to_string(),
-            ]);
-            results.push(((*label).to_string(), active, m.throughput));
-        }
-    }
+            Ok(m)
+        })?;
+
+    let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();
 
     write_csv(
+        &args.out,
         "fig6",
-        &["series", "cores", "accesses_per_cycle", "slowest_core", "fastest_core", "cycles"],
+        &[
+            "series",
+            "cores",
+            "accesses_per_cycle",
+            "slowest_core",
+            "fastest_core",
+            "cycles",
+        ],
         &rows,
-    );
+    )?;
     println!("\n## Fig. 6 — queue accesses/cycle vs cores\n");
     println!(
         "{}",
@@ -68,29 +95,33 @@ fn main() {
         )
     );
 
-    let get = |label: &str, n: u32| -> f64 {
-        results
-            .iter()
-            .find(|(l, c, _)| l == label && *c == n)
-            .map(|(_, _, t)| *t)
-            .expect("point measured")
-    };
-    let mid = if args.quick { 8 } else { 8 };
+    let mid = 8;
     println!(
         "at {mid} cores: Colibri/LRSC = {:.2}x (paper: 1.54x), Colibri/lock = {:.2}x (paper: 1.48x)",
-        get("Colibri", mid) / get("LRSC", mid),
-        get("Colibri", mid) / get("Atomic Add lock", mid),
+        find_throughput(&measurements, "Colibri", mid)?
+            / find_throughput(&measurements, "LRSC", mid)?,
+        find_throughput(&measurements, "Colibri", mid)?
+            / find_throughput(&measurements, "Atomic Add lock", mid)?,
     );
     if !args.quick {
         println!(
             "at 64 cores: Colibri/LRSC = {:.2}x (paper: ~9x)",
-            get("Colibri", 64) / get("LRSC", 64)
+            find_throughput(&measurements, "Colibri", 64)?
+                / find_throughput(&measurements, "LRSC", 64)?
         );
     }
     // Compare at the largest core count every series completed.
-    let hi = *cores.iter().filter(|&&c| c <= 128).max().expect("non-empty");
-    assert!(
-        get("Colibri", hi) > get("LRSC", hi),
-        "Colibri queue must win at scale"
-    );
+    let hi = *cores
+        .iter()
+        .filter(|&&c| c <= 128)
+        .max()
+        .ok_or(BenchError::MissingPoint {
+            series: "Colibri".to_string(),
+            x: 0,
+        })?;
+    check_claim(
+        find_throughput(&measurements, "Colibri", hi)?
+            > find_throughput(&measurements, "LRSC", hi)?,
+        "Colibri queue must win at scale",
+    )
 }

@@ -2,11 +2,18 @@
 //! from the fitted parametric area model, plus the reservation-state
 //! scaling comparison that motivates Colibri (paper Fig. 1).
 
-use lrscwait_bench::{markdown_table, write_csv};
+use std::process::ExitCode;
+
+use lrscwait_bench::{check_claim, markdown_table, write_csv, BenchArgs, BenchError};
 use lrscwait_core::SyncArch;
 use lrscwait_model::{table1, AreaParams};
 
-fn main() {
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("table1", run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     let rows_model = table1();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &rows_model {
@@ -15,19 +22,33 @@ fn main() {
             r.parameters.clone(),
             format!("{:.0}", r.area_kge),
             format!("{:.1}", r.area_percent),
-            r.paper_kge.map_or_else(|| "infeasible".to_string(), |v| format!("{v:.0}")),
+            r.paper_kge
+                .map_or_else(|| "infeasible".to_string(), |v| format!("{v:.0}")),
         ]);
     }
     write_csv(
+        &args.out,
         "table1",
-        &["architecture", "parameters", "area_kge", "area_percent", "paper_kge"],
+        &[
+            "architecture",
+            "parameters",
+            "area_kge",
+            "area_percent",
+            "paper_kge",
+        ],
         &rows,
-    );
+    )?;
     println!("## Table I — area of a mempool_tile (model vs paper)\n");
     println!(
         "{}",
         markdown_table(
-            &["Architecture", "Parameters", "Area [kGE]", "Area [%]", "Paper [kGE]"],
+            &[
+                "Architecture",
+                "Parameters",
+                "Area [kGE]",
+                "Area [%]",
+                "Paper [kGE]"
+            ],
             &rows,
         )
     );
@@ -48,7 +69,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["cores x banks", "ideal queue [bits]", "Colibri [bits]", "ratio"],
+            &[
+                "cores x banks",
+                "ideal queue [bits]",
+                "Colibri [bits]",
+                "ratio"
+            ],
             &scale_rows,
         )
     );
@@ -57,8 +83,16 @@ fn main() {
     for r in &rows_model {
         if let Some(paper) = r.paper_kge {
             let err = (r.area_kge - paper).abs() / paper;
-            assert!(err < 0.01, "{}: {:.2}% off", r.label, 100.0 * err);
+            check_claim(
+                err < 0.01,
+                format!(
+                    "{}: area model {:.2}% off the published value",
+                    r.label,
+                    100.0 * err
+                ),
+            )?;
         }
     }
     println!("model within 1% of all published Table I rows");
+    Ok(())
 }

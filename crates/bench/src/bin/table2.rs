@@ -2,60 +2,95 @@
 //! maximum contention (1 bin, 256 cores), via the event-based energy model
 //! applied to full-system simulations.
 
-use lrscwait_bench::{markdown_table, run_histogram, write_csv, BenchArgs};
+use std::process::ExitCode;
+
+use lrscwait_bench::{check_claim, markdown_table, write_csv, BenchArgs, BenchError, Experiment};
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::HistImpl;
+use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_model::EnergyParams;
 use lrscwait_sim::SimConfig;
 
-fn main() {
-    let args = BenchArgs::from_env();
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("table2", run)
+}
+
+struct Row {
+    label: String,
+    pj_per_op: f64,
+    power_mw: f64,
+    paper_pj: f64,
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
     let iters = if args.quick { 8 } else { 16 };
     let energy = EnergyParams::default();
 
     // (label, impl, arch, backoff, paper pJ/op, paper mW)
     let configs: Vec<(&str, HistImpl, SyncArch, u32, f64, f64)> = vec![
-        ("Atomic Add", HistImpl::AmoAdd, SyncArch::Lrsc, 0, 29.0, 175.0),
-        ("Colibri", HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }, 0, 124.0, 169.0),
+        (
+            "Atomic Add",
+            HistImpl::AmoAdd,
+            SyncArch::Lrsc,
+            0,
+            29.0,
+            175.0,
+        ),
+        (
+            "Colibri",
+            HistImpl::LrscWait,
+            SyncArch::Colibri { queues: 4 },
+            0,
+            124.0,
+            169.0,
+        ),
         ("LRSC", HistImpl::Lrsc, SyncArch::Lrsc, 128, 884.0, 186.0),
-        ("Atomic Add lock", HistImpl::TicketLock, SyncArch::Lrsc, 128, 1092.0, 188.0),
+        (
+            "Atomic Add lock",
+            HistImpl::TicketLock,
+            SyncArch::Lrsc,
+            128,
+            1092.0,
+            188.0,
+        ),
     ];
 
-    struct Row {
-        label: String,
-        pj_per_op: f64,
-        power_mw: f64,
-        paper_pj: f64,
-    }
-    let mut measured = Vec::new();
-    for (label, impl_, arch, backoff, paper_pj, paper_mw) in &configs {
-        let cfg = SimConfig::mempool(*arch);
-        let num_cores = cfg.topology.num_cores as u32;
-        let kernel = lrscwait_kernels::HistogramKernel::new(*impl_, 1, iters, num_cores)
-            .with_backoff(*backoff);
-        // Re-run through the shared runner for the conservation check.
-        let m = {
-            let _ = kernel;
-            run_histogram(*arch, *impl_, 1, iters, cfg)
-        };
-        let report = energy.evaluate(&m.stats, m.cycles);
-        eprintln!(
-            "table2 {label}: {:.0} pJ/op, {:.1} mW (paper: {paper_pj} pJ/op, {paper_mw} mW)",
-            report.pj_per_op, report.power_mw
-        );
-        measured.push(Row {
-            label: (*label).to_string(),
-            pj_per_op: report.pj_per_op,
-            power_mw: report.power_mw,
-            paper_pj: *paper_pj,
-        });
-    }
+    let measured = args.sweep("table2").run(
+        configs,
+        |(label, impl_, arch, backoff, paper_pj, paper_mw)| {
+            let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+            let num_cores = cfg.topology.num_cores as u32;
+            let mut kernel = HistogramKernel::new(impl_, 1, iters, num_cores);
+            if backoff > 0 {
+                kernel = kernel.with_backoff(backoff);
+            }
+            let m = Experiment::new(&kernel, cfg).label(label).x(1).run()?;
+            let report = energy.evaluate(&m.stats, m.cycles);
+            eprintln!(
+                "table2 {label}: {:.0} pJ/op, {:.1} mW (paper: {paper_pj} pJ/op, {paper_mw} mW)",
+                report.pj_per_op, report.power_mw
+            );
+            Ok(Row {
+                label: label.to_string(),
+                pj_per_op: report.pj_per_op,
+                power_mw: report.power_mw,
+                paper_pj,
+            })
+        },
+    )?;
 
-    let colibri_pj = measured
-        .iter()
-        .find(|r| r.label == "Colibri")
-        .expect("Colibri row")
-        .pj_per_op;
+    let get = |label: &str| -> Result<f64, BenchError> {
+        measured
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.pj_per_op)
+            .ok_or_else(|| BenchError::MissingPoint {
+                series: label.to_string(),
+                x: 1,
+            })
+    };
+
+    let colibri_pj = get("Colibri")?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &measured {
         let delta = 100.0 * (r.pj_per_op - colibri_pj) / colibri_pj;
@@ -70,29 +105,50 @@ fn main() {
         ]);
     }
     write_csv(
+        &args.out,
         "table2",
-        &["config", "power_mw", "pj_per_op", "delta_vs_colibri", "paper_pj_per_op", "paper_delta"],
+        &[
+            "config",
+            "power_mw",
+            "pj_per_op",
+            "delta_vs_colibri",
+            "paper_pj_per_op",
+            "paper_delta",
+        ],
         &rows,
-    );
+    )?;
     println!("\n## Table II — energy per atomic access at maximum contention\n");
     println!(
         "{}",
         markdown_table(
-            &["Atomic access", "Power [mW]", "Energy [pJ/op]", "Δ", "Paper [pJ/op]", "Paper Δ"],
+            &[
+                "Atomic access",
+                "Power [mW]",
+                "Energy [pJ/op]",
+                "Δ",
+                "Paper [pJ/op]",
+                "Paper Δ"
+            ],
             &rows,
         )
     );
 
     // Qualitative ordering of the paper: AmoAdd < Colibri << LRSC < lock.
-    let get = |label: &str| measured.iter().find(|r| r.label == label).unwrap().pj_per_op;
-    assert!(get("Atomic Add") < get("Colibri"));
-    assert!(get("Colibri") < get("LRSC"));
-    assert!(get("LRSC") < get("Atomic Add lock"));
+    check_claim(
+        get("Atomic Add")? < get("Colibri")?,
+        "AmoAdd must undercut Colibri",
+    )?;
+    check_claim(get("Colibri")? < get("LRSC")?, "Colibri must undercut LRSC")?;
+    check_claim(
+        get("LRSC")? < get("Atomic Add lock")?,
+        "LRSC must undercut the lock",
+    )?;
     println!(
         "ordering reproduced: AmoAdd ({:.0}) < Colibri ({:.0}) < LRSC ({:.0}) < AA-lock ({:.0})",
-        get("Atomic Add"),
-        get("Colibri"),
-        get("LRSC"),
-        get("Atomic Add lock")
+        get("Atomic Add")?,
+        get("Colibri")?,
+        get("LRSC")?,
+        get("Atomic Add lock")?
     );
+    Ok(())
 }

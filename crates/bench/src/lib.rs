@@ -10,16 +10,151 @@
 //! | `fig5` | Fig. 5 — matmul slowdown under atomics interference |
 //! | `fig6` | Fig. 6 — queue throughput vs. core count |
 //! | `table2` | Table II — power and energy per operation |
+//! | `ablation` | Reservation-capacity ablation |
 //!
-//! Every binary accepts `--quick` (reduced sweep) and writes
-//! `results/<name>.csv` plus a markdown rendering to stdout.
+//! Every binary accepts `--quick` (reduced sweep), `--threads N` (sweep
+//! parallelism) and `--out DIR` (results directory, default `results/`),
+//! writes `<DIR>/<name>.csv` and prints a markdown rendering to stdout.
+//!
+//! # The experiment API
+//!
+//! A measurement is produced by running any [`Workload`] against any
+//! [`SimConfig`] through an [`Experiment`]; a figure is a [`Sweep`] of
+//! experiments fanned across worker threads (every [`Machine`] is
+//! independent, so sweeps scale near-linearly with cores):
+//!
+//! ```no_run
+//! use lrscwait_bench::{Experiment, Sweep};
+//! use lrscwait_core::SyncArch;
+//! use lrscwait_kernels::{HistImpl, HistogramKernel};
+//! use lrscwait_sim::SimConfig;
+//!
+//! # fn main() -> Result<(), lrscwait_bench::BenchError> {
+//! let points: Vec<u32> = vec![1, 16, 256];
+//! let measurements = Sweep::new("example").run(points, |bins| {
+//!     let arch = SyncArch::Colibri { queues: 4 };
+//!     let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+//!     let kernel = HistogramKernel::new(HistImpl::LrscWait, bins, 16, 256);
+//!     Experiment::new(&kernel, cfg).x(bins).run()
+//! })?;
+//! assert_eq!(measurements.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
 
+use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::{HistImpl, HistogramKernel, MatmulKernel, QueueKernel};
-use lrscwait_sim::{ExitReason, Machine, SimConfig, SimStats};
+use lrscwait_kernels::{
+    HistImpl, HistogramKernel, MatmulKernel, QueueKernel, VerifyError, Workload,
+};
+use lrscwait_sim::{ConfigError, ExitReason, Machine, SimConfig, SimError, SimStats, NUM_ARGS};
+
+/// Everything that can go wrong while producing a benchmark number.
+///
+/// The harness is `Result`-based end to end: a failed experiment surfaces
+/// as a typed error instead of a panic, so sweeps can report *which* point
+/// failed and runners can decide what to do about it.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The simulator configuration was rejected.
+    Config(ConfigError),
+    /// The machine could not be built or the program could not load.
+    Load(SimError),
+    /// The simulation itself faulted (kernel bug).
+    Run(SimError),
+    /// The watchdog fired before every core halted.
+    Watchdog {
+        /// Label of the offending experiment.
+        label: String,
+        /// Cycle count when the watchdog fired.
+        cycles: u64,
+    },
+    /// The run completed but computed wrong results.
+    Verify {
+        /// Label of the offending experiment.
+        label: String,
+        /// What was wrong.
+        source: VerifyError,
+    },
+    /// A required measurement point is missing from a sweep result.
+    MissingPoint {
+        /// Series label searched for.
+        series: String,
+        /// X value searched for.
+        x: u32,
+    },
+    /// An expected measurement (region cycles, throughput) was not taken.
+    MissingMeasurement {
+        /// Label of the offending experiment.
+        label: String,
+        /// What was missing.
+        what: &'static str,
+    },
+    /// A quantitative claim about the results did not hold.
+    ClaimFailed(String),
+    /// Results could not be written.
+    Io {
+        /// Path being written.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Bad command-line usage.
+    Usage(String),
+    /// `-h`/`--help` was requested (not a failure; [`run_main`] prints the
+    /// text to stdout and exits 0).
+    Help,
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Config(e) => write!(f, "invalid configuration: {e}"),
+            BenchError::Load(e) => write!(f, "failed to load program: {e}"),
+            BenchError::Run(e) => write!(f, "simulation faulted: {e}"),
+            BenchError::Watchdog { label, cycles } => {
+                write!(f, "{label}: watchdog fired after {cycles} cycles")
+            }
+            BenchError::Verify { label, source } => {
+                write!(f, "{label}: verification failed: {source}")
+            }
+            BenchError::MissingPoint { series, x } => {
+                write!(f, "sweep produced no measurement for {series} at x={x}")
+            }
+            BenchError::MissingMeasurement { label, what } => {
+                write!(f, "{label}: run produced no {what}")
+            }
+            BenchError::ClaimFailed(msg) => write!(f, "claim failed: {msg}"),
+            BenchError::Io { path, source } => write!(f, "writing {path}: {source}"),
+            BenchError::Usage(msg) => write!(f, "{msg}"),
+            BenchError::Help => write!(f, "{USAGE}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Config(e) => Some(e),
+            BenchError::Load(e) | BenchError::Run(e) => Some(e),
+            BenchError::Verify { source, .. } => Some(source),
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for BenchError {
+    fn from(e: ConfigError) -> BenchError {
+        BenchError::Config(e)
+    }
+}
 
 /// A measured throughput point.
 #[derive(Clone, Debug)]
@@ -28,7 +163,8 @@ pub struct Measurement {
     pub label: String,
     /// X value (bins, cores, …).
     pub x: u32,
-    /// Aggregate throughput in operations per cycle.
+    /// Aggregate throughput in operations per cycle (0 when the workload
+    /// counts no ops).
     pub throughput: f64,
     /// Slowest per-core throughput (fairness band).
     pub lo: f64,
@@ -40,110 +176,297 @@ pub struct Measurement {
     pub stats: SimStats,
 }
 
-/// Runs a histogram configuration and returns the measurement.
-///
-/// # Panics
-///
-/// Panics when the kernel fails to load, faults, or hits the watchdog —
-/// benchmarks must run to completion to be meaningful.
-#[must_use]
-pub fn run_histogram(
-    arch: SyncArch,
-    impl_: HistImpl,
-    bins: u32,
-    iters: u32,
-    cfg: SimConfig,
-) -> Measurement {
-    let num_cores = cfg.topology.num_cores as u32;
-    let kernel = HistogramKernel::new(impl_, bins, iters, num_cores);
-    let program = kernel.program();
-    let mut machine = Machine::new(cfg, &program).expect("histogram loads");
-    let summary = machine.run().expect("histogram runs");
-    assert_eq!(
-        summary.exit,
-        ExitReason::AllHalted,
-        "{impl_:?}/{arch} bins={bins}: watchdog"
-    );
-    // Functional conservation check: no benchmark number without a correct run.
-    let base = program.symbol("bins");
-    let total: u64 = (0..bins)
-        .map(|b| u64::from(machine.read_word(base + 4 * b)))
-        .sum();
-    assert_eq!(total, kernel.expected_total(), "{impl_:?} lost updates");
-    let stats = machine.stats();
-    let (lo, hi) = stats.throughput_range().unwrap_or((0.0, 0.0));
-    Measurement {
-        label: impl_.label().to_string(),
-        x: bins,
-        throughput: stats.throughput().unwrap_or(0.0),
-        lo,
-        hi,
-        cycles: summary.cycles,
-        stats,
+impl Measurement {
+    /// The standard figure CSV row:
+    /// `[label, x, throughput, lo, hi, cycles]`.
+    #[must_use]
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.label.clone(),
+            self.x.to_string(),
+            fmt_tp(self.throughput),
+            fmt_tp(self.lo),
+            fmt_tp(self.hi),
+            self.cycles.to_string(),
+        ]
+    }
+
+    /// Longest measured-region length among `cores`, when every one of them
+    /// wrote both region markers (e.g. the worker partition of the matmul
+    /// interference workload).
+    #[must_use]
+    pub fn max_region_cycles(&self, cores: std::ops::Range<usize>) -> Option<u64> {
+        self.stats.cores.get(cores).and_then(|slice| {
+            slice
+                .iter()
+                .map(lrscwait_sim::CoreStats::region_cycles)
+                .collect::<Option<Vec<_>>>()
+                .and_then(|v| v.into_iter().max())
+        })
     }
 }
 
-/// Runs a queue configuration with `active` participating cores.
+/// One workload run against one machine configuration.
 ///
-/// # Panics
-///
-/// Panics on load/run failures or lost queue elements.
-#[must_use]
-pub fn run_queue(
-    _arch: SyncArch,
-    impl_: lrscwait_kernels::QueueImpl,
-    active: u32,
-    iters: u32,
+/// Builder-style: construct with [`Experiment::new`], optionally attach a
+/// series [`label`](Experiment::label) and [`x`](Experiment::x) value, then
+/// [`run`](Experiment::run). The run loads the program, applies the
+/// workload's MMIO arguments and memory initialization, simulates to
+/// completion, enforces the watchdog, and functionally verifies the result
+/// — no benchmark number without a correct run.
+pub struct Experiment<'w> {
+    workload: &'w dyn Workload,
     cfg: SimConfig,
-) -> Measurement {
-    let kernel = QueueKernel::new(impl_, iters, active);
-    let program = kernel.program();
-    let cfg = cfg.with_arg(0, active);
-    let mut machine = Machine::new(cfg, &program).expect("queue kernel loads");
-    let summary = machine.run().expect("queue kernel runs");
-    assert_eq!(summary.exit, ExitReason::AllHalted, "{impl_:?} watchdog");
-    let checks = program.symbol("checks");
-    let mut sum = 0u32;
-    for c in 0..active {
-        sum = sum.wrapping_add(machine.read_word(checks + 4 * c));
+    label: Option<String>,
+    x: u32,
+}
+
+impl<'w> Experiment<'w> {
+    /// Pairs a workload with a machine configuration.
+    #[must_use]
+    pub fn new(workload: &'w dyn Workload, cfg: SimConfig) -> Experiment<'w> {
+        Experiment {
+            workload,
+            cfg,
+            label: None,
+            x: 0,
+        }
     }
-    assert_eq!(sum, kernel.expected_checksum(), "{impl_:?} lost elements");
-    let stats = machine.stats();
-    let (lo, hi) = stats.throughput_range().unwrap_or((0.0, 0.0));
-    Measurement {
-        label: impl_.label().to_string(),
-        x: active,
-        throughput: stats.throughput().unwrap_or(0.0),
-        lo,
-        hi,
-        cycles: summary.cycles,
-        stats,
+
+    /// Overrides the series label (default: the workload's own label).
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Experiment<'w> {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the x-axis value recorded in the measurement.
+    #[must_use]
+    pub fn x(mut self, x: u32) -> Experiment<'w> {
+        self.x = x;
+        self
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`BenchError::Config`] — workload arguments outside the MMIO window
+    ///   or an inconsistent machine configuration;
+    /// * [`BenchError::Load`] — the program image does not fit or decode;
+    /// * [`BenchError::Run`] — the simulation faulted;
+    /// * [`BenchError::Watchdog`] — not every core halted in time;
+    /// * [`BenchError::Verify`] — the computation produced wrong results,
+    ///   including a mismatched MMIO op count.
+    pub fn run(self) -> Result<Measurement, BenchError> {
+        let label = self.label.unwrap_or_else(|| self.workload.label());
+        let mut cfg = self.cfg;
+        for (i, value) in self.workload.args() {
+            if i >= NUM_ARGS {
+                return Err(BenchError::Config(ConfigError::ArgIndexOutOfRange {
+                    index: i,
+                }));
+            }
+            cfg.args[i] = value;
+        }
+        let program = self.workload.program();
+        let mut machine = Machine::new(cfg, &program).map_err(BenchError::Load)?;
+        self.workload.init(&mut machine);
+        let summary = machine.run().map_err(BenchError::Run)?;
+        if summary.exit != ExitReason::AllHalted {
+            return Err(BenchError::Watchdog {
+                label,
+                cycles: summary.cycles,
+            });
+        }
+        self.workload
+            .verify(&machine)
+            .map_err(|source| BenchError::Verify {
+                label: label.clone(),
+                source,
+            })?;
+        let stats = machine.stats();
+        if let Some(expected) = self.workload.expected_ops() {
+            let actual = stats.total_ops();
+            if actual != expected {
+                return Err(BenchError::Verify {
+                    label,
+                    source: VerifyError::Conservation {
+                        what: "MMIO op counter",
+                        expected,
+                        actual,
+                    },
+                });
+            }
+        }
+        let (lo, hi) = stats.throughput_range().unwrap_or((0.0, 0.0));
+        Ok(Measurement {
+            label,
+            x: self.x,
+            throughput: stats.throughput().unwrap_or(0.0),
+            lo,
+            hi,
+            cycles: summary.cycles,
+            stats,
+        })
     }
 }
 
-/// Worker region cycles (max across workers) of a matmul run.
-///
-/// # Panics
-///
-/// Panics on load/run failures.
+/// Default sweep parallelism: every available core, but always more than
+/// one so the figure binaries exercise the parallel path.
 #[must_use]
-pub fn run_matmul(kernel: &MatmulKernel, arch: SyncArch, cfg: SimConfig) -> (u64, SimStats) {
-    let program = kernel.program();
-    let mut machine = Machine::new(cfg, &program).expect("matmul loads");
-    let summary = machine.run().expect("matmul runs");
-    assert_eq!(
-        summary.exit,
-        ExitReason::AllHalted,
-        "matmul watchdog ({:?} pollers on {arch})",
-        kernel.pollers
-    );
-    let stats = machine.stats();
-    let worker_cycles = stats.cores[..kernel.workers as usize]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(2, std::num::NonZeroUsize::get)
+        .max(2)
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Fans a list of independent sweep points across worker threads.
+///
+/// Every simulated [`Machine`] is fully independent, so the
+/// (workload × architecture × x-axis) matrix of a figure parallelizes
+/// trivially; results come back **in point order** regardless of thread
+/// scheduling, which keeps CSV output byte-deterministic. On the first
+/// error the sweep stops handing out new points and returns that error.
+pub struct Sweep {
+    name: String,
+    threads: usize,
+    quiet: bool,
+}
+
+impl Sweep {
+    /// A sweep with the default thread count (see [`default_threads`]).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Sweep {
+        Sweep {
+            name: name.into(),
+            threads: default_threads(),
+            quiet: false,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Sweep {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Suppresses the progress line (used by determinism tests).
+    #[must_use]
+    pub fn quiet(mut self) -> Sweep {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs `f` over every point, in parallel, preserving point order in
+    /// the returned vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed error any worker produced.
+    pub fn run<P, T, F>(&self, points: Vec<P>, f: F) -> Result<Vec<T>, BenchError>
+    where
+        P: Send,
+        T: Send,
+        F: Fn(P) -> Result<T, BenchError> + Sync,
+    {
+        let n = points.len();
+        let threads = self.threads.min(n.max(1));
+        if !self.quiet {
+            eprintln!("{}: sweeping {n} points on {threads} threads", self.name);
+        }
+        let queue = Mutex::new(points.into_iter().enumerate());
+        let cells: Vec<Mutex<Option<Result<T, BenchError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let next = lock_ignoring_poison(&queue).next();
+                    let Some((index, point)) = next else { break };
+                    let result = f(point);
+                    if result.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    *lock_ignoring_poison(&cells[index]) = Some(result);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for cell in cells {
+            match cell
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(e)) => return Err(e),
+                // A later point errored first and this one was skipped;
+                // surface the error found further down instead.
+                None => continue,
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Finds the throughput of series `label` at x value `x`.
+///
+/// # Errors
+///
+/// Returns [`BenchError::MissingPoint`] when the sweep has no such point.
+pub fn find_throughput(
+    measurements: &[Measurement],
+    label: &str,
+    x: u32,
+) -> Result<f64, BenchError> {
+    measurements
         .iter()
-        .map(|c| c.region_cycles().expect("worker measured a region"))
-        .max()
-        .expect("at least one worker");
-    (worker_cycles, stats)
+        .find(|m| m.label == label && m.x == x)
+        .map(|m| m.throughput)
+        .ok_or_else(|| BenchError::MissingPoint {
+            series: label.to_string(),
+            x,
+        })
+}
+
+/// Standard `main` wrapper for the figure binaries: runs `f`, prints help
+/// to stdout (exit 0) and errors to stderr (exit 2).
+pub fn run_main(name: &str, f: impl FnOnce() -> Result<(), BenchError>) -> std::process::ExitCode {
+    match f() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(BenchError::Help) => {
+            println!("{USAGE}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{name}: error: {e}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+/// Turns a failed quantitative claim into a typed error (replacing
+/// `assert!`-driven control flow on bench run paths).
+///
+/// # Errors
+///
+/// Returns [`BenchError::ClaimFailed`] when `condition` is false.
+pub fn check_claim(condition: bool, message: impl Into<String>) -> Result<(), BenchError> {
+    if condition {
+        Ok(())
+    } else {
+        Err(BenchError::ClaimFailed(message.into()))
+    }
 }
 
 /// Standard mapping of a figure legend entry to (kernel impl, architecture).
@@ -159,36 +482,117 @@ pub fn arch_for(impl_: HistImpl, colibri_queues: usize) -> SyncArch {
     }
 }
 
-/// Parses harness CLI flags.
-#[derive(Clone, Copy, Debug, Default)]
+/// Usage text shared by every figure binary.
+pub const USAGE: &str = "\
+usage: <figure binary> [--quick] [--threads N] [--out DIR]
+  --quick       reduced sweep for CI / smoke testing
+  --threads N   sweep worker threads (default: all cores, min 2)
+  --out DIR     results directory (default: results)
+  -h, --help    show this help";
+
+/// Parsed harness CLI flags.
+#[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Reduced sweep for CI / smoke testing.
     pub quick: bool,
+    /// Sweep parallelism override (`None`: [`default_threads`]).
+    pub threads: Option<usize>,
+    /// Results directory.
+    pub out: PathBuf,
 }
 
-impl BenchArgs {
-    /// Reads flags from `std::env::args`.
-    #[must_use]
-    pub fn from_env() -> BenchArgs {
-        let mut args = BenchArgs::default();
-        for a in std::env::args().skip(1) {
-            match a.as_str() {
-                "--quick" => args.quick = true,
-                other => eprintln!("ignoring unknown flag `{other}`"),
-            }
+impl Default for BenchArgs {
+    fn default() -> BenchArgs {
+        BenchArgs {
+            quick: false,
+            threads: None,
+            out: PathBuf::from("results"),
         }
-        args
     }
 }
 
-/// Writes rows as CSV under `results/`, creating the directory.
+impl BenchArgs {
+    /// Parses flags, rejecting anything unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Usage`] (including the usage text) on unknown
+    /// flags, missing or malformed values, and `--help`.
+    pub fn parse<I>(args: I) -> Result<BenchArgs, BenchError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => parsed.quick = true,
+                "--threads" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--threads needs a value\n{USAGE}"))
+                    })?;
+                    let threads: usize = value.parse().map_err(|_| {
+                        BenchError::Usage(format!("--threads: `{value}` is not a count\n{USAGE}"))
+                    })?;
+                    if threads == 0 {
+                        return Err(BenchError::Usage(format!(
+                            "--threads must be at least 1\n{USAGE}"
+                        )));
+                    }
+                    parsed.threads = Some(threads);
+                }
+                "--out" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--out needs a directory\n{USAGE}"))
+                    })?;
+                    parsed.out = PathBuf::from(value);
+                }
+                "-h" | "--help" => return Err(BenchError::Help),
+                other => {
+                    return Err(BenchError::Usage(format!(
+                        "unknown flag `{other}`\n{USAGE}"
+                    )));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Reads flags from `std::env::args`.
+    ///
+    /// # Errors
+    ///
+    /// See [`BenchArgs::parse`].
+    pub fn from_env() -> Result<BenchArgs, BenchError> {
+        BenchArgs::parse(std::env::args().skip(1))
+    }
+
+    /// A [`Sweep`] honouring the `--threads` override.
+    #[must_use]
+    pub fn sweep(&self, name: impl Into<String>) -> Sweep {
+        let sweep = Sweep::new(name);
+        match self.threads {
+            Some(t) => sweep.threads(t),
+            None => sweep,
+        }
+    }
+}
+
+/// Writes rows as `<dir>/<name>.csv`, creating the directory.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors (benchmark results must not be silently lost).
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
+/// Returns [`BenchError::Io`] when the directory or file cannot be written.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> Result<PathBuf, BenchError> {
+    std::fs::create_dir_all(dir).map_err(|source| BenchError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
     let mut text = header.join(",");
     text.push('\n');
     for row in rows {
@@ -196,8 +600,12 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
         text.push('\n');
     }
     let path = dir.join(format!("{name}.csv"));
-    std::fs::write(&path, text).expect("write results csv");
+    std::fs::write(&path, text).map_err(|source| BenchError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
     eprintln!("wrote {}", path.display());
+    Ok(path)
 }
 
 /// Renders a markdown table.
@@ -205,7 +613,11 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| {} |", header.join(" | "));
-    let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }
@@ -218,35 +630,140 @@ pub fn fmt_tp(v: f64) -> String {
     format!("{v:.4}")
 }
 
+/// Runs a histogram configuration and returns the measurement.
+///
+/// # Panics
+///
+/// Panics when the experiment fails in any way.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(&HistogramKernel, cfg)` instead"
+)]
+#[must_use]
+pub fn run_histogram(
+    _arch: SyncArch,
+    impl_: HistImpl,
+    bins: u32,
+    iters: u32,
+    cfg: SimConfig,
+) -> Measurement {
+    let num_cores = cfg.topology.num_cores as u32;
+    let kernel = HistogramKernel::new(impl_, bins, iters, num_cores);
+    Experiment::new(&kernel, cfg)
+        .x(bins)
+        .run()
+        .expect("histogram benchmark must complete")
+}
+
+/// Runs a queue configuration with `active` participating cores.
+///
+/// # Panics
+///
+/// Panics when the experiment fails in any way.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(&QueueKernel, cfg)` instead"
+)]
+#[must_use]
+pub fn run_queue(
+    _arch: SyncArch,
+    impl_: lrscwait_kernels::QueueImpl,
+    active: u32,
+    iters: u32,
+    cfg: SimConfig,
+) -> Measurement {
+    let kernel = QueueKernel::new(impl_, iters, active);
+    Experiment::new(&kernel, cfg)
+        .x(active)
+        .run()
+        .expect("queue benchmark must complete")
+}
+
+/// Worker region cycles (max across workers) of a matmul run.
+///
+/// # Panics
+///
+/// Panics when the experiment fails in any way.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(&MatmulKernel, cfg)` instead"
+)]
+#[must_use]
+pub fn run_matmul(kernel: &MatmulKernel, _arch: SyncArch, cfg: SimConfig) -> (u64, SimStats) {
+    let m = Experiment::new(kernel, cfg)
+        .run()
+        .expect("matmul benchmark must complete");
+    let cycles = m
+        .max_region_cycles(0..kernel.workers as usize)
+        .expect("every worker measured a region");
+    (cycles, m.stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lrscwait_kernels::PollerKind;
+    use lrscwait_kernels::{PollerKind, QueueImpl};
 
     #[test]
-    fn histogram_measurement_small() {
-        let cfg = SimConfig::small(4, SyncArch::Lrsc);
-        let m = run_histogram(SyncArch::Lrsc, HistImpl::AmoAdd, 8, 8, cfg);
+    fn histogram_experiment_small() {
+        let cfg = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::Lrsc)
+            .build()
+            .unwrap();
+        let kernel = HistogramKernel::new(HistImpl::AmoAdd, 8, 8, 4);
+        let m = Experiment::new(&kernel, cfg).x(8).run().unwrap();
         assert!(m.throughput > 0.0);
         assert!(m.lo <= m.hi);
         assert_eq!(m.stats.total_ops(), 32);
+        assert_eq!(m.label, "Atomic Add");
+        assert_eq!(m.x, 8);
     }
 
     #[test]
-    fn queue_measurement_small() {
+    fn queue_experiment_small() {
         let arch = SyncArch::Colibri { queues: 4 };
-        let cfg = SimConfig::small(4, arch);
-        let m = run_queue(arch, lrscwait_kernels::QueueImpl::LrscWaitDirect, 4, 8, cfg);
+        let cfg = SimConfig::builder().cores(4).arch(arch).build().unwrap();
+        let kernel = QueueKernel::new(QueueImpl::LrscWaitDirect, 8, 4);
+        let m = Experiment::new(&kernel, cfg).x(4).run().unwrap();
         assert!(m.throughput > 0.0);
         assert_eq!(m.stats.total_ops(), 64);
     }
 
     #[test]
-    fn matmul_measurement_small() {
+    fn matmul_experiment_small() {
         let arch = SyncArch::Lrsc;
         let kernel = MatmulKernel::new(8, 2, 4, PollerKind::Idle);
-        let (cycles, _) = run_matmul(&kernel, arch, SimConfig::small(4, arch));
+        let cfg = SimConfig::builder().cores(4).arch(arch).build().unwrap();
+        let m = Experiment::new(&kernel, cfg).run().unwrap();
+        let cycles = m.max_region_cycles(0..2).unwrap();
         assert!(cycles > 100);
+        // Verification ran: the result matrix was checked against init().
+    }
+
+    #[test]
+    fn experiment_label_override() {
+        let cfg = SimConfig::builder().cores(2).build().unwrap();
+        let kernel = HistogramKernel::new(HistImpl::AmoAdd, 4, 4, 2);
+        let m = Experiment::new(&kernel, cfg)
+            .label("Roofline")
+            .x(4)
+            .run()
+            .unwrap();
+        assert_eq!(m.label, "Roofline");
+    }
+
+    #[test]
+    fn watchdog_is_typed_error() {
+        let cfg = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::Lrsc)
+            .max_cycles(50)
+            .build()
+            .unwrap();
+        let kernel = HistogramKernel::new(HistImpl::AmoAdd, 8, 64, 4);
+        let err = Experiment::new(&kernel, cfg).run().unwrap_err();
+        assert!(matches!(err, BenchError::Watchdog { .. }), "{err}");
     }
 
     #[test]
@@ -263,5 +780,57 @@ mod tests {
         let md = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
         assert!(md.contains("| a | b |"));
         assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn args_reject_unknown_flags() {
+        let err = BenchArgs::parse(vec!["--frobnicate".to_string()]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown flag"), "{msg}");
+        assert!(msg.contains("usage:"), "{msg}");
+    }
+
+    #[test]
+    fn args_parse_all_flags() {
+        let args =
+            BenchArgs::parse(["--quick", "--threads", "3", "--out", "outdir"].map(String::from))
+                .unwrap();
+        assert!(args.quick);
+        assert_eq!(args.threads, Some(3));
+        assert_eq!(args.out, PathBuf::from("outdir"));
+    }
+
+    #[test]
+    fn args_reject_bad_thread_counts() {
+        assert!(BenchArgs::parse(["--threads".to_string()]).is_err());
+        assert!(BenchArgs::parse(["--threads", "zero"].map(String::from)).is_err());
+        assert!(BenchArgs::parse(["--threads", "0"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn sweep_preserves_point_order() {
+        let sweep = Sweep::new("order-test").threads(4).quiet();
+        let results = sweep.run((0..64u32).collect(), |x| Ok(x * 2)).unwrap();
+        assert_eq!(results, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_propagates_errors() {
+        let sweep = Sweep::new("error-test").threads(2).quiet();
+        let err = sweep
+            .run(vec![1u32, 2, 3], |x| {
+                if x == 2 {
+                    Err(BenchError::ClaimFailed("point 2 fails".into()))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, BenchError::ClaimFailed(_)), "{err}");
+    }
+
+    #[test]
+    fn default_threads_is_parallel() {
+        assert!(default_threads() > 1);
     }
 }

@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn factory_builds_matching_labels() {
         assert_eq!(SyncArch::Lrsc.build(4).label(), "LRSC");
-        assert_eq!(SyncArch::LrscWait { slots: 8 }.build(4).label(), "LRSCwait8");
+        assert_eq!(
+            SyncArch::LrscWait { slots: 8 }.build(4).label(),
+            "LRSCwait8"
+        );
         assert_eq!(SyncArch::LrscWaitIdeal.build(16).label(), "LRSCwait_ideal");
         assert_eq!(SyncArch::Colibri { queues: 2 }.build(4).label(), "Colibri2");
     }

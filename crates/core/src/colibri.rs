@@ -74,7 +74,10 @@ impl ColibriAdapter {
     /// Panics when `queues` is zero.
     #[must_use]
     pub fn new(queues: usize) -> ColibriAdapter {
-        assert!(queues > 0, "Colibri needs at least one queue per controller");
+        assert!(
+            queues > 0,
+            "Colibri needs at least one queue per controller"
+        );
         ColibriAdapter {
             slots: vec![QueueSlot::free(); queues],
             slot: SingleSlotLrsc::new(),
@@ -266,7 +269,13 @@ impl SyncAdapter for ColibriAdapter {
                 let value = mem.read_word(addr);
                 if value != expected {
                     // Already changed: immediate notification, no enqueue.
-                    out.push((src, MemResponse::Wait { value, reserved: false }));
+                    out.push((
+                        src,
+                        MemResponse::Wait {
+                            value,
+                            reserved: false,
+                        },
+                    ));
                 } else {
                     self.enqueue_wait(src, addr, WaitMode::MWait, mem, out);
                 }
@@ -380,17 +389,40 @@ mod tests {
 
         // (1)+(2) A's lrwait: queue empty, head=tail=A, value returned.
         let r = run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
-        assert_eq!(r, vec![(0, MemResponse::Wait { value: 100, reserved: true })]);
+        assert_eq!(
+            r,
+            vec![(
+                0,
+                MemResponse::Wait {
+                    value: 100,
+                    reserved: true
+                }
+            )]
+        );
 
         // (3)+(4) B's lrwait: appended at tail, SuccessorUpdate to A.
         let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
         assert_eq!(
             r,
-            vec![(0, MemResponse::SuccessorUpdate { successor: 1, mode: WaitMode::LrWait })]
+            vec![(
+                0,
+                MemResponse::SuccessorUpdate {
+                    successor: 1,
+                    mode: WaitMode::LrWait
+                }
+            )]
         );
 
         // (5) A's scwait: write accepted, head temporarily invalidated.
-        let r = run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 101 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 101,
+            },
+        );
         assert_eq!(r, vec![(0, MemResponse::ScWait { success: true })]);
         assert!(!a.is_quiescent());
 
@@ -399,12 +431,33 @@ mod tests {
             &mut a,
             &mut mem,
             0,
-            MemRequest::WakeUp { addr: 0x40, successor: 1, mode: WaitMode::LrWait },
+            MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 1,
+                mode: WaitMode::LrWait,
+            },
         );
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 101, reserved: true })]);
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 101,
+                    reserved: true
+                }
+            )]
+        );
 
         // B finishes; head==tail, slot freed.
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 102 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 102,
+            },
+        );
         assert_eq!(r, vec![(1, MemResponse::ScWait { success: true })]);
         assert!(a.is_quiescent());
         assert_eq!(mem.read_word(0x40), 102);
@@ -417,7 +470,16 @@ mod tests {
         run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
         // A different address with all head/tail pairs busy: fail fast.
         let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x80 });
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 0, reserved: false })]);
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 0,
+                    reserved: false
+                }
+            )]
+        );
         assert_eq!(a.stats().wait_failfast, 1);
     }
 
@@ -425,8 +487,14 @@ mod tests {
     fn two_queues_track_two_addresses() {
         let mut a = ColibriAdapter::new(2);
         let mut mem = MapStorage::new();
-        assert_eq!(run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 }).len(), 1);
-        assert_eq!(run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x80 }).len(), 1);
+        assert_eq!(
+            run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 }).len(),
+            1
+        );
+        assert_eq!(
+            run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x80 }).len(),
+            1
+        );
         assert_eq!(a.occupancy(), 2);
     }
 
@@ -435,8 +503,25 @@ mod tests {
         let mut a = ColibriAdapter::new(1);
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
-        run(&mut a, &mut mem, 2, MemRequest::Store { addr: 0x40, value: 5, mask: !0 });
-        let r = run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 1 });
+        run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 5,
+                mask: !0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         assert_eq!(r, vec![(0, MemResponse::ScWait { success: false })]);
         assert_eq!(mem.read_word(0x40), 5);
         assert!(a.is_quiescent(), "single-member queue freed after scwait");
@@ -448,7 +533,15 @@ mod tests {
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 9 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 9,
+            },
+        );
         assert_eq!(r, vec![(1, MemResponse::ScWait { success: false })]);
         assert_eq!(mem.read_word(0x40), 0, "non-head must not write");
     }
@@ -459,9 +552,25 @@ mod tests {
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
-        run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 1 });
+        run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         // A second scwait from the stale head (before the WakeUp) must fail.
-        let r = run(&mut a, &mut mem, 0, MemRequest::ScWait { addr: 0x40, value: 7 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 7,
+            },
+        );
         assert_eq!(r, vec![(0, MemResponse::ScWait { success: false })]);
         assert_eq!(mem.read_word(0x40), 1);
     }
@@ -470,17 +579,43 @@ mod tests {
     fn mwait_armed_fires_on_write_and_frees_single_member() {
         let mut a = ColibriAdapter::new(1);
         let mut mem = MapStorage::new();
-        let r = run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
         assert!(r.is_empty(), "armed monitor sleeps");
-        let r = run(&mut a, &mut mem, 1, MemRequest::Store { addr: 0x40, value: 3, mask: !0 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 3,
+                mask: !0,
+            },
+        );
         assert_eq!(
             r,
             vec![
-                (0, MemResponse::Wait { value: 3, reserved: true }),
+                (
+                    0,
+                    MemResponse::Wait {
+                        value: 3,
+                        reserved: true
+                    }
+                ),
                 (1, MemResponse::StoreAck),
             ]
         );
-        assert!(a.is_quiescent(), "single-member monitor queue freed on fire");
+        assert!(
+            a.is_quiescent(),
+            "single-member monitor queue freed on fire"
+        );
     }
 
     #[test]
@@ -488,8 +623,25 @@ mod tests {
         let mut a = ColibriAdapter::new(1);
         let mut mem = MapStorage::new();
         mem.write_word(0x40, 7);
-        let r = run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
-        assert_eq!(r, vec![(0, MemResponse::Wait { value: 7, reserved: false })]);
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                0,
+                MemResponse::Wait {
+                    value: 7,
+                    reserved: false
+                }
+            )]
+        );
         assert!(a.is_quiescent());
     }
 
@@ -499,23 +651,116 @@ mod tests {
         // drain the rest, the last promotion freeing the slot.
         let mut a = ColibriAdapter::new(1);
         let mut mem = MapStorage::new();
-        run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
-        assert_eq!(r, vec![(0, MemResponse::SuccessorUpdate { successor: 1, mode: WaitMode::MWait })]);
-        let r = run(&mut a, &mut mem, 2, MemRequest::MWait { addr: 0x40, expected: 0 });
-        assert_eq!(r, vec![(1, MemResponse::SuccessorUpdate { successor: 2, mode: WaitMode::MWait })]);
+        run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                0,
+                MemResponse::SuccessorUpdate {
+                    successor: 1,
+                    mode: WaitMode::MWait
+                }
+            )]
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::SuccessorUpdate {
+                    successor: 2,
+                    mode: WaitMode::MWait
+                }
+            )]
+        );
 
-        let r = run(&mut a, &mut mem, 9, MemRequest::Store { addr: 0x40, value: 1, mask: !0 });
-        assert!(r.contains(&(0, MemResponse::Wait { value: 1, reserved: true })));
+        let r = run(
+            &mut a,
+            &mut mem,
+            9,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 1,
+                mask: !0,
+            },
+        );
+        assert!(r.contains(&(
+            0,
+            MemResponse::Wait {
+                value: 1,
+                reserved: true
+            }
+        )));
 
         // Core 0's Qnode bounces its successor.
-        let r = run(&mut a, &mut mem, 0, MemRequest::WakeUp { addr: 0x40, successor: 1, mode: WaitMode::MWait });
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 1, reserved: true })]);
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 1,
+                mode: WaitMode::MWait,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 1,
+                    reserved: true
+                }
+            )]
+        );
         assert!(!a.is_quiescent());
 
         // Core 1's Qnode bounces the last member; slot freed.
-        let r = run(&mut a, &mut mem, 1, MemRequest::WakeUp { addr: 0x40, successor: 2, mode: WaitMode::MWait });
-        assert_eq!(r, vec![(2, MemResponse::Wait { value: 1, reserved: true })]);
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 2,
+                mode: WaitMode::MWait,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                2,
+                MemResponse::Wait {
+                    value: 1,
+                    reserved: true
+                }
+            )]
+        );
         assert!(a.is_quiescent());
     }
 
@@ -523,14 +768,57 @@ mod tests {
     fn mixed_queue_lrwait_behind_mwait() {
         let mut a = ColibriAdapter::new(1);
         let mut mem = MapStorage::new();
-        run(&mut a, &mut mem, 0, MemRequest::MWait { addr: 0x40, expected: 0 });
+        run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
         // Write fires the monitor head.
-        run(&mut a, &mut mem, 9, MemRequest::Store { addr: 0x40, value: 2, mask: !0 });
+        run(
+            &mut a,
+            &mut mem,
+            9,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 2,
+                mask: !0,
+            },
+        );
         // Monitor's Qnode promotes the lrwait member, which becomes a normal head.
-        let r = run(&mut a, &mut mem, 0, MemRequest::WakeUp { addr: 0x40, successor: 1, mode: WaitMode::LrWait });
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 2, reserved: true })]);
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 3 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 1,
+                mode: WaitMode::LrWait,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 2,
+                    reserved: true
+                }
+            )]
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 3,
+            },
+        );
         assert_eq!(r, vec![(1, MemResponse::ScWait { success: true })]);
         assert_eq!(mem.read_word(0x40), 3);
         assert!(a.is_quiescent());

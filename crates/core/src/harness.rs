@@ -192,9 +192,16 @@ impl Harness {
         self.adapter.handle(core, &req, &mut self.mem, &mut out);
         if is_lrwait {
             let addr = req.addr();
-            let failed_fast = out
-                .iter()
-                .any(|(c, r)| *c == core && matches!(r, MemResponse::Wait { reserved: false, .. }));
+            let failed_fast = out.iter().any(|(c, r)| {
+                *c == core
+                    && matches!(
+                        r,
+                        MemResponse::Wait {
+                            reserved: false,
+                            ..
+                        }
+                    )
+            });
             if !failed_fast {
                 self.enqueue_log.push((addr, core));
             }
@@ -225,20 +232,17 @@ impl Harness {
         resp: &MemResponse,
         session: Option<(Addr, WaitMode)>,
     ) {
-        match *resp {
-            MemResponse::Wait { reserved: true, .. } => {
-                if let Some((addr, WaitMode::LrWait)) = session {
-                    if let Some(&(a, holder)) = self.holders.iter().find(|(a, _)| *a == addr) {
-                        self.violations.push(InvariantViolation(format!(
-                            "mutual exclusion: core {core} granted {a:#x} while core {holder} holds it"
-                        )));
-                    }
-                    self.holders.push((addr, core));
-                    self.holding[core as usize] = Some(addr);
-                    self.grant_log.push((addr, core));
+        if let MemResponse::Wait { reserved: true, .. } = *resp {
+            if let Some((addr, WaitMode::LrWait)) = session {
+                if let Some(&(a, holder)) = self.holders.iter().find(|(a, _)| *a == addr) {
+                    self.violations.push(InvariantViolation(format!(
+                        "mutual exclusion: core {core} granted {a:#x} while core {holder} holds it"
+                    )));
                 }
+                self.holders.push((addr, core));
+                self.holding[core as usize] = Some(addr);
+                self.grant_log.push((addr, core));
             }
-            _ => {}
         }
     }
 }
@@ -296,7 +300,13 @@ pub fn drive_rmw_increments(
                         // Software computes value+1 and tries to commit —
                         // even after a fail-fast response, mirroring the
                         // retry loop real kernels use.
-                        harness.send(c, MemRequest::ScWait { addr, value: value.wrapping_add(1) });
+                        harness.send(
+                            c,
+                            MemRequest::ScWait {
+                                addr,
+                                value: value.wrapping_add(1),
+                            },
+                        );
                         entry.0 = CoreState::WaitingSc;
                     }
                     (CoreState::WaitingSc, MemResponse::ScWait { success }) => {
@@ -313,7 +323,10 @@ pub fn drive_rmw_increments(
                 }
             }
         }
-        if cores.iter().all(|&c| state[c as usize].0 == CoreState::Done) {
+        if cores
+            .iter()
+            .all(|&c| state[c as usize].0 == CoreState::Done)
+        {
             harness.run_to_quiescence(rng, 100_000);
             return harness.read_word(addr);
         }

@@ -124,7 +124,12 @@ mod tests {
     use super::*;
     use crate::storage::MapStorage;
 
-    fn run(adapter: &mut LrscAdapter, mem: &mut MapStorage, src: CoreId, req: MemRequest) -> Vec<(CoreId, MemResponse)> {
+    fn run(
+        adapter: &mut LrscAdapter,
+        mem: &mut MapStorage,
+        src: CoreId,
+        req: MemRequest,
+    ) -> Vec<(CoreId, MemResponse)> {
         let mut out = Vec::new();
         adapter.handle(src, &req, mem, &mut out);
         out
@@ -134,11 +139,29 @@ mod tests {
     fn load_store_amo() {
         let mut a = LrscAdapter::new();
         let mut mem = MapStorage::new();
-        let r = run(&mut a, &mut mem, 0, MemRequest::Store { addr: 0x40, value: 5, mask: !0 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 5,
+                mask: !0,
+            },
+        );
         assert_eq!(r, vec![(0, MemResponse::StoreAck)]);
         let r = run(&mut a, &mut mem, 1, MemRequest::Load { addr: 0x40 });
         assert_eq!(r, vec![(1, MemResponse::Load { value: 5 })]);
-        let r = run(&mut a, &mut mem, 2, MemRequest::Amo { addr: 0x40, op: crate::RmwOp::Add, operand: 3 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Amo {
+                addr: 0x40,
+                op: crate::RmwOp::Add,
+                operand: 3,
+            },
+        );
         assert_eq!(r, vec![(2, MemResponse::Amo { old: 5 })]);
         assert_eq!(mem.read_word(0x40), 8);
         assert_eq!(a.stats().amos, 1);
@@ -151,7 +174,15 @@ mod tests {
         mem.write_word(0x40, 10);
         let r = run(&mut a, &mut mem, 3, MemRequest::Lr { addr: 0x40 });
         assert_eq!(r, vec![(3, MemResponse::Lr { value: 10 })]);
-        let r = run(&mut a, &mut mem, 3, MemRequest::Sc { addr: 0x40, value: 11 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            3,
+            MemRequest::Sc {
+                addr: 0x40,
+                value: 11,
+            },
+        );
         assert_eq!(r, vec![(3, MemResponse::Sc { success: true })]);
         assert_eq!(mem.read_word(0x40), 11);
         assert_eq!(a.stats().sc_success, 1);
@@ -163,9 +194,25 @@ mod tests {
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
         run(&mut a, &mut mem, 2, MemRequest::Lr { addr: 0x40 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::Sc { addr: 0x40, value: 1 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::Sc {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         assert_eq!(r, vec![(1, MemResponse::Sc { success: false })]);
-        let r = run(&mut a, &mut mem, 2, MemRequest::Sc { addr: 0x40, value: 2 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Sc {
+                addr: 0x40,
+                value: 2,
+            },
+        );
         assert_eq!(r, vec![(2, MemResponse::Sc { success: true })]);
         assert_eq!(mem.read_word(0x40), 2);
         assert_eq!(a.stats().sc_failure, 1);
@@ -176,8 +223,25 @@ mod tests {
         let mut a = LrscAdapter::new();
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
-        run(&mut a, &mut mem, 2, MemRequest::Store { addr: 0x40, value: 9, mask: !0 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::Sc { addr: 0x40, value: 1 });
+        run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 9,
+                mask: !0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::Sc {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         assert_eq!(r, vec![(1, MemResponse::Sc { success: false })]);
         assert_eq!(mem.read_word(0x40), 9);
         assert_eq!(a.stats().reservations_broken, 1);
@@ -189,8 +253,25 @@ mod tests {
         let mut mem = MapStorage::new();
         mem.write_word(0x40, 7);
         let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 7, reserved: false })]);
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 8 });
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 7,
+                    reserved: false
+                }
+            )]
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 8,
+            },
+        );
         assert_eq!(r, vec![(1, MemResponse::ScWait { success: false })]);
         assert_eq!(mem.read_word(0x40), 7, "failed scwait must not write");
     }

@@ -87,7 +87,11 @@ pub enum MemRequest {
     /// Store with a byte-lane mask (bits of `mask` select written bits).
     Store { addr: Addr, value: Word, mask: Word },
     /// RV32A read–modify–write atomic.
-    Amo { addr: Addr, op: RmwOp, operand: Word },
+    Amo {
+        addr: Addr,
+        op: RmwOp,
+        operand: Word,
+    },
     /// `lr.w` — classic load-reserved (single slot per bank, MemPool style).
     Lr { addr: Addr },
     /// `sc.w` — classic store-conditional.

@@ -180,11 +180,13 @@ impl Qnode {
                     Some(session) if session.mode == WaitMode::MWait => {
                         // The monitor is done once notified: bounce the
                         // successor (if any) and close the session.
-                        let wk = session.successor.map(|(successor, mode)| MemRequest::WakeUp {
-                            addr: session.addr,
-                            successor,
-                            mode,
-                        });
+                        let wk = session
+                            .successor
+                            .map(|(successor, mode)| MemRequest::WakeUp {
+                                addr: session.addr,
+                                successor,
+                                mode,
+                            });
                         self.session = None;
                         wk
                     }
@@ -229,23 +231,47 @@ mod tests {
     #[test]
     fn lrwait_session_with_early_successor() {
         let mut q = Qnode::new();
-        assert!(q.on_core_request(&MemRequest::LrWait { addr: 0x40 }).is_none());
+        assert!(q
+            .on_core_request(&MemRequest::LrWait { addr: 0x40 })
+            .is_none());
         assert!(q.has_session());
         // Successor learned before the scwait.
         let out = q.on_response(MemResponse::SuccessorUpdate {
             successor: 7,
             mode: WaitMode::LrWait,
         });
-        assert_eq!(out, QnodeOutput { deliver: None, wakeup: None });
+        assert_eq!(
+            out,
+            QnodeOutput {
+                deliver: None,
+                wakeup: None
+            }
+        );
         // Wait response passes through.
-        let out = q.on_response(MemResponse::Wait { value: 3, reserved: true });
-        assert_eq!(out.deliver, Some(MemResponse::Wait { value: 3, reserved: true }));
+        let out = q.on_response(MemResponse::Wait {
+            value: 3,
+            reserved: true,
+        });
+        assert_eq!(
+            out.deliver,
+            Some(MemResponse::Wait {
+                value: 3,
+                reserved: true
+            })
+        );
         assert_eq!(out.wakeup, None);
         // scwait issue emits the WakeUp immediately.
-        let wk = q.on_core_request(&MemRequest::ScWait { addr: 0x40, value: 4 });
+        let wk = q.on_core_request(&MemRequest::ScWait {
+            addr: 0x40,
+            value: 4,
+        });
         assert_eq!(
             wk,
-            Some(MemRequest::WakeUp { addr: 0x40, successor: 7, mode: WaitMode::LrWait })
+            Some(MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 7,
+                mode: WaitMode::LrWait
+            })
         );
         assert!(!q.has_session());
         assert_eq!(q.wakeups_sent(), 1);
@@ -255,9 +281,17 @@ mod tests {
     fn successor_update_after_scwait_bounces() {
         let mut q = Qnode::new();
         q.on_core_request(&MemRequest::LrWait { addr: 0x40 });
-        q.on_response(MemResponse::Wait { value: 0, reserved: true });
+        q.on_response(MemResponse::Wait {
+            value: 0,
+            reserved: true,
+        });
         // scwait issued first, successor unknown.
-        assert!(q.on_core_request(&MemRequest::ScWait { addr: 0x40, value: 1 }).is_none());
+        assert!(q
+            .on_core_request(&MemRequest::ScWait {
+                addr: 0x40,
+                value: 1
+            })
+            .is_none());
         // Late SuccessorUpdate bounces.
         let out = q.on_response(MemResponse::SuccessorUpdate {
             successor: 9,
@@ -266,7 +300,11 @@ mod tests {
         assert_eq!(out.deliver, None);
         assert_eq!(
             out.wakeup,
-            Some(MemRequest::WakeUp { addr: 0x40, successor: 9, mode: WaitMode::MWait })
+            Some(MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 9,
+                mode: WaitMode::MWait
+            })
         );
         assert!(!q.has_session());
     }
@@ -275,9 +313,18 @@ mod tests {
     fn lone_scwait_closes_on_response() {
         let mut q = Qnode::new();
         q.on_core_request(&MemRequest::LrWait { addr: 0x40 });
-        q.on_response(MemResponse::Wait { value: 0, reserved: true });
-        q.on_core_request(&MemRequest::ScWait { addr: 0x40, value: 1 });
-        assert!(q.has_session(), "half-open until the response confirms no successor");
+        q.on_response(MemResponse::Wait {
+            value: 0,
+            reserved: true,
+        });
+        q.on_core_request(&MemRequest::ScWait {
+            addr: 0x40,
+            value: 1,
+        });
+        assert!(
+            q.has_session(),
+            "half-open until the response confirms no successor"
+        );
         let out = q.on_response(MemResponse::ScWait { success: true });
         assert_eq!(out.deliver, Some(MemResponse::ScWait { success: true }));
         assert!(!q.has_session());
@@ -287,24 +334,49 @@ mod tests {
     fn failfast_lrwait_closes_session() {
         let mut q = Qnode::new();
         q.on_core_request(&MemRequest::LrWait { addr: 0x40 });
-        let out = q.on_response(MemResponse::Wait { value: 5, reserved: false });
-        assert_eq!(out.deliver, Some(MemResponse::Wait { value: 5, reserved: false }));
+        let out = q.on_response(MemResponse::Wait {
+            value: 5,
+            reserved: false,
+        });
+        assert_eq!(
+            out.deliver,
+            Some(MemResponse::Wait {
+                value: 5,
+                reserved: false
+            })
+        );
         assert!(!q.has_session());
     }
 
     #[test]
     fn mwait_bounces_known_successor_on_wake() {
         let mut q = Qnode::new();
-        q.on_core_request(&MemRequest::MWait { addr: 0x40, expected: 0 });
+        q.on_core_request(&MemRequest::MWait {
+            addr: 0x40,
+            expected: 0,
+        });
         q.on_response(MemResponse::SuccessorUpdate {
             successor: 3,
             mode: WaitMode::MWait,
         });
-        let out = q.on_response(MemResponse::Wait { value: 1, reserved: true });
-        assert_eq!(out.deliver, Some(MemResponse::Wait { value: 1, reserved: true }));
+        let out = q.on_response(MemResponse::Wait {
+            value: 1,
+            reserved: true,
+        });
+        assert_eq!(
+            out.deliver,
+            Some(MemResponse::Wait {
+                value: 1,
+                reserved: true
+            })
+        );
         assert_eq!(
             out.wakeup,
-            Some(MemRequest::WakeUp { addr: 0x40, successor: 3, mode: WaitMode::MWait })
+            Some(MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 3,
+                mode: WaitMode::MWait
+            })
         );
         assert!(!q.has_session());
     }
@@ -312,8 +384,14 @@ mod tests {
     #[test]
     fn mwait_without_successor_closes_cleanly() {
         let mut q = Qnode::new();
-        q.on_core_request(&MemRequest::MWait { addr: 0x40, expected: 0 });
-        let out = q.on_response(MemResponse::Wait { value: 1, reserved: true });
+        q.on_core_request(&MemRequest::MWait {
+            addr: 0x40,
+            expected: 0,
+        });
+        let out = q.on_response(MemResponse::Wait {
+            value: 1,
+            reserved: true,
+        });
         assert_eq!(out.wakeup, None);
         assert!(!q.has_session());
     }
@@ -327,7 +405,11 @@ mod tests {
         assert!(!q.has_session());
         // Loads during an open session do not disturb it.
         q.on_core_request(&MemRequest::LrWait { addr: 0x40 });
-        q.on_core_request(&MemRequest::Store { addr: 8, value: 1, mask: !0 });
+        q.on_core_request(&MemRequest::Store {
+            addr: 8,
+            value: 1,
+            mask: !0,
+        });
         assert!(q.has_session());
     }
 }

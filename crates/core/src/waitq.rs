@@ -107,7 +107,13 @@ impl WaitQueueAdapter {
                     if value != entry.expected {
                         // Condition already true: notify and keep cascading.
                         self.entries.remove(idx);
-                        out.push((entry.core, MemResponse::Wait { value, reserved: true }));
+                        out.push((
+                            entry.core,
+                            MemResponse::Wait {
+                                value,
+                                reserved: true,
+                            },
+                        ));
                     } else {
                         self.entries[idx].active = true;
                         self.entries[idx].valid = true; // armed
@@ -240,14 +246,26 @@ impl SyncAdapter for WaitQueueAdapter {
                 let value = mem.read_word(addr);
                 if value != expected {
                     // Already changed: immediate notification, no enqueue.
-                    out.push((src, MemResponse::Wait { value, reserved: false }));
+                    out.push((
+                        src,
+                        MemResponse::Wait {
+                            value,
+                            reserved: false,
+                        },
+                    ));
                     return;
                 }
                 let duplicate = self.entries.iter().any(|e| e.core == src);
                 if self.entries.len() >= self.capacity || duplicate {
                     debug_assert!(!duplicate, "core {src} has two outstanding wait ops");
                     self.stats.wait_failfast += 1;
-                    out.push((src, MemResponse::Wait { value, reserved: false }));
+                    out.push((
+                        src,
+                        MemResponse::Wait {
+                            value,
+                            reserved: false,
+                        },
+                    ));
                     return;
                 }
                 self.stats.wait_enqueued += 1;
@@ -333,7 +351,16 @@ mod tests {
         let mut mem = MapStorage::new();
         mem.write_word(0x40, 5);
         let r = run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 5, reserved: true })]);
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 5,
+                    reserved: true
+                }
+            )]
+        );
     }
 
     #[test]
@@ -344,17 +371,39 @@ mod tests {
         let r = run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
         assert!(r.is_empty(), "second core must sleep: {r:?}");
         // Core 1 closes its sequence; core 2 receives the new value.
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 9 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 9,
+            },
+        );
         assert_eq!(
             r,
             vec![
                 (1, MemResponse::ScWait { success: true }),
-                (2, MemResponse::Wait { value: 9, reserved: true }),
+                (
+                    2,
+                    MemResponse::Wait {
+                        value: 9,
+                        reserved: true
+                    }
+                ),
             ]
         );
         assert_eq!(a.occupancy(), 1);
         assert!(!a.is_quiescent());
-        let r = run(&mut a, &mut mem, 2, MemRequest::ScWait { addr: 0x40, value: 10 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 10,
+            },
+        );
         assert_eq!(r[0], (2, MemResponse::ScWait { success: true }));
         assert!(a.is_quiescent());
         assert_eq!(mem.read_word(0x40), 10);
@@ -376,10 +425,27 @@ mod tests {
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
         let r = run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
-        assert_eq!(r, vec![(2, MemResponse::Wait { value: 0, reserved: false })]);
+        assert_eq!(
+            r,
+            vec![(
+                2,
+                MemResponse::Wait {
+                    value: 0,
+                    reserved: false
+                }
+            )]
+        );
         assert_eq!(a.stats().wait_failfast, 1);
         // The failed core's scwait also fails and does not write.
-        let r = run(&mut a, &mut mem, 2, MemRequest::ScWait { addr: 0x40, value: 7 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 7,
+            },
+        );
         assert_eq!(r, vec![(2, MemResponse::ScWait { success: false })]);
         assert_eq!(mem.read_word(0x40), 0);
     }
@@ -389,8 +455,25 @@ mod tests {
         let mut a = WaitQueueAdapter::new(8);
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
-        run(&mut a, &mut mem, 3, MemRequest::Store { addr: 0x40, value: 99, mask: !0 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 1 });
+        run(
+            &mut a,
+            &mut mem,
+            3,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 99,
+                mask: !0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         assert_eq!(r[0], (1, MemResponse::ScWait { success: false }));
         assert_eq!(mem.read_word(0x40), 99, "failed scwait must not write");
     }
@@ -401,13 +484,36 @@ mod tests {
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
         run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
-        run(&mut a, &mut mem, 3, MemRequest::Store { addr: 0x40, value: 99, mask: !0 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 1 });
+        run(
+            &mut a,
+            &mut mem,
+            3,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 99,
+                mask: !0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         assert_eq!(
             r,
             vec![
                 (1, MemResponse::ScWait { success: false }),
-                (2, MemResponse::Wait { value: 99, reserved: true }),
+                (
+                    2,
+                    MemResponse::Wait {
+                        value: 99,
+                        reserved: true
+                    }
+                ),
             ]
         );
     }
@@ -419,9 +525,25 @@ mod tests {
         run(&mut a, &mut mem, 5, MemRequest::LrWait { addr: 0x40 });
         assert!(run(&mut a, &mut mem, 6, MemRequest::LrWait { addr: 0x40 }).is_empty());
         assert!(run(&mut a, &mut mem, 7, MemRequest::LrWait { addr: 0x40 }).is_empty());
-        let r = run(&mut a, &mut mem, 5, MemRequest::ScWait { addr: 0x40, value: 1 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            5,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 1,
+            },
+        );
         assert_eq!(r[1].0, 6, "service order must be FIFO");
-        let r = run(&mut a, &mut mem, 6, MemRequest::ScWait { addr: 0x40, value: 2 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            6,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 2,
+            },
+        );
         assert_eq!(r[1].0, 7);
     }
 
@@ -430,8 +552,25 @@ mod tests {
         let mut a = WaitQueueAdapter::new(8);
         let mut mem = MapStorage::new();
         mem.write_word(0x40, 3);
-        let r = run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
-        assert_eq!(r, vec![(1, MemResponse::Wait { value: 3, reserved: false })]);
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 3,
+                    reserved: false
+                }
+            )]
+        );
         assert!(a.is_quiescent());
     }
 
@@ -439,13 +578,36 @@ mod tests {
     fn mwait_sleeps_until_write() {
         let mut a = WaitQueueAdapter::new(8);
         let mut mem = MapStorage::new();
-        let r = run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
         assert!(r.is_empty());
-        let r = run(&mut a, &mut mem, 2, MemRequest::Store { addr: 0x40, value: 8, mask: !0 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 8,
+                mask: !0,
+            },
+        );
         assert_eq!(
             r,
             vec![
-                (1, MemResponse::Wait { value: 8, reserved: true }),
+                (
+                    1,
+                    MemResponse::Wait {
+                        value: 8,
+                        reserved: true
+                    }
+                ),
                 (2, MemResponse::StoreAck),
             ]
         );
@@ -457,9 +619,27 @@ mod tests {
         let mut a = WaitQueueAdapter::new(8);
         let mut mem = MapStorage::new();
         for core in 1..=3 {
-            assert!(run(&mut a, &mut mem, core, MemRequest::MWait { addr: 0x40, expected: 0 }).is_empty());
+            assert!(run(
+                &mut a,
+                &mut mem,
+                core,
+                MemRequest::MWait {
+                    addr: 0x40,
+                    expected: 0
+                }
+            )
+            .is_empty());
         }
-        let r = run(&mut a, &mut mem, 9, MemRequest::Store { addr: 0x40, value: 1, mask: !0 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            9,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 1,
+                mask: !0,
+            },
+        );
         let woken: Vec<CoreId> = r
             .iter()
             .filter(|(_, resp)| matches!(resp, MemResponse::Wait { .. }))
@@ -473,9 +653,32 @@ mod tests {
     fn amo_fires_mwait() {
         let mut a = WaitQueueAdapter::new(8);
         let mut mem = MapStorage::new();
-        run(&mut a, &mut mem, 1, MemRequest::MWait { addr: 0x40, expected: 0 });
-        let r = run(&mut a, &mut mem, 2, MemRequest::Amo { addr: 0x40, op: crate::RmwOp::Add, operand: 4 });
-        assert!(r.contains(&(1, MemResponse::Wait { value: 4, reserved: true })));
+        run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Amo {
+                addr: 0x40,
+                op: crate::RmwOp::Add,
+                operand: 4,
+            },
+        );
+        assert!(r.contains(&(
+            1,
+            MemResponse::Wait {
+                value: 4,
+                reserved: true
+            }
+        )));
     }
 
     #[test]
@@ -483,7 +686,15 @@ mod tests {
         let mut a = WaitQueueAdapter::new(4);
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::Sc { addr: 0x40, value: 3 });
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::Sc {
+                addr: 0x40,
+                value: 3,
+            },
+        );
         assert_eq!(r[0], (1, MemResponse::Sc { success: true }));
     }
 
@@ -492,10 +703,32 @@ mod tests {
         let mut a = WaitQueueAdapter::new(8);
         let mut mem = MapStorage::new();
         run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
-        run(&mut a, &mut mem, 2, MemRequest::MWait { addr: 0x40, expected: 0 });
-        let r = run(&mut a, &mut mem, 1, MemRequest::ScWait { addr: 0x40, value: 5 });
+        run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 5,
+            },
+        );
         assert!(
-            r.contains(&(2, MemResponse::Wait { value: 5, reserved: true })),
+            r.contains(&(
+                2,
+                MemResponse::Wait {
+                    value: 5,
+                    reserved: true
+                }
+            )),
             "mwait behind an lrwait head wakes when the scwait writes: {r:?}"
         );
     }

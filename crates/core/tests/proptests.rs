@@ -1,96 +1,116 @@
-//! Property tests exploring random message interleavings of the protocol.
+//! Randomized interleaving tests of the protocol.
 //!
 //! These are the protocol-level soundness arguments of the paper checked
 //! mechanically: mutual exclusion, starvation freedom (FIFO service), value
 //! conservation under concurrent RMW, and no lost `mwait` wakeups — for the
 //! centralized queue and the distributed Colibri implementation alike.
+//!
+//! Each test sweeps a fixed set of deterministic seeds through
+//! [`SplitMix64`], so failures reproduce exactly without an external
+//! property-testing dependency.
 
 use lrscwait_core::harness::{drive_rmw_increments, Harness, SplitMix64};
 use lrscwait_core::{MemRequest, MemResponse, SyncArch};
-use proptest::prelude::*;
 
-fn arch_strategy() -> impl Strategy<Value = SyncArch> {
-    prop_oneof![
-        Just(SyncArch::LrscWaitIdeal),
-        (1usize..9).prop_map(|slots| SyncArch::LrscWait { slots }),
-        (1usize..5).prop_map(|queues| SyncArch::Colibri { queues }),
-    ]
+const CASES: u64 = 64;
+
+/// Derives one architecture from the wait-capable set.
+fn arch_from(rng: &mut SplitMix64) -> SyncArch {
+    match rng.below(3) {
+        0 => SyncArch::LrscWaitIdeal,
+        1 => SyncArch::LrscWait {
+            slots: 1 + rng.below(8),
+        },
+        _ => SyncArch::Colibri {
+            queues: 1 + rng.below(4),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Derives a FIFO-grant architecture (the centralized queue with fewer
+/// slots than contenders responds fail-fast, which legitimately reorders).
+fn fifo_arch_from(rng: &mut SplitMix64) -> SyncArch {
+    match rng.below(2) {
+        0 => SyncArch::LrscWaitIdeal,
+        _ => SyncArch::Colibri {
+            queues: 1 + rng.below(4),
+        },
+    }
+}
 
-    /// Concurrent read-modify-write increments never lose an update, on any
-    /// wait-capable architecture, under any delivery interleaving.
-    #[test]
-    fn rmw_increments_conserved(
-        arch in arch_strategy(),
-        num_cores in 2usize..8,
-        ops in 1u32..12,
-        seed in any::<u64>(),
-    ) {
+/// Concurrent read-modify-write increments never lose an update, on any
+/// wait-capable architecture, under any delivery interleaving.
+#[test]
+fn rmw_increments_conserved() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9) + 1);
+        let arch = arch_from(&mut rng);
+        let num_cores = 2 + rng.below(6);
+        let ops = 1 + rng.below(11) as u32;
         let mut h = Harness::new(arch.build(num_cores), num_cores);
-        let mut rng = SplitMix64::new(seed);
         let cores: Vec<u32> = (0..num_cores as u32).collect();
         let total = drive_rmw_increments(&mut h, &mut rng, &cores, 0x40, ops);
-        prop_assert_eq!(total, num_cores as u32 * ops);
-        prop_assert!(h.violations().is_empty(), "{:?}", h.violations());
+        assert_eq!(total, num_cores as u32 * ops, "seed {seed} on {arch}");
+        assert!(
+            h.violations().is_empty(),
+            "seed {seed}: {:?}",
+            h.violations()
+        );
     }
+}
 
-    /// Reservation grants follow accepted-enqueue order exactly: the
-    /// linearization point is the lrwait, so service is FIFO and
-    /// starvation-free (paper Section III, constraint c).
-    #[test]
-    fn grants_follow_enqueue_order(
-        arch in prop_oneof![
-            Just(SyncArch::LrscWaitIdeal),
-            (1usize..5).prop_map(|q| SyncArch::Colibri { queues: q }),
-        ],
-        num_cores in 2usize..8,
-        ops in 1u32..8,
-        seed in any::<u64>(),
-    ) {
+/// Reservation grants follow accepted-enqueue order exactly: the
+/// linearization point is the lrwait, so service is FIFO and
+/// starvation-free (paper Section III, constraint c).
+#[test]
+fn grants_follow_enqueue_order() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x517C_C1B7) + 3);
+        let arch = fifo_arch_from(&mut rng);
+        let num_cores = 2 + rng.below(6);
+        let ops = 1 + rng.below(7) as u32;
         let mut h = Harness::new(arch.build(num_cores), num_cores);
-        let mut rng = SplitMix64::new(seed);
         let cores: Vec<u32> = (0..num_cores as u32).collect();
         drive_rmw_increments(&mut h, &mut rng, &cores, 0x80, ops);
-        prop_assert_eq!(h.grant_log(), h.enqueue_log());
+        assert_eq!(h.grant_log(), h.enqueue_log(), "seed {seed} on {arch}");
     }
+}
 
-    /// Two independent addresses interleave freely but each conserves its
-    /// own total (no cross-talk between queues).
-    #[test]
-    fn independent_addresses_conserved(
-        queues in 2usize..5,
-        seed in any::<u64>(),
-        ops in 1u32..10,
-    ) {
+/// Two independent addresses interleave freely but each conserves its
+/// own total (no cross-talk between queues).
+#[test]
+fn independent_addresses_conserved() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x2545_F491) + 7);
+        let queues = 2 + rng.below(3);
+        let ops = 1 + rng.below(9) as u32;
         let arch = SyncArch::Colibri { queues };
         let mut h = Harness::new(arch.build(6), 6);
-        let mut rng = SplitMix64::new(seed);
         // Drive the two groups one after another — the queues persist state,
         // so leftover state from group A would corrupt group B.
         let a = drive_rmw_increments(&mut h, &mut rng, &[0, 1, 2], 0x100, ops);
         let b = drive_rmw_increments(&mut h, &mut rng, &[3, 4, 5], 0x200, ops);
-        prop_assert_eq!(a, 3 * ops);
-        prop_assert_eq!(b, 3 * ops);
-        prop_assert!(h.violations().is_empty());
+        assert_eq!(a, 3 * ops, "seed {seed}");
+        assert_eq!(b, 3 * ops, "seed {seed}");
+        assert!(h.violations().is_empty(), "seed {seed}");
     }
+}
 
-    /// No lost wakeups: every `mwait` sleeper is notified after a write,
-    /// regardless of how requests and the store interleave.
-    #[test]
-    fn mwait_wakes_all_sleepers(
-        arch in prop_oneof![
-            Just(SyncArch::LrscWaitIdeal),
-            (1usize..4).prop_map(|q| SyncArch::Colibri { queues: q }),
-        ],
-        num_waiters in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// No lost wakeups: every `mwait` sleeper is notified after a write,
+/// regardless of how requests and the store interleave.
+#[test]
+fn mwait_wakes_all_sleepers() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0xB504_F333) + 11);
+        let arch = match rng.below(2) {
+            0 => SyncArch::LrscWaitIdeal,
+            _ => SyncArch::Colibri {
+                queues: 1 + rng.below(3),
+            },
+        };
+        let num_waiters = 1 + rng.below(5);
         let total_cores = num_waiters + 1;
         let mut h = Harness::new(arch.build(total_cores), total_cores);
-        let mut rng = SplitMix64::new(seed);
         let addr = 0x40;
         for w in 0..num_waiters as u32 {
             h.send(w, MemRequest::MWait { addr, expected: 0 });
@@ -100,7 +120,14 @@ proptest! {
             h.step(&mut rng);
         }
         let writer = num_waiters as u32;
-        h.send(writer, MemRequest::Store { addr, value: 7, mask: !0 });
+        h.send(
+            writer,
+            MemRequest::Store {
+                addr,
+                value: 7,
+                mask: !0,
+            },
+        );
         h.run_to_quiescence(&mut rng, 100_000);
 
         let mut woken = 0;
@@ -110,30 +137,37 @@ proptest! {
                     MemResponse::Wait { value, .. } => {
                         // Sleepers woken by the store observe 7; those that
                         // arrived after it observe it immediately as well.
-                        assert_eq!(value, 7, "woken with a stale value");
+                        assert_eq!(value, 7, "seed {seed}: woken with a stale value");
                         woken += 1;
                     }
-                    other => panic!("unexpected response {other:?}"),
+                    other => panic!("seed {seed}: unexpected response {other:?}"),
                 }
             }
         }
-        prop_assert_eq!(woken, num_waiters, "lost wakeup detected");
-        prop_assert!(h.violations().is_empty());
+        assert_eq!(woken, num_waiters, "seed {seed}: lost wakeup detected");
+        assert!(h.violations().is_empty(), "seed {seed}");
     }
+}
 
-    /// A writer racing the whole RMW crowd cannot break conservation: the
-    /// store's value is observed, and subsequent increments stack on top.
-    #[test]
-    fn store_racing_rmw_keeps_atomicity(
-        seed in any::<u64>(),
-        ops in 1u32..6,
-    ) {
+/// A writer racing the whole RMW crowd cannot break conservation: the
+/// store's value is observed, and subsequent increments stack on top.
+#[test]
+fn store_racing_rmw_keeps_atomicity() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0xDE1E_7EAD) + 13);
+        let ops = 1 + rng.below(5) as u32;
         let arch = SyncArch::Colibri { queues: 1 };
         let mut h = Harness::new(arch.build(4), 4);
-        let mut rng = SplitMix64::new(seed);
         // Core 3 fires an unrelated store into the same address first; the
         // increment crowd then runs to completion.
-        h.send(3, MemRequest::Store { addr: 0x40, value: 1000, mask: !0 });
+        h.send(
+            3,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 1000,
+                mask: !0,
+            },
+        );
         for _ in 0..rng.below(3) {
             h.step(&mut rng);
         }
@@ -145,7 +179,10 @@ proptest! {
         let fin = total;
         let valid = fin == 3 * ops // store first, all increments after? impossible: store sets 1000
             || (fin >= 1000 && fin <= 1000 + 3 * ops);
-        prop_assert!(valid, "final value {fin} inconsistent with any linearization");
-        prop_assert!(h.violations().is_empty());
+        assert!(
+            valid,
+            "seed {seed}: final value {fin} inconsistent with any linearization"
+        );
+        assert!(h.violations().is_empty(), "seed {seed}");
     }
 }

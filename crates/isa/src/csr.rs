@@ -92,7 +92,13 @@ mod tests {
 
     #[test]
     fn address_round_trip() {
-        for csr in [Csr::MHartId, Csr::Cycle, Csr::CycleH, Csr::InstRet, Csr::InstRetH] {
+        for csr in [
+            Csr::MHartId,
+            Csr::Cycle,
+            Csr::CycleH,
+            Csr::InstRet,
+            Csr::InstRetH,
+        ] {
             assert_eq!(Csr::from_address(csr.address()), Some(csr));
             assert_eq!(Csr::parse(csr.name()), Some(csr));
         }

@@ -298,7 +298,10 @@ mod tests {
     #[test]
     fn negative_jal_offsets_round_trip() {
         for offset in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
-            let i = Instr::Jal { rd: Reg::RA, offset };
+            let i = Instr::Jal {
+                rd: Reg::RA,
+                offset,
+            };
             assert_eq!(decode(encode(&i)).unwrap(), i, "offset {offset}");
         }
     }

@@ -78,7 +78,12 @@ pub fn disasm(instr: &Instr) -> String {
         Instr::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", imm >> 12),
         Instr::Jal { rd, offset } => format!("jal {rd}, {offset}"),
         Instr::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
-        Instr::Branch { op, rs1, rs2, offset } => {
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             format!("{} {rs1}, {rs2}, {offset}", branch_name(op))
         }
         Instr::Load {
@@ -145,7 +150,7 @@ pub fn disasm(instr: &Instr) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Reg, Csr};
+    use crate::{Csr, Reg};
 
     #[test]
     fn representative_forms() {

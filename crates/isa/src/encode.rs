@@ -13,7 +13,12 @@ fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
 
 fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
     let imm = imm as u32;
-    ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    ((imm >> 5 & 0x7F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
 }
 
 fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
@@ -90,7 +95,11 @@ pub fn encode(instr: &Instr) -> u32 {
             u_type(imm, rd.index().into(), 0b011_0111)
         }
         Instr::Auipc { rd, imm } => {
-            assert_eq!(imm & 0xFFF, 0, "auipc immediate must have low 12 bits clear");
+            assert_eq!(
+                imm & 0xFFF,
+                0,
+                "auipc immediate must have low 12 bits clear"
+            );
             u_type(imm, rd.index().into(), 0b001_0111)
         }
         Instr::Jal { rd, offset } => {
@@ -101,10 +110,24 @@ pub fn encode(instr: &Instr) -> u32 {
             j_type(offset, rd.index().into(), 0b110_1111)
         }
         Instr::Jalr { rd, rs1, offset } => {
-            assert!((-2048..2048).contains(&offset), "jalr offset {offset} out of range");
-            i_type(offset, rs1.index().into(), 0b000, rd.index().into(), 0b110_0111)
+            assert!(
+                (-2048..2048).contains(&offset),
+                "jalr offset {offset} out of range"
+            );
+            i_type(
+                offset,
+                rs1.index().into(),
+                0b000,
+                rd.index().into(),
+                0b110_0111,
+            )
         }
-        Instr::Branch { op, rs1, rs2, offset } => {
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             assert!(
                 (-4096..4096).contains(&offset) && offset % 2 == 0,
                 "branch offset {offset} out of range or misaligned"
@@ -124,7 +147,10 @@ pub fn encode(instr: &Instr) -> u32 {
             rs1,
             offset,
         } => {
-            assert!((-2048..2048).contains(&offset), "load offset {offset} out of range");
+            assert!(
+                (-2048..2048).contains(&offset),
+                "load offset {offset} out of range"
+            );
             let funct3 = match (width, signed) {
                 (MemWidth::Byte, true) => 0b000,
                 (MemWidth::Half, true) => 0b001,
@@ -132,7 +158,13 @@ pub fn encode(instr: &Instr) -> u32 {
                 (MemWidth::Byte, false) => 0b100,
                 (MemWidth::Half, false) => 0b101,
             };
-            i_type(offset, rs1.index().into(), funct3, rd.index().into(), 0b000_0011)
+            i_type(
+                offset,
+                rs1.index().into(),
+                funct3,
+                rd.index().into(),
+                0b000_0011,
+            )
         }
         Instr::Store {
             width,
@@ -140,13 +172,22 @@ pub fn encode(instr: &Instr) -> u32 {
             rs1,
             offset,
         } => {
-            assert!((-2048..2048).contains(&offset), "store offset {offset} out of range");
+            assert!(
+                (-2048..2048).contains(&offset),
+                "store offset {offset} out of range"
+            );
             let funct3 = match width {
                 MemWidth::Byte => 0b000,
                 MemWidth::Half => 0b001,
                 MemWidth::Word => 0b010,
             };
-            s_type(offset, rs2.index().into(), rs1.index().into(), funct3, 0b010_0011)
+            s_type(
+                offset,
+                rs2.index().into(),
+                rs1.index().into(),
+                funct3,
+                0b010_0011,
+            )
         }
         Instr::OpImm { op, rd, rs1, imm } => {
             let (funct3, enc_imm) = match op {
@@ -173,7 +214,13 @@ pub fn encode(instr: &Instr) -> u32 {
             if !matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
                 assert!((-2048..2048).contains(&imm), "immediate {imm} out of range");
             }
-            i_type(enc_imm, rs1.index().into(), funct3, rd.index().into(), 0b001_0011)
+            i_type(
+                enc_imm,
+                rs1.index().into(),
+                funct3,
+                rd.index().into(),
+                0b001_0011,
+            )
         }
         Instr::Op { op, rd, rs1, rs2 } => {
             let (funct7, funct3) = match op {
@@ -301,7 +348,10 @@ mod tests {
             0b11000, 0b11100,
         ];
         for f5 in [FUNCT5_LRWAIT, FUNCT5_SCWAIT, FUNCT5_MWAIT] {
-            assert!(!standard.contains(&f5), "funct5 {f5:#07b} collides with RV32A");
+            assert!(
+                !standard.contains(&f5),
+                "funct5 {f5:#07b} collides with RV32A"
+            );
         }
     }
 

@@ -89,13 +89,8 @@ impl AluOp {
                     ((a as i32).wrapping_div(b as i32)) as u32
                 }
             }
-            AluOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            // RISC-V: division by zero yields all-ones, not a trap.
+            AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a
@@ -294,9 +289,19 @@ pub enum Instr {
         offset: i32,
     },
     /// Register–immediate ALU operation.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Register–register ALU operation (RV32I + M).
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `fence` — drain the store buffer / order memory operations.
     Fence,
     /// `ecall` — terminate the current hart (bare-metal exit convention).
@@ -314,7 +319,12 @@ pub enum Instr {
     },
     /// Atomic memory operation (RV32A + Xlrscwait). `rs2` is unused (x0) for
     /// `lr.w` and `lrwait.w`; for `mwait.w` it carries the expected value.
-    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Amo {
+        op: AmoOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 }
 
 impl Instr {

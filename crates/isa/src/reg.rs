@@ -98,7 +98,7 @@ impl Reg {
     /// out of range.
     #[must_use]
     pub fn try_new(index: u32) -> Option<Reg> {
-        (index < 32).then(|| Reg(index as u8))
+        (index < 32).then_some(Reg(index as u8))
     }
 
     /// The architectural index (0–31).

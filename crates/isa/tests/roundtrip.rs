@@ -1,206 +1,246 @@
-//! Property tests: every encodable instruction round-trips through
+//! Randomized tests: every encodable instruction round-trips through
 //! encode → decode, and decode never panics on arbitrary words.
+//!
+//! Uses a deterministic SplitMix64 generator instead of an external
+//! property-testing crate, so failures reproduce exactly from the fixed
+//! seeds and the suite needs no network-fetched dependencies.
 
 use lrscwait_isa::{decode, encode, AluOp, AmoOp, BranchOp, CsrOp, Instr, MemWidth, Reg};
-use proptest::prelude::*;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+/// SplitMix64 — a tiny, high-quality deterministic generator.
+///
+/// Intentionally duplicates `lrscwait_core::harness::SplitMix64`: the ISA
+/// crate sits below every other crate and deliberately keeps zero
+/// dependencies, even for tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform i32 in `lo..hi`.
+    fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (self.below((hi - lo) as u64) as i32)
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new(self.below(32) as u8)
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.below(options.len() as u64) as usize]
+    }
 }
 
-fn any_alu_rr() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Mul),
-        Just(AluOp::Mulh),
-        Just(AluOp::Mulhsu),
-        Just(AluOp::Mulhu),
-        Just(AluOp::Div),
-        Just(AluOp::Divu),
-        Just(AluOp::Rem),
-        Just(AluOp::Remu),
-    ]
-}
+const ALU_RR: [AluOp; 18] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Mulhsu,
+    AluOp::Mulhu,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+];
 
-fn any_alu_imm() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ]
-}
+const ALU_IMM: [AluOp; 6] = [
+    AluOp::Add,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::And,
+];
 
-fn any_shift() -> impl Strategy<Value = AluOp> {
-    prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)]
-}
+const SHIFTS: [AluOp; 3] = [AluOp::Sll, AluOp::Srl, AluOp::Sra];
 
-fn any_branch() -> impl Strategy<Value = BranchOp> {
-    prop_oneof![
-        Just(BranchOp::Eq),
-        Just(BranchOp::Ne),
-        Just(BranchOp::Lt),
-        Just(BranchOp::Ge),
-        Just(BranchOp::Ltu),
-        Just(BranchOp::Geu),
-    ]
-}
+const BRANCHES: [BranchOp; 6] = [
+    BranchOp::Eq,
+    BranchOp::Ne,
+    BranchOp::Lt,
+    BranchOp::Ge,
+    BranchOp::Ltu,
+    BranchOp::Geu,
+];
 
-fn any_amo() -> impl Strategy<Value = AmoOp> {
-    prop_oneof![
-        Just(AmoOp::Lr),
-        Just(AmoOp::Sc),
-        Just(AmoOp::Swap),
-        Just(AmoOp::Add),
-        Just(AmoOp::Xor),
-        Just(AmoOp::And),
-        Just(AmoOp::Or),
-        Just(AmoOp::Min),
-        Just(AmoOp::Max),
-        Just(AmoOp::Minu),
-        Just(AmoOp::Maxu),
-        Just(AmoOp::LrWait),
-        Just(AmoOp::ScWait),
-        Just(AmoOp::MWait),
-    ]
-}
+const AMOS: [AmoOp; 14] = [
+    AmoOp::Lr,
+    AmoOp::Sc,
+    AmoOp::Swap,
+    AmoOp::Add,
+    AmoOp::Xor,
+    AmoOp::And,
+    AmoOp::Or,
+    AmoOp::Min,
+    AmoOp::Max,
+    AmoOp::Minu,
+    AmoOp::Maxu,
+    AmoOp::LrWait,
+    AmoOp::ScWait,
+    AmoOp::MWait,
+];
 
-fn any_width() -> impl Strategy<Value = (MemWidth, bool)> {
-    prop_oneof![
-        Just((MemWidth::Byte, true)),
-        Just((MemWidth::Half, true)),
-        Just((MemWidth::Word, true)),
-        Just((MemWidth::Byte, false)),
-        Just((MemWidth::Half, false)),
-    ]
-}
+const WIDTHS: [(MemWidth, bool); 5] = [
+    (MemWidth::Byte, true),
+    (MemWidth::Half, true),
+    (MemWidth::Word, true),
+    (MemWidth::Byte, false),
+    (MemWidth::Half, false),
+];
 
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::Lui {
-            rd,
-            imm: imm & 0xFFFF_F000
-        }),
-        (any_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::Auipc {
-            rd,
-            imm: imm & 0xFFFF_F000
-        }),
-        (any_reg(), -(1i32 << 20)..(1 << 20)).prop_map(|(rd, off)| Instr::Jal {
-            rd,
-            offset: off & !1
-        }),
-        (any_reg(), any_reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Jalr {
-            rd,
-            rs1,
-            offset
-        }),
-        (any_branch(), any_reg(), any_reg(), -4096i32..4096).prop_map(|(op, rs1, rs2, off)| {
-            Instr::Branch {
-                op,
-                rs1,
-                rs2,
-                offset: off & !1,
-            }
-        }),
-        (any_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
-            |((width, signed), rd, rs1, offset)| Instr::Load {
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.below(14) {
+        0 => Instr::Lui {
+            rd: rng.reg(),
+            imm: (rng.next() as u32) & 0xFFFF_F000,
+        },
+        1 => Instr::Auipc {
+            rd: rng.reg(),
+            imm: (rng.next() as u32) & 0xFFFF_F000,
+        },
+        2 => Instr::Jal {
+            rd: rng.reg(),
+            offset: rng.range(-(1 << 20), 1 << 20) & !1,
+        },
+        3 => Instr::Jalr {
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            offset: rng.range(-2048, 2048),
+        },
+        4 => Instr::Branch {
+            op: rng.pick(&BRANCHES),
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+            offset: rng.range(-4096, 4096) & !1,
+        },
+        5 => {
+            let (width, signed) = rng.pick(&WIDTHS);
+            Instr::Load {
                 width,
                 signed,
-                rd,
-                rs1,
-                offset
+                rd: rng.reg(),
+                rs1: rng.reg(),
+                offset: rng.range(-2048, 2048),
             }
-        ),
-        (any_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
-            |((width, _), rs2, rs1, offset)| Instr::Store {
+        }
+        6 => {
+            let (width, _) = rng.pick(&WIDTHS);
+            Instr::Store {
                 width,
-                rs2,
-                rs1,
-                offset
+                rs2: rng.reg(),
+                rs1: rng.reg(),
+                offset: rng.range(-2048, 2048),
             }
-        ),
-        (any_alu_imm(), any_reg(), any_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, imm)| {
-            Instr::OpImm { op, rd, rs1, imm }
-        }),
-        (any_shift(), any_reg(), any_reg(), 0i32..32).prop_map(|(op, rd, rs1, imm)| {
-            Instr::OpImm { op, rd, rs1, imm }
-        }),
-        (any_alu_rr(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
-            op,
-            rd,
-            rs1,
-            rs2
-        }),
-        Just(Instr::Fence),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-        (
-            prop_oneof![
-                Just(CsrOp::ReadWrite),
-                Just(CsrOp::ReadSet),
-                Just(CsrOp::ReadClear)
-            ],
-            any_reg(),
-            any_reg(),
-            any::<u16>().prop_map(|c| c & 0xFFF),
-            any::<bool>()
-        )
-            .prop_map(|(op, rd, rs1, csr, imm_form)| Instr::Csr {
+        }
+        7 => Instr::OpImm {
+            op: rng.pick(&ALU_IMM),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            imm: rng.range(-2048, 2048),
+        },
+        8 => Instr::OpImm {
+            op: rng.pick(&SHIFTS),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            imm: rng.range(0, 32),
+        },
+        9 => Instr::Op {
+            op: rng.pick(&ALU_RR),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+        },
+        10 => rng.pick(&[Instr::Fence, Instr::Ecall, Instr::Ebreak]),
+        11 | 12 => Instr::Csr {
+            op: rng.pick(&[CsrOp::ReadWrite, CsrOp::ReadSet, CsrOp::ReadClear]),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            csr: (rng.next() as u16) & 0xFFF,
+            imm_form: rng.below(2) == 0,
+        },
+        _ => {
+            let op = rng.pick(&AMOS);
+            Instr::Amo {
                 op,
-                rd,
-                rs1,
-                csr,
-                imm_form
-            }),
-        (any_amo(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Amo {
-            op,
-            rd,
-            rs1,
-            rs2: if matches!(op, AmoOp::Lr | AmoOp::LrWait) {
-                Reg::ZERO
-            } else {
-                rs2
+                rd: rng.reg(),
+                rs1: rng.reg(),
+                rs2: if matches!(op, AmoOp::Lr | AmoOp::LrWait) {
+                    Reg::ZERO
+                } else {
+                    rng.reg()
+                },
             }
-        }),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_round_trip(instr in any_instr()) {
-        let word = encode(&instr);
-        let back = decode(word).expect("encoded instruction must decode");
-        prop_assert_eq!(back, instr);
-    }
-
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
-        let _ = decode(word);
-    }
-
-    #[test]
-    fn decode_encode_fixpoint(word in any::<u32>()) {
-        // Whenever a word decodes, re-encoding the decoded form and decoding
-        // again yields the same instruction (canonical form is stable).
-        if let Ok(instr) = decode(word) {
-            let reencoded = encode(&instr);
-            prop_assert_eq!(decode(reencoded).unwrap(), instr);
         }
     }
+}
 
-    #[test]
-    fn disasm_never_empty(instr in any_instr()) {
-        prop_assert!(!lrscwait_isa::disasm(&instr).is_empty());
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Rng::new(0x1A2B_3C4D);
+    for case in 0..4096 {
+        let instr = any_instr(&mut rng);
+        let word = encode(&instr);
+        let back = decode(word).expect("encoded instruction must decode");
+        assert_eq!(back, instr, "case {case}");
+    }
+}
+
+#[test]
+fn decode_never_panics() {
+    // Random words plus a structured sweep of the low opcode bits.
+    let mut rng = Rng::new(0xDEAD_BEEF);
+    for _ in 0..100_000 {
+        let _ = decode(rng.next() as u32);
+    }
+    for w in 0..65_536u32 {
+        let _ = decode(w);
+        let _ = decode(w << 16);
+        let _ = decode(w | 0xFFFF_0000);
+    }
+}
+
+#[test]
+fn decode_encode_fixpoint() {
+    // Whenever a word decodes, re-encoding the decoded form and decoding
+    // again yields the same instruction (canonical form is stable).
+    let mut rng = Rng::new(0x0BAD_F00D);
+    for _ in 0..100_000 {
+        let word = rng.next() as u32;
+        if let Ok(instr) = decode(word) {
+            let reencoded = encode(&instr);
+            assert_eq!(decode(reencoded).unwrap(), instr, "word {word:#010x}");
+        }
+    }
+}
+
+#[test]
+fn disasm_never_empty() {
+    let mut rng = Rng::new(0x5EED_CAFE);
+    for _ in 0..4096 {
+        let instr = any_instr(&mut rng);
+        assert!(!lrscwait_isa::disasm(&instr).is_empty(), "{instr:?}");
     }
 }

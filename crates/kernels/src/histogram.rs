@@ -8,6 +8,9 @@
 //! sweeps.
 
 use lrscwait_asm::{Assembler, Program};
+use lrscwait_sim::Machine;
+
+use crate::workload::{VerifyError, Workload};
 
 /// How a histogram bin is incremented.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -342,7 +345,10 @@ mcs_nodes: .space MCS_BYTES
             .define("BEXP_MIN", 8)
             .define("BEXP_MAX", 1024)
             .define("BINS_BYTES", 4 * self.bins)
-            .define("LOCK_BYTES", (self.impl_.lock_bytes_per_bin() * self.bins).max(4))
+            .define(
+                "LOCK_BYTES",
+                (self.impl_.lock_bytes_per_bin() * self.bins).max(4),
+            )
             .define(
                 "MCS_BYTES",
                 if self.impl_ == HistImpl::McsMwaitLock {
@@ -356,24 +362,59 @@ mcs_nodes: .space MCS_BYTES
     }
 }
 
+impl Workload for HistogramKernel {
+    fn label(&self) -> String {
+        self.impl_.label().to_string()
+    }
+
+    fn program(&self) -> Program {
+        HistogramKernel::program(self)
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), VerifyError> {
+        let base = HistogramKernel::program(self).symbol("bins");
+        let total: u64 = (0..self.bins)
+            .map(|b| u64::from(machine.read_word(base + 4 * b)))
+            .sum();
+        if total != self.expected_total() {
+            return Err(VerifyError::Conservation {
+                what: "histogram bin total",
+                expected: self.expected_total(),
+                actual: total,
+            });
+        }
+        Ok(())
+    }
+
+    fn expected_ops(&self) -> Option<u64> {
+        Some(self.expected_total())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lrscwait_core::SyncArch;
-    use lrscwait_sim::{ExitReason, Machine, SimConfig};
+    use lrscwait_sim::{ExitReason, SimConfig};
 
     fn run(impl_: HistImpl, bins: u32, arch: SyncArch, cores: u32) -> (Machine, Program) {
         let kernel = HistogramKernel::new(impl_, bins, 16, cores).with_backoff(16);
         let program = kernel.program();
         let mut m = Machine::new(SimConfig::small(cores as usize, arch), &program).unwrap();
         let summary = m.run().expect("kernel runs");
-        assert_eq!(summary.exit, ExitReason::AllHalted, "{impl_:?} hit watchdog");
+        assert_eq!(
+            summary.exit,
+            ExitReason::AllHalted,
+            "{impl_:?} hit watchdog"
+        );
         (m, program)
     }
 
     fn bin_total(m: &Machine, p: &Program, bins: u32) -> u64 {
         let base = p.symbol("bins");
-        (0..bins).map(|b| u64::from(m.read_word(base + 4 * b))).sum()
+        (0..bins)
+            .map(|b| u64::from(m.read_word(base + 4 * b)))
+            .sum()
     }
 
     #[test]

@@ -12,18 +12,24 @@
 //! so measured regions exclude setup, exactly as bare-metal MemPool
 //! benchmarks do.
 //!
+//! Every kernel implements the [`Workload`] trait — program assembly, MMIO
+//! arguments, and post-run functional verification behind one interface —
+//! so the `lrscwait-bench` `Experiment`/`Sweep` runners can execute any
+//! workload against any architecture without kernel-specific glue.
+//!
 //! # Example
 //!
 //! ```
 //! use lrscwait_core::SyncArch;
-//! use lrscwait_kernels::{HistImpl, HistogramKernel};
+//! use lrscwait_kernels::{HistImpl, HistogramKernel, Workload};
 //! use lrscwait_sim::{Machine, SimConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let kernel = HistogramKernel::new(HistImpl::AmoAdd, 16, 8, 4);
-//! let program = kernel.program();
-//! let mut machine = Machine::new(SimConfig::small(4, SyncArch::Lrsc), &program)?;
+//! let cfg = SimConfig::builder().cores(4).arch(SyncArch::Lrsc).build()?;
+//! let mut machine = Machine::new(cfg, &kernel.program())?;
 //! machine.run()?;
+//! kernel.verify(&machine)?; // no benchmark number without a correct run
 //! assert_eq!(machine.stats().total_ops(), kernel.expected_total());
 //! # Ok(())
 //! # }
@@ -32,7 +38,9 @@
 mod histogram;
 mod matmul;
 mod queue;
+mod workload;
 
 pub use histogram::{HistImpl, HistogramKernel};
 pub use matmul::{MatmulKernel, PollerKind};
 pub use queue::{QueueImpl, QueueKernel};
+pub use workload::{VerifyError, Workload};

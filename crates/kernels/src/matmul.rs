@@ -9,6 +9,9 @@
 //! occupying the network.
 
 use lrscwait_asm::{Assembler, Program};
+use lrscwait_sim::Machine;
+
+use crate::workload::{VerifyError, Workload};
 
 /// What the non-worker cores do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -41,7 +44,8 @@ impl PollerKind {
             // One LR/SC attempt per outer-loop pass (so the done flag is
             // still checked while the lock-free update keeps failing), with
             // the paper's 128-cycle backoff after a failure.
-            PollerKind::Lrsc => r#"    lr.w   t4, (a0)
+            PollerKind::Lrsc => {
+                r#"    lr.w   t4, (a0)
     addi   t4, t4, 1
     sc.w   t5, t4, (a0)
     beqz   t5, p_rmw_done
@@ -50,13 +54,16 @@ p_rmw_bk:
     addi   t6, t6, -1
     bnez   t6, p_rmw_bk
 p_rmw_done:
-"#,
+"#
+            }
             // Success or fail-fast, fall through so the done flag is
             // rechecked every pass.
-            PollerKind::LrscWait => r#"    lrwait.w t4, (a0)
+            PollerKind::LrscWait => {
+                r#"    lrwait.w t4, (a0)
     addi     t4, t4, 1
     scwait.w t5, t4, (a0)
-"#,
+"#
+            }
             PollerKind::AmoAdd => "    amoadd.w t4, s6, (a0)\n",
         }
     }
@@ -226,51 +233,96 @@ done_ctr: .space 4
     }
 }
 
+impl MatmulKernel {
+    /// Expected output element: with `A[i][j] = i+1` and `B[i][j] = j+1`
+    /// (as written by [`Workload::init`]),
+    /// `C[i][j] = Σ_k (i+1)(j+1) = (i+1)(j+1)·n`.
+    fn expected_c(&self, i: u32, j: u32) -> u32 {
+        (i + 1).wrapping_mul(j + 1).wrapping_mul(self.n)
+    }
+}
+
+impl Workload for MatmulKernel {
+    fn label(&self) -> String {
+        format!(
+            "matmul {}w/{} pollers: {}",
+            self.workers,
+            self.num_cores - self.workers,
+            self.pollers.label()
+        )
+    }
+
+    fn program(&self) -> Program {
+        MatmulKernel::program(self)
+    }
+
+    fn init(&self, machine: &mut Machine) {
+        // Recognizable inputs so the result is checkable: A[i][j] = i+1,
+        // B[i][j] = j+1. Integer multiply is constant-latency, so the
+        // initialization does not perturb the timing being measured.
+        let program = MatmulKernel::program(self);
+        let a = program.symbol("mat_a");
+        let b = program.symbol("mat_b");
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                machine.write_word(a + 4 * (i * n + j), i + 1);
+                machine.write_word(b + 4 * (i * n + j), j + 1);
+            }
+        }
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), VerifyError> {
+        let c = MatmulKernel::program(self).symbol("mat_c");
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                let actual = machine.read_word(c + 4 * (i * n + j));
+                let expected = self.expected_c(i, j);
+                if actual != expected {
+                    return Err(VerifyError::ResultMismatch {
+                        what: "matmul C",
+                        index: i * n + j,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lrscwait_core::SyncArch;
-    use lrscwait_sim::{ExitReason, Machine, SimConfig};
+    use lrscwait_sim::{ExitReason, SimConfig};
 
     fn run(kernel: &MatmulKernel, arch: SyncArch) -> (Machine, Program) {
         let program = kernel.program();
-        let mut cfg = SimConfig::small(kernel.num_cores as usize, arch);
-        cfg.max_cycles = 20_000_000;
+        let cfg = SimConfig::builder()
+            .cores(kernel.num_cores as usize)
+            .arch(arch)
+            .max_cycles(20_000_000)
+            .build()
+            .unwrap();
         let mut m = Machine::new(cfg, &program).unwrap();
-        // Initialize A and B with recognizable values.
-        let n = kernel.n;
-        let a = program.symbol("mat_a");
-        let b = program.symbol("mat_b");
-        for i in 0..n {
-            for j in 0..n {
-                m.write_word(a + 4 * (i * n + j), i + 1);
-                m.write_word(b + 4 * (i * n + j), j + 1);
-            }
-        }
+        kernel.init(&mut m); // A[i][j] = i+1, B[i][j] = j+1
         let summary = m.run().expect("kernel runs");
         assert_eq!(summary.exit, ExitReason::AllHalted);
         (m, program)
     }
 
-    fn check_result(m: &Machine, p: &Program, n: u32) {
-        // C[i][j] = sum_k (i+1)(j+1) = (i+1)(j+1) n
-        let c = p.symbol("mat_c");
-        for i in 0..n {
-            for j in 0..n {
-                assert_eq!(
-                    m.read_word(c + 4 * (i * n + j)),
-                    (i + 1) * (j + 1) * n,
-                    "C[{i}][{j}]"
-                );
-            }
-        }
+    fn check_result(m: &Machine, kernel: &MatmulKernel) {
+        kernel.verify(m).expect("result matrix matches");
     }
 
     #[test]
     fn baseline_matmul_is_correct() {
         let kernel = MatmulKernel::new(8, 2, 4, PollerKind::Idle);
-        let (m, p) = run(&kernel, SyncArch::Lrsc);
-        check_result(&m, &p, 8);
+        let (m, _) = run(&kernel, SyncArch::Lrsc);
+        check_result(&m, &kernel);
         // Workers measured a region.
         assert!(m.stats().cores[0].region_cycles().is_some());
         assert!(m.stats().cores[1].region_cycles().is_some());
@@ -280,7 +332,7 @@ mod tests {
     fn lrsc_pollers_do_not_corrupt_result() {
         let kernel = MatmulKernel::new(8, 2, 4, PollerKind::Lrsc).with_poll_bins(1);
         let (m, p) = run(&kernel, SyncArch::Lrsc);
-        check_result(&m, &p, 8);
+        check_result(&m, &kernel);
         // Pollers made progress too.
         let bins = p.symbol("bins");
         assert!(m.read_word(bins) > 0, "pollers must have incremented");
@@ -289,8 +341,8 @@ mod tests {
     #[test]
     fn colibri_pollers_do_not_corrupt_result() {
         let kernel = MatmulKernel::new(8, 2, 4, PollerKind::LrscWait).with_poll_bins(3);
-        let (m, p) = run(&kernel, SyncArch::Colibri { queues: 4 });
-        check_result(&m, &p, 8);
+        let (m, _) = run(&kernel, SyncArch::Colibri { queues: 4 });
+        check_result(&m, &kernel);
     }
 
     #[test]

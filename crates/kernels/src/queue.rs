@@ -16,6 +16,9 @@
 //! Michael–Scott queue (the dequeuer frees the retired dummy).
 
 use lrscwait_asm::{Assembler, Program};
+use lrscwait_sim::Machine;
+
+use crate::workload::{VerifyError, Workload};
 
 /// Queue implementation selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,7 +51,8 @@ impl QueueImpl {
 
     fn enqueue_snippet(self) -> &'static str {
         match self {
-            QueueImpl::LrscWaitDirect => r#"    mv   s8, s5
+            QueueImpl::LrscWaitDirect => {
+                r#"    mv   s8, s5
     lw   s5, 0(s8)             # pop a node from my freelist
     sw   zero, 0(s8)
     sw   s10, 4(s8)
@@ -59,8 +63,10 @@ d_enq:
     fence
     scwait.w t5, s8, (s3)      # tail = node
     bnez t5, d_enq
-"#,
-            QueueImpl::LrscMs => r#"    mv   s8, s5
+"#
+            }
+            QueueImpl::LrscMs => {
+                r#"    mv   s8, s5
     lw   s5, 0(s8)
     sw   zero, 0(s8)
     sw   s10, 4(s8)
@@ -95,8 +101,10 @@ m_enq_bk:
     slli s11, s11, 1
     j    m_enq
 m_enq_end:
-"#,
-            QueueImpl::TicketRing => r#"    amoadd.w t4, s6, (s11)     # take a ticket
+"#
+            }
+            QueueImpl::TicketRing => {
+                r#"    amoadd.w t4, s6, (s11)     # take a ticket
 r_enq_wait:
     lw   t5, 4(s11)
     beq  t5, t4, r_enq_cs
@@ -117,13 +125,15 @@ r_enq_cs:
     fence
     addi t4, t4, 1
     sw   t4, 4(s11)            # serving++
-"#,
+"#
+            }
         }
     }
 
     fn dequeue_snippet(self) -> &'static str {
         match self {
-            QueueImpl::LrscWaitDirect => r#"d_deq:
+            QueueImpl::LrscWaitDirect => {
+                r#"d_deq:
     lrwait.w t4, (s2)          # own the head pointer; t4 = dummy
     lw   t5, (s3)
     beq  t4, t5, d_deq_empty
@@ -139,8 +149,10 @@ d_deq_empty:
     scwait.w t5, t4, (s2)      # yield the head unchanged and retry
     j    d_deq
 d_deq_done:
-"#,
-            QueueImpl::LrscMs => r#"m_deq:
+"#
+            }
+            QueueImpl::LrscMs => {
+                r#"m_deq:
     lw   t4, (s2)              # h
     lw   t5, (s3)              # t
     lw   t6, 0(t4)             # next
@@ -174,8 +186,10 @@ m_deq_bk:
     slli s11, s11, 1
     j    m_deq
 m_deq_done:
-"#,
-            QueueImpl::TicketRing => r#"r_deq:
+"#
+            }
+            QueueImpl::TicketRing => {
+                r#"r_deq:
     amoadd.w t4, s6, (s11)
 r_deq_wait:
     lw   t5, 4(s11)
@@ -207,7 +221,8 @@ r_deq_empty:
     sw   t4, 4(s11)            # release and take a fresh ticket
     j    r_deq
 r_deq_done:
-"#,
+"#
+            }
         }
     }
 }
@@ -353,20 +368,64 @@ checks: .space CHECK_BYTES
     }
 }
 
+impl Workload for QueueKernel {
+    fn label(&self) -> String {
+        self.impl_.label().to_string()
+    }
+
+    fn program(&self) -> Program {
+        QueueKernel::program(self)
+    }
+
+    fn args(&self) -> Vec<(usize, u32)> {
+        // Arg 0 mirrors the participating-core count for harness consumers;
+        // the kernel itself bakes it in as the NACTIVE constant.
+        vec![(0, self.num_cores)]
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), VerifyError> {
+        let checks = QueueKernel::program(self).symbol("checks");
+        let mut sum = 0u32;
+        for c in 0..self.num_cores {
+            sum = sum.wrapping_add(machine.read_word(checks + 4 * c));
+        }
+        if sum != self.expected_checksum() {
+            return Err(VerifyError::Conservation {
+                what: "queue dequeue checksum",
+                expected: u64::from(self.expected_checksum()),
+                actual: u64::from(sum),
+            });
+        }
+        Ok(())
+    }
+
+    fn expected_ops(&self) -> Option<u64> {
+        Some(QueueKernel::expected_ops(self))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lrscwait_core::SyncArch;
-    use lrscwait_sim::{ExitReason, Machine, SimConfig};
+    use lrscwait_sim::{ExitReason, SimConfig};
 
     fn run(impl_: QueueImpl, arch: SyncArch, cores: u32, iters: u32) -> (Machine, QueueKernel) {
         let kernel = QueueKernel::new(impl_, iters, cores);
         let program = kernel.program();
-        let mut cfg = SimConfig::small(cores as usize, arch);
-        cfg.max_cycles = 20_000_000;
+        let cfg = SimConfig::builder()
+            .cores(cores as usize)
+            .arch(arch)
+            .max_cycles(20_000_000)
+            .build()
+            .unwrap();
         let mut m = Machine::new(cfg, &program).unwrap();
         let summary = m.run().expect("queue kernel runs");
-        assert_eq!(summary.exit, ExitReason::AllHalted, "{impl_:?} hit watchdog");
+        assert_eq!(
+            summary.exit,
+            ExitReason::AllHalted,
+            "{impl_:?} hit watchdog"
+        );
         // Verify conservation: every enqueued value dequeued exactly once.
         let checks = program.symbol("checks");
         let mut sum = 0u32;
@@ -379,7 +438,12 @@ mod tests {
 
     #[test]
     fn direct_wait_queue_on_colibri() {
-        let (m, k) = run(QueueImpl::LrscWaitDirect, SyncArch::Colibri { queues: 4 }, 4, 16);
+        let (m, k) = run(
+            QueueImpl::LrscWaitDirect,
+            SyncArch::Colibri { queues: 4 },
+            4,
+            16,
+        );
         assert_eq!(m.stats().total_ops(), k.expected_ops());
         assert_eq!(
             m.stats().adapters.wait_failfast,
@@ -406,14 +470,24 @@ mod tests {
 
     #[test]
     fn single_core_all_variants() {
-        run(QueueImpl::LrscWaitDirect, SyncArch::Colibri { queues: 4 }, 1, 8);
+        run(
+            QueueImpl::LrscWaitDirect,
+            SyncArch::Colibri { queues: 4 },
+            1,
+            8,
+        );
         run(QueueImpl::LrscMs, SyncArch::Lrsc, 1, 8);
         run(QueueImpl::TicketRing, SyncArch::Lrsc, 1, 8);
     }
 
     #[test]
     fn eight_cores_contended() {
-        run(QueueImpl::LrscWaitDirect, SyncArch::Colibri { queues: 4 }, 8, 8);
+        run(
+            QueueImpl::LrscWaitDirect,
+            SyncArch::Colibri { queues: 4 },
+            8,
+            8,
+        );
         run(QueueImpl::LrscMs, SyncArch::Lrsc, 8, 8);
     }
 

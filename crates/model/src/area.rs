@@ -73,8 +73,7 @@ impl AreaParams {
             }
             Some(SyncArch::LrscWaitIdeal) => {
                 self.tile_base_kge
-                    + banks
-                        * (self.waitq_fixed_per_bank + num_cores as f64 * self.waitq_per_slot)
+                    + banks * (self.waitq_fixed_per_bank + num_cores as f64 * self.waitq_per_slot)
             }
             Some(SyncArch::Colibri { queues }) => {
                 self.tile_base_kge
@@ -233,8 +232,14 @@ mod tests {
             AreaParams::reservation_state_bits(SyncArch::Colibri { queues: 4 }, 512, 2048);
         let ideal_ratio = ideal_2x as f64 / ideal_1x as f64;
         let colibri_ratio = colibri_2x as f64 / colibri_1x as f64;
-        assert!(ideal_ratio > 3.5, "ideal grows ~quadratically: {ideal_ratio}");
-        assert!(colibri_ratio < 2.5, "Colibri grows ~linearly: {colibri_ratio}");
+        assert!(
+            ideal_ratio > 3.5,
+            "ideal grows ~quadratically: {ideal_ratio}"
+        );
+        assert!(
+            colibri_ratio < 2.5,
+            "Colibri grows ~linearly: {colibri_ratio}"
+        );
     }
 
     #[test]

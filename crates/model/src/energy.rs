@@ -97,8 +97,7 @@ impl EnergyParams {
             + stats.resp_network.delivered) as f64;
         let network_pj = injected * self.inject_pj + hops * self.hop_pj;
         let bank_pj = stats.adapters.requests as f64 * self.bank_pj;
-        let total_pj =
-            core_pj + network_pj + bank_pj + cycles as f64 * self.static_pj_per_cycle;
+        let total_pj = core_pj + network_pj + bank_pj + cycles as f64 * self.static_pj_per_cycle;
         let ops = stats.total_ops().max(1) as f64;
         let seconds = cycles as f64 / self.clock_hz;
         EnergyReport {

@@ -393,8 +393,16 @@ mod tests {
             now += 1;
             net.advance(now, &mut out);
         }
-        let a_seq: Vec<u32> = out.iter().filter(|(s, _)| *s == 0).map(|&(_, i)| i).collect();
-        let b_seq: Vec<u32> = out.iter().filter(|(s, _)| *s == 1).map(|&(_, i)| i).collect();
+        let a_seq: Vec<u32> = out
+            .iter()
+            .filter(|(s, _)| *s == 0)
+            .map(|&(_, i)| i)
+            .collect();
+        let b_seq: Vec<u32> = out
+            .iter()
+            .filter(|(s, _)| *s == 1)
+            .map(|&(_, i)| i)
+            .collect();
         assert_eq!(a_seq, (0..50).collect::<Vec<_>>(), "route A FIFO");
         assert_eq!(b_seq, (0..50).collect::<Vec<_>>(), "route B FIFO");
     }

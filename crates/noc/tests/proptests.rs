@@ -1,24 +1,27 @@
-//! Property tests for the NoC: conservation (every injected message is
+//! Randomized tests for the NoC: conservation (every injected message is
 //! delivered exactly once), per-route FIFO ordering under random load, and
 //! eventual delivery despite saturation (no starvation with rotation).
+//!
+//! Deterministic LCG seeds replace an external property-testing crate, so
+//! failures reproduce exactly and the suite builds offline.
 
 use lrscwait_noc::{MempoolTopology, Network, TopologyConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Random request traffic on the full MemPool topology: all messages
-    /// delivered exactly once, in per-(core,bank) FIFO order.
-    #[test]
-    fn conservation_and_fifo(seed in any::<u64>(), n_msgs in 1usize..400) {
+/// Random request traffic on the full MemPool topology: all messages
+/// delivered exactly once, in per-(core,bank) FIFO order.
+#[test]
+fn conservation_and_fifo() {
+    for seed in 1u64..=16 {
         let topo = MempoolTopology::new(TopologyConfig::mempool());
         let mut net: Network<(usize, usize, u32)> = topo.build_request_network();
-        let mut state = seed | 1;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
+        let n_msgs = 1 + next() % 400;
         let mut pending: Vec<(usize, usize, u32)> = (0..n_msgs)
             .map(|i| (next() % 256, next() % 1024, i as u32))
             .collect();
@@ -39,41 +42,52 @@ proptest! {
                 }
             }
             now += 1;
-            prop_assert!(now < 500_000, "messages must not starve");
+            assert!(now < 500_000, "seed {seed}: messages must not starve");
             out.clear();
             net.advance(now, &mut out);
             delivered.extend(out.iter().copied());
         }
-        prop_assert_eq!(delivered.len(), n_msgs, "exactly-once delivery");
+        assert_eq!(
+            delivered.len(),
+            n_msgs,
+            "seed {seed}: exactly-once delivery"
+        );
         // FIFO per (src, dst) pair: sequence numbers arrive in send order.
         for src in 0..256usize {
             for dst_class in 0..8usize {
                 let seqs: Vec<u32> = delivered
                     .iter()
-                    .filter(|&&(s, d, _)| s == src && d % 8 == dst_class && {
-                        // restrict to one concrete destination per class
-                        let first = delivered
-                            .iter()
-                            .find(|&&(s2, d2, _)| s2 == src && d2 % 8 == dst_class)
-                            .map(|&(_, d2, _)| d2);
-                        Some(d) == first
+                    .filter(|&&(s, d, _)| {
+                        s == src && d % 8 == dst_class && {
+                            // restrict to one concrete destination per class
+                            let first = delivered
+                                .iter()
+                                .find(|&&(s2, d2, _)| s2 == src && d2 % 8 == dst_class)
+                                .map(|&(_, d2, _)| d2);
+                            Some(d) == first
+                        }
                     })
                     .map(|&(_, _, q)| q)
                     .collect();
                 let mut sorted = seqs.clone();
                 sorted.sort_unstable();
-                prop_assert_eq!(seqs, sorted, "per-pair FIFO violated from {}", src);
+                assert_eq!(
+                    seqs, sorted,
+                    "seed {seed}: per-pair FIFO violated from {src}"
+                );
             }
         }
         let stats = net.stats();
-        prop_assert_eq!(stats.delivered, n_msgs as u64);
-        prop_assert_eq!(stats.injected, n_msgs as u64);
+        assert_eq!(stats.delivered, n_msgs as u64, "seed {seed}");
+        assert_eq!(stats.injected, n_msgs as u64, "seed {seed}");
     }
+}
 
-    /// A saturating hot-spot (every core to one bank) still drains — the
-    /// rotation-based arbitration guarantees no producer starves.
-    #[test]
-    fn hotspot_drains(seed in any::<u64>()) {
+/// A saturating hot-spot (every core to one bank) still drains — the
+/// rotation-based arbitration guarantees no producer starves.
+#[test]
+fn hotspot_drains() {
+    for seed in [0u64, 7, 255, 511, 513, 1023] {
         let topo = MempoolTopology::new(TopologyConfig::mempool());
         let mut net: Network<usize> = topo.build_request_network();
         let bank = (seed % 1024) as usize;
@@ -83,15 +97,16 @@ proptest! {
         let mut out = Vec::new();
         while delivered < 256 {
             pending.retain(|&core| {
-                net.try_send(topo.request_route(core, bank), core, now).is_err()
+                net.try_send(topo.request_route(core, bank), core, now)
+                    .is_err()
             });
             now += 1;
-            prop_assert!(now < 50_000, "hotspot must drain");
+            assert!(now < 50_000, "seed {seed}: hotspot must drain");
             out.clear();
             net.advance(now, &mut out);
             delivered += out.len();
         }
         // The bank serializes: drained in at least one cycle per message.
-        prop_assert!(now >= 256);
+        assert!(now >= 256, "seed {seed}");
     }
 }

@@ -1,5 +1,13 @@
 //! Simulator configuration: geometry, synchronization architecture, core
 //! timing, memory map and harness parameters.
+//!
+//! Configurations are built through the validating [`SimConfig::builder`],
+//! which rejects inconsistent geometry (more cores than banks, zero words
+//! per bank, a Colibri controller with zero queues, …) at construction time
+//! instead of misbehaving mid-simulation.
+
+use std::error::Error;
+use std::fmt;
 
 use lrscwait_core::SyncArch;
 use lrscwait_noc::TopologyConfig;
@@ -55,6 +63,103 @@ impl Default for CoreTiming {
     }
 }
 
+/// A rejected [`SimConfigBuilder`] configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The machine must have at least one core.
+    ZeroCores,
+    /// More cores than SPM banks — the interleaved memory map requires at
+    /// least one bank per core.
+    CoresExceedBanks {
+        /// Configured core count.
+        cores: usize,
+        /// Resulting bank count.
+        banks: usize,
+    },
+    /// The SPM is smaller than one word per bank.
+    ZeroWordsPerBank {
+        /// Configured SPM size in bytes.
+        spm_bytes: u32,
+        /// Resulting bank count.
+        banks: usize,
+    },
+    /// A Colibri controller needs at least one (head, tail) queue pair.
+    ZeroColibriQueues,
+    /// A centralized LRSCwait queue needs at least one slot.
+    ZeroWaitSlots,
+    /// Benchmark argument index outside `0..NUM_ARGS`.
+    ArgIndexOutOfRange {
+        /// Offending index.
+        index: usize,
+    },
+    /// Core count not divisible into tiles.
+    IndivisibleTiles {
+        /// Configured core count.
+        cores: usize,
+        /// Cores per tile.
+        cores_per_tile: usize,
+    },
+    /// Tile count not divisible into groups.
+    IndivisibleGroups {
+        /// Resulting tile count.
+        tiles: usize,
+        /// Tiles per group.
+        tiles_per_group: usize,
+    },
+    /// The watchdog limit must be non-zero.
+    ZeroMaxCycles,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::ZeroCores => write!(f, "machine needs at least one core"),
+            ConfigError::CoresExceedBanks { cores, banks } => {
+                write!(
+                    f,
+                    "{cores} cores exceed {banks} SPM banks (need >= 1 bank per core)"
+                )
+            }
+            ConfigError::ZeroWordsPerBank { spm_bytes, banks } => {
+                write!(
+                    f,
+                    "{spm_bytes} B SPM leaves zero words for each of {banks} banks"
+                )
+            }
+            ConfigError::ZeroColibriQueues => {
+                write!(f, "Colibri controllers need at least one queue pair")
+            }
+            ConfigError::ZeroWaitSlots => {
+                write!(f, "centralized LRSCwait queue needs at least one slot")
+            }
+            ConfigError::ArgIndexOutOfRange { index } => {
+                write!(f, "benchmark argument index {index} outside 0..{NUM_ARGS}")
+            }
+            ConfigError::IndivisibleTiles {
+                cores,
+                cores_per_tile,
+            } => {
+                write!(
+                    f,
+                    "{cores} cores do not divide into tiles of {cores_per_tile}"
+                )
+            }
+            ConfigError::IndivisibleGroups {
+                tiles,
+                tiles_per_group,
+            } => {
+                write!(
+                    f,
+                    "{tiles} tiles do not divide into groups of {tiles_per_group}"
+                )
+            }
+            ConfigError::ZeroMaxCycles => write!(f, "watchdog limit must be non-zero"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Full simulator configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -73,6 +178,13 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// Starts a validating configuration builder (defaults: 4 cores,
+    /// LRSC baseline, 64 KiB SPM, 2 M cycle watchdog).
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+
     /// The paper's full-scale system: 256 cores, 1024 banks, 1 MiB SPM.
     #[must_use]
     pub fn mempool(arch: SyncArch) -> SimConfig {
@@ -104,6 +216,10 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics when `i >= NUM_ARGS`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SimConfig::builder().arg(i, value)` instead"
+    )]
     #[must_use]
     pub fn with_arg(mut self, i: usize, value: u32) -> SimConfig {
         self.args[i] = value;
@@ -114,6 +230,188 @@ impl SimConfig {
     #[must_use]
     pub fn words_per_bank(&self) -> usize {
         (self.spm_bytes as usize / 4) / self.topology.num_banks()
+    }
+
+    /// Re-validates an existing configuration (the checks of
+    /// [`SimConfigBuilder::build`], for configs assembled by hand).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let cores = self.topology.num_cores;
+        if cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if cores % self.topology.cores_per_tile != 0 {
+            return Err(ConfigError::IndivisibleTiles {
+                cores,
+                cores_per_tile: self.topology.cores_per_tile,
+            });
+        }
+        let tiles = cores / self.topology.cores_per_tile;
+        if tiles % self.topology.tiles_per_group != 0 {
+            return Err(ConfigError::IndivisibleGroups {
+                tiles,
+                tiles_per_group: self.topology.tiles_per_group,
+            });
+        }
+        let banks = tiles * self.topology.banks_per_tile;
+        if banks < cores {
+            return Err(ConfigError::CoresExceedBanks { cores, banks });
+        }
+        if (self.spm_bytes as usize / 4) / banks == 0 {
+            return Err(ConfigError::ZeroWordsPerBank {
+                spm_bytes: self.spm_bytes,
+                banks,
+            });
+        }
+        match self.arch {
+            SyncArch::Colibri { queues: 0 } => return Err(ConfigError::ZeroColibriQueues),
+            SyncArch::LrscWait { slots: 0 } => return Err(ConfigError::ZeroWaitSlots),
+            _ => {}
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::ZeroMaxCycles);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`SimConfig`].
+///
+/// ```
+/// use lrscwait_core::SyncArch;
+/// use lrscwait_sim::SimConfig;
+///
+/// # fn main() -> Result<(), lrscwait_sim::ConfigError> {
+/// let cfg = SimConfig::builder()
+///     .cores(16)
+///     .arch(SyncArch::Colibri { queues: 4 })
+///     .max_cycles(5_000_000)
+///     .arg(0, 7)
+///     .build()?;
+/// assert_eq!(cfg.topology.num_cores, 16);
+/// assert_eq!(cfg.args[0], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    topology: TopologyConfig,
+    arch: SyncArch,
+    spm_bytes: u32,
+    timing: CoreTiming,
+    max_cycles: u64,
+    args: Vec<(usize, u32)>,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+}
+
+impl SimConfigBuilder {
+    /// Fresh builder with the small-test defaults.
+    #[must_use]
+    pub fn new() -> SimConfigBuilder {
+        SimConfigBuilder {
+            topology: TopologyConfig::small(4),
+            arch: SyncArch::Lrsc,
+            spm_bytes: 1 << 16,
+            timing: CoreTiming::default(),
+            max_cycles: 2_000_000,
+            args: Vec::new(),
+        }
+    }
+
+    /// Uses the small single-group topology with `n` cores.
+    #[must_use]
+    pub fn cores(mut self, n: usize) -> SimConfigBuilder {
+        self.topology = TopologyConfig::small(n);
+        self
+    }
+
+    /// Uses the paper's full-scale MemPool geometry (256 cores, 1024 banks,
+    /// 1 MiB SPM, 10 M cycle watchdog).
+    #[must_use]
+    pub fn mempool(mut self) -> SimConfigBuilder {
+        self.topology = TopologyConfig::mempool();
+        self.spm_bytes = 1 << 20;
+        self.max_cycles = 10_000_000;
+        self
+    }
+
+    /// Uses an explicit topology.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologyConfig) -> SimConfigBuilder {
+        self.topology = topology;
+        self
+    }
+
+    /// Selects the synchronization architecture.
+    #[must_use]
+    pub fn arch(mut self, arch: SyncArch) -> SimConfigBuilder {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the total SPM size in bytes.
+    #[must_use]
+    pub fn spm_bytes(mut self, bytes: u32) -> SimConfigBuilder {
+        self.spm_bytes = bytes;
+        self
+    }
+
+    /// Sets the core timing parameters.
+    #[must_use]
+    pub fn timing(mut self, timing: CoreTiming) -> SimConfigBuilder {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the watchdog cycle limit.
+    #[must_use]
+    pub fn max_cycles(mut self, cycles: u64) -> SimConfigBuilder {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Records benchmark argument `i` (validated at [`build`](Self::build)).
+    #[must_use]
+    pub fn arg(mut self, i: usize, value: u32) -> SimConfigBuilder {
+        self.args.push((i, value));
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistency:
+    /// zero cores, cores exceeding banks, an SPM too small for the bank
+    /// count, a zero-queue Colibri or zero-slot wait queue, an argument
+    /// index outside the MMIO window, indivisible tile/group geometry, or
+    /// a zero watchdog.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let mut args = [0u32; NUM_ARGS];
+        for &(i, value) in &self.args {
+            if i >= NUM_ARGS {
+                return Err(ConfigError::ArgIndexOutOfRange { index: i });
+            }
+            args[i] = value;
+        }
+        let cfg = SimConfig {
+            topology: self.topology,
+            arch: self.arch,
+            spm_bytes: self.spm_bytes,
+            timing: self.timing,
+            max_cycles: self.max_cycles,
+            args,
+        };
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -127,6 +425,7 @@ mod tests {
         assert_eq!(cfg.topology.num_cores, 256);
         assert_eq!(cfg.topology.num_banks(), 1024);
         assert_eq!(cfg.words_per_bank(), 256); // 1 MiB / 4 / 1024
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -134,12 +433,140 @@ mod tests {
         let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
         assert!(cfg.topology.num_banks() >= 4);
         assert!(cfg.words_per_bank() > 0);
+        cfg.validate().unwrap();
     }
 
     #[test]
-    fn args_builder() {
-        let cfg = SimConfig::small(2, SyncArch::Lrsc).with_arg(0, 7).with_arg(3, 9);
+    fn builder_matches_presets() {
+        let built = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::Colibri { queues: 2 })
+            .build()
+            .unwrap();
+        let preset = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
+        assert_eq!(built.topology, preset.topology);
+        assert_eq!(built.spm_bytes, preset.spm_bytes);
+        assert_eq!(built.max_cycles, preset.max_cycles);
+
+        let built = SimConfig::builder().mempool().build().unwrap();
+        let preset = SimConfig::mempool(SyncArch::Lrsc);
+        assert_eq!(built.topology, preset.topology);
+        assert_eq!(built.spm_bytes, preset.spm_bytes);
+        assert_eq!(built.max_cycles, preset.max_cycles);
+    }
+
+    #[test]
+    fn builder_args() {
+        let cfg = SimConfig::builder()
+            .cores(2)
+            .arg(0, 7)
+            .arg(3, 9)
+            .build()
+            .unwrap();
         assert_eq!(cfg.args[0], 7);
         assert_eq!(cfg.args[3], 9);
+    }
+
+    #[test]
+    fn builder_rejects_zero_cores() {
+        assert_eq!(
+            SimConfig::builder().cores(0).build().unwrap_err(),
+            ConfigError::ZeroCores
+        );
+    }
+
+    #[test]
+    fn builder_rejects_cores_exceeding_banks() {
+        let mut topo = TopologyConfig::small(8);
+        topo.banks_per_tile = 1; // 2 banks for 8 cores
+        let err = SimConfig::builder().topology(topo).build().unwrap_err();
+        assert!(
+            matches!(err, ConfigError::CoresExceedBanks { cores: 8, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_words_per_bank() {
+        let err = SimConfig::builder()
+            .cores(4)
+            .spm_bytes(32)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroWordsPerBank { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_colibri_queues() {
+        let err = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::Colibri { queues: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroColibriQueues);
+    }
+
+    #[test]
+    fn builder_rejects_zero_wait_slots() {
+        let err = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::LrscWait { slots: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWaitSlots);
+    }
+
+    #[test]
+    fn builder_rejects_bad_arg_index() {
+        let err = SimConfig::builder()
+            .cores(2)
+            .arg(NUM_ARGS, 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ArgIndexOutOfRange { index: NUM_ARGS });
+    }
+
+    #[test]
+    fn builder_rejects_indivisible_geometry() {
+        let mut topo = TopologyConfig::small(8);
+        topo.cores_per_tile = 3;
+        let err = SimConfig::builder().topology(topo).build().unwrap_err();
+        assert!(matches!(err, ConfigError::IndivisibleTiles { .. }), "{err}");
+
+        let mut topo = TopologyConfig::small(8);
+        topo.tiles_per_group = 3; // 2 tiles, groups of 3
+        let err = SimConfig::builder().topology(topo).build().unwrap_err();
+        assert!(
+            matches!(err, ConfigError::IndivisibleGroups { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_watchdog() {
+        let err = SimConfig::builder()
+            .cores(2)
+            .max_cycles(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroMaxCycles);
+    }
+
+    #[test]
+    fn config_errors_display() {
+        let msgs = [
+            ConfigError::ZeroCores.to_string(),
+            ConfigError::CoresExceedBanks { cores: 8, banks: 2 }.to_string(),
+            ConfigError::ZeroWordsPerBank {
+                spm_bytes: 32,
+                banks: 64,
+            }
+            .to_string(),
+            ConfigError::ZeroColibriQueues.to_string(),
+            ConfigError::ArgIndexOutOfRange { index: 9 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
     }
 }

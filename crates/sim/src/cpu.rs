@@ -83,7 +83,11 @@ pub enum MemIntent {
         signed: bool,
     },
     /// Store `width` bytes of `value` at `addr`.
-    Store { addr: u32, value: u32, width: MemWidth },
+    Store {
+        addr: u32,
+        value: u32,
+        width: MemWidth,
+    },
     /// Atomic operation at word-aligned `addr`. `operand` is rs2's value.
     Atomic {
         addr: u32,
@@ -213,7 +217,12 @@ impl Core {
                 self.ready_at = now + 1 + u64::from(timing.branch_penalty);
                 Ok(Action::Done)
             }
-            Instr::Branch { op, rs1, rs2, offset } => {
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if op.taken(self.reg(rs1), self.reg(rs2)) {
                     self.pc = self.pc.wrapping_add(offset as u32);
                     self.ready_at = now + 1 + u64::from(timing.branch_penalty);
@@ -377,10 +386,16 @@ mod tests {
     use lrscwait_asm::Assembler;
 
     fn program(src: &str) -> DecodedProgram {
-        let p = Assembler::new().assemble(src).expect("test program assembles");
+        let p = Assembler::new()
+            .assemble(src)
+            .expect("test program assembles");
         DecodedProgram {
             base: p.text_base,
-            instrs: p.text.iter().map(|&w| lrscwait_isa::decode(w).unwrap()).collect(),
+            instrs: p
+                .text
+                .iter()
+                .map(|&w| lrscwait_isa::decode(w).unwrap())
+                .collect(),
             raw: p.text.clone(),
             source_lines: p.source_lines.clone(),
         }
@@ -520,7 +535,10 @@ mod tests {
 
     #[test]
     fn store_lane_building() {
-        assert_eq!(store_lanes(0x100, 0xAABBCCDD, MemWidth::Word), (0x100, 0xAABBCCDD, !0));
+        assert_eq!(
+            store_lanes(0x100, 0xAABBCCDD, MemWidth::Word),
+            (0x100, 0xAABBCCDD, !0)
+        );
         let (a, v, m) = store_lanes(0x101, 0xEE, MemWidth::Byte);
         assert_eq!((a, v, m), (0x100, 0xEE00, 0xFF00));
         let (a, v, m) = store_lanes(0x102, 0x1234, MemWidth::Half);

@@ -45,6 +45,9 @@ pub mod cpu;
 mod machine;
 mod stats;
 
-pub use config::{mmio_reg, CoreTiming, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE};
+pub use config::{
+    mmio_reg, ConfigError, CoreTiming, SimConfig, SimConfigBuilder, MMIO_BASE, MMIO_SIZE, NUM_ARGS,
+    ROM_BASE,
+};
 pub use machine::{Machine, SimError};
 pub use stats::{CoreStats, ExitReason, RunSummary, SimStats};

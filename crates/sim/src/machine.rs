@@ -27,7 +27,7 @@ use lrscwait_core::{
 use lrscwait_isa::AmoOp;
 use lrscwait_noc::{MempoolTopology, Network};
 
-use crate::config::{mmio_reg, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE};
+use crate::config::{mmio_reg, ConfigError, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE};
 use crate::cpu::{
     extract, store_lanes, Action, Core, CoreState, DecodedProgram, ExecError, MemIntent,
     PendingKind, PendingMem,
@@ -78,6 +78,15 @@ pub enum SimError {
         /// Word index within the text segment.
         index: usize,
     },
+    /// The program's data segment does not fit the configured SPM.
+    ProgramTooLarge {
+        /// Bytes of initialized data + bss the program needs.
+        footprint: u32,
+        /// Configured SPM size in bytes.
+        spm_bytes: u32,
+    },
+    /// The configuration itself is inconsistent.
+    Config(ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -89,7 +98,12 @@ impl fmt::Display for SimError {
             SimError::Breakpoint { core, pc, line } => {
                 write!(f, "core {core}: ebreak at {pc:#010x} (line {line:?})")
             }
-            SimError::Misaligned { core, pc, addr, line } => write!(
+            SimError::Misaligned {
+                core,
+                pc,
+                addr,
+                line,
+            } => write!(
                 f,
                 "core {core}: misaligned access to {addr:#010x} at pc {pc:#010x} (line {line:?})"
             ),
@@ -99,11 +113,27 @@ impl fmt::Display for SimError {
             SimError::BadProgram { index } => {
                 write!(f, "text word {index} does not decode")
             }
+            SimError::ProgramTooLarge {
+                footprint,
+                spm_bytes,
+            } => {
+                write!(
+                    f,
+                    "program data ({footprint} B) exceeds SPM ({spm_bytes} B)"
+                )
+            }
+            SimError::Config(ref e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
 
 /// Request-network payload.
 #[derive(Clone, Copy, Debug)]
@@ -130,13 +160,21 @@ struct BankView<'a> {
 impl WordStorage for BankView<'_> {
     fn read_word(&self, addr: u32) -> u32 {
         let w = addr / 4;
-        debug_assert_eq!(w % self.num_banks, self.bank, "address routed to wrong bank");
+        debug_assert_eq!(
+            w % self.num_banks,
+            self.bank,
+            "address routed to wrong bank"
+        );
         self.words[(w / self.num_banks) as usize]
     }
 
     fn write_word(&mut self, addr: u32, value: u32) {
         let w = addr / 4;
-        debug_assert_eq!(w % self.num_banks, self.bank, "address routed to wrong bank");
+        debug_assert_eq!(
+            w % self.num_banks,
+            self.bank,
+            "address routed to wrong bank"
+        );
         self.words[(w / self.num_banks) as usize] = value;
     }
 }
@@ -181,17 +219,21 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadProgram`] when a text word does not decode.
+    /// Returns [`SimError::BadProgram`] when a text word does not decode,
+    /// [`SimError::ProgramTooLarge`] when the data image exceeds the SPM,
+    /// and [`SimError::Config`] when the configuration is inconsistent
+    /// (see [`SimConfig::validate`]).
     ///
     /// # Panics
     ///
-    /// Panics when the program's text base does not match [`ROM_BASE`] or
-    /// its data segment does not fit the configured SPM.
+    /// Panics when the program's text base does not match [`ROM_BASE`]
+    /// (a harness bug, not an input error).
     pub fn new(cfg: SimConfig, program: &Program) -> Result<Machine, SimError> {
         assert_eq!(
             program.text_base, ROM_BASE,
             "assemble kernels with the default text base"
         );
+        cfg.validate()?;
         let mut instrs = Vec::with_capacity(program.text.len());
         for (index, &word) in program.text.iter().enumerate() {
             match lrscwait_isa::decode(word) {
@@ -209,13 +251,13 @@ impl Machine {
         let num_cores = cfg.topology.num_cores;
         let num_banks = cfg.topology.num_banks();
         let words_per_bank = cfg.words_per_bank();
-        assert!(words_per_bank > 0, "SPM too small for the bank count");
         let footprint = program.bss_base + program.bss_size;
-        assert!(
-            footprint <= cfg.spm_bytes,
-            "program data ({footprint} B) exceeds SPM ({} B)",
-            cfg.spm_bytes
-        );
+        if footprint > cfg.spm_bytes {
+            return Err(SimError::ProgramTooLarge {
+                footprint,
+                spm_bytes: cfg.spm_bytes,
+            });
+        }
 
         let mut machine = Machine {
             topo,
@@ -559,7 +601,7 @@ impl Machine {
                 width,
                 signed,
             } => {
-                if addr >= MMIO_BASE && addr < MMIO_BASE + MMIO_SIZE {
+                if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
                     let value = self.mmio_read(c, addr - MMIO_BASE);
                     self.cores[c].set_reg(rd, extract(value, addr, width, signed));
                     self.cores[c].pc += 4;
@@ -596,7 +638,7 @@ impl Machine {
                 Ok(())
             }
             MemIntent::Store { addr, value, width } => {
-                if addr >= MMIO_BASE && addr < MMIO_BASE + MMIO_SIZE {
+                if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
                     self.cores[c].pc += 4;
                     self.mmio_write(c, addr - MMIO_BASE, value, now);
                     return Ok(());
@@ -639,14 +681,26 @@ impl Machine {
                 }
                 let (req, kind) = match op {
                     AmoOp::Lr => (MemRequest::Lr { addr }, PendingKind::Value),
-                    AmoOp::Sc => (MemRequest::Sc { addr, value: operand }, PendingKind::Flag),
+                    AmoOp::Sc => (
+                        MemRequest::Sc {
+                            addr,
+                            value: operand,
+                        },
+                        PendingKind::Flag,
+                    ),
                     AmoOp::LrWait => (MemRequest::LrWait { addr }, PendingKind::Value),
                     AmoOp::ScWait => (
-                        MemRequest::ScWait { addr, value: operand },
+                        MemRequest::ScWait {
+                            addr,
+                            value: operand,
+                        },
                         PendingKind::Flag,
                     ),
                     AmoOp::MWait => (
-                        MemRequest::MWait { addr, expected: operand },
+                        MemRequest::MWait {
+                            addr,
+                            expected: operand,
+                        },
                         PendingKind::Value,
                     ),
                     rmw => (

@@ -146,21 +146,23 @@ mod tests {
 
     #[test]
     fn region_and_throughput() {
-        let mut stats = SimStats::default();
-        stats.cores = vec![
-            CoreStats {
-                ops: 100,
-                region_start: Some(10),
-                region_end: Some(110),
-                ..CoreStats::default()
-            },
-            CoreStats {
-                ops: 50,
-                region_start: Some(20),
-                region_end: Some(100),
-                ..CoreStats::default()
-            },
-        ];
+        let stats = SimStats {
+            cores: vec![
+                CoreStats {
+                    ops: 100,
+                    region_start: Some(10),
+                    region_end: Some(110),
+                    ..CoreStats::default()
+                },
+                CoreStats {
+                    ops: 50,
+                    region_start: Some(20),
+                    region_end: Some(100),
+                    ..CoreStats::default()
+                },
+            ],
+            ..SimStats::default()
+        };
         assert_eq!(stats.total_ops(), 150);
         assert_eq!(stats.region_window(), Some((20, 100)));
         let t = stats.throughput().unwrap();

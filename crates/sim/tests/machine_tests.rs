@@ -114,7 +114,10 @@ fn lrsc_retry_loop_conserves_updates() {
     let p = Assembler::new().assemble(src).unwrap();
     assert_eq!(m.read_word(p.symbol("counter")), 80);
     let stats = m.stats();
-    assert!(stats.adapters.sc_failure > 0, "contention must cause retries");
+    assert!(
+        stats.adapters.sc_failure > 0,
+        "contention must cause retries"
+    );
 }
 
 #[test]
@@ -306,10 +309,10 @@ fn mmio_args_and_ids() {
         .data
         out: .word 0
     "#;
-    let cfg = SimConfig::small(1, SyncArch::Lrsc).with_arg(0, 100);
+    let cfg = SimConfig::builder().cores(1).arg(0, 100).build().unwrap();
     let m = run_program(src, cfg);
     let p = Assembler::new().assemble(src).unwrap();
-    assert_eq!(m.read_word(p.symbol("out")), 100 + 1 + 0);
+    assert_eq!(m.read_word(p.symbol("out")), 101); // arg0 (100) + num_cores (1) + hartid (0)
 }
 
 #[test]
@@ -331,8 +334,11 @@ fn debug_print_log() {
 fn watchdog_fires_on_infinite_loop() {
     let src = "_start: j _start\n";
     let program = Assembler::new().assemble(src).unwrap();
-    let mut cfg = SimConfig::small(1, SyncArch::Lrsc);
-    cfg.max_cycles = 1000;
+    let cfg = SimConfig::builder()
+        .cores(1)
+        .max_cycles(1000)
+        .build()
+        .unwrap();
     let mut m = Machine::new(cfg, &program).unwrap();
     let summary = m.run().unwrap();
     assert_eq!(summary.exit, ExitReason::Watchdog);

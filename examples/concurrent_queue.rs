@@ -1,16 +1,18 @@
 //! Concurrent FIFO queues under load — a miniature of the paper's Fig. 6.
 //!
 //! Runs the three queue implementations (LRSCwait-owned, Michael–Scott on
-//! LR/SC, ticket-lock ring) on 16 cores and reports throughput plus the
-//! fairness band (slowest vs fastest core).
+//! LR/SC, ticket-lock ring) on 16 cores through the `Experiment` runner —
+//! which verifies that every enqueued value is dequeued exactly once — and
+//! reports throughput plus the fairness band (slowest vs fastest core).
 //!
 //! Run with: `cargo run --release --example concurrent_queue`
 
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{QueueImpl, QueueKernel};
-use lrscwait::sim::{Machine, SimConfig};
+use lrscwait::sim::SimConfig;
+use lrscwait_bench::{BenchError, Experiment};
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let cores = 16u32;
     let iters = 16u32;
     println!("queue accesses/cycle on {cores} cores (enqueue+dequeue pairs)\n");
@@ -23,32 +25,22 @@ fn main() {
         (QueueImpl::LrscMs, SyncArch::Lrsc),
         (QueueImpl::TicketRing, SyncArch::Lrsc),
     ] {
+        let cfg = SimConfig::builder()
+            .cores(cores as usize)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()?;
         let kernel = QueueKernel::new(impl_, iters, cores);
-        let mut cfg = SimConfig::small(cores as usize, arch);
-        cfg.max_cycles = 50_000_000;
-        let mut machine = Machine::new(cfg, &kernel.program()).expect("loads");
-        machine.run().expect("runs");
-
-        // Conservation: every enqueued value is dequeued exactly once.
-        let program = kernel.program();
-        let checks = program.symbol("checks");
-        let mut sum = 0u32;
-        for c in 0..cores {
-            sum = sum.wrapping_add(machine.read_word(checks + 4 * c));
-        }
-        assert_eq!(sum, kernel.expected_checksum(), "{impl_:?} lost elements");
-
-        let stats = machine.stats();
-        let (lo, hi) = stats.throughput_range().unwrap();
+        // Conservation (every enqueued value dequeued exactly once) is
+        // checked by the runner before the measurement is returned.
+        let m = Experiment::new(&kernel, cfg).x(cores).run()?;
         println!(
             "{:>18} {:>12.4} {:>10.4} {:>10.4}",
-            impl_.label(),
-            stats.throughput().unwrap(),
-            lo,
-            hi
+            m.label, m.throughput, m.lo, m.hi
         );
     }
     println!("\nThe LRSCwait queue needs no retry loops: owning the head/tail");
     println!("pointer through the reservation queue makes plain stores safe,");
     println!("and FIFO service keeps the per-core band tight (fairness).");
+    Ok(())
 }

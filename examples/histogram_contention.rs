@@ -1,36 +1,59 @@
 //! Histogram contention sweep — a miniature of the paper's Fig. 3.
 //!
 //! Compares LRSC retry loops against Colibri's wait queue on a 64-core
-//! system while shrinking the number of bins (raising contention).
+//! system while shrinking the number of bins (raising contention), running
+//! the whole (implementation × bins) matrix through the parallel `Sweep`
+//! runner.
 //!
 //! Run with: `cargo run --release --example histogram_contention`
 
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{HistImpl, HistogramKernel};
-use lrscwait::sim::{Machine, SimConfig};
+use lrscwait::sim::SimConfig;
+use lrscwait_bench::{BenchError, Experiment, Sweep};
 
-fn measure(arch: SyncArch, impl_: HistImpl, bins: u32) -> f64 {
-    let cores = 64;
-    let kernel = HistogramKernel::new(impl_, bins, 16, cores);
-    let mut cfg = SimConfig::small(cores as usize, arch);
-    cfg.max_cycles = 50_000_000;
-    let mut machine = Machine::new(cfg, &kernel.program()).expect("loads");
-    machine.run().expect("runs");
-    machine.stats().throughput().unwrap_or(0.0)
-}
+fn main() -> Result<(), BenchError> {
+    let cores = 64u32;
+    let all_bins = [1u32, 4, 16, 64, 256];
 
-fn main() {
-    println!("updates/cycle on 64 cores (higher is better)\n");
-    println!("{:>6} {:>12} {:>12} {:>8}", "bins", "LRSC", "Colibri", "speedup");
-    for bins in [1u32, 4, 16, 64, 256] {
-        let lrsc = measure(SyncArch::Lrsc, HistImpl::Lrsc, bins);
-        let colibri = measure(SyncArch::Colibri { queues: 4 }, HistImpl::LrscWait, bins);
+    // One sweep point per (implementation, bins) pair; every point runs
+    // verified (the runner checks that no increment was lost).
+    let points: Vec<(HistImpl, SyncArch, u32)> = all_bins
+        .iter()
+        .flat_map(|&bins| {
+            [
+                (HistImpl::Lrsc, SyncArch::Lrsc, bins),
+                (HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }, bins),
+            ]
+        })
+        .collect();
+    let measurements = Sweep::new("histogram_contention").run(points, |(impl_, arch, bins)| {
+        let cfg = SimConfig::builder()
+            .cores(cores as usize)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()?;
+        let kernel = HistogramKernel::new(impl_, bins, 16, cores);
+        Experiment::new(&kernel, cfg).x(bins).run()
+    })?;
+
+    println!("updates/cycle on {cores} cores (higher is better)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "bins", "LRSC", "Colibri", "speedup"
+    );
+    for pair in measurements.chunks(2) {
+        let [lrsc, colibri] = pair else { continue };
         println!(
-            "{bins:>6} {lrsc:>12.4} {colibri:>12.4} {:>7.1}x",
-            colibri / lrsc
+            "{:>6} {:>12.4} {:>12.4} {:>7.1}x",
+            lrsc.x,
+            lrsc.throughput,
+            colibri.throughput,
+            colibri.throughput / lrsc.throughput
         );
     }
     println!("\nThe gap widens as contention rises: LRSC cores burn cycles");
     println!("retrying failed store-conditionals, Colibri cores sleep in the");
     println!("distributed reservation queue and are served in FIFO order.");
+    Ok(())
 }

@@ -60,16 +60,16 @@ fn run(consumer_body: &str) -> (u64, u64, Vec<u32>) {
         "#
     );
     let program = Assembler::new().assemble(&src).expect("assembles");
-    let cfg = SimConfig::small(2, SyncArch::Colibri { queues: 2 });
+    let cfg = SimConfig::builder()
+        .cores(2)
+        .arch(SyncArch::Colibri { queues: 2 })
+        .build()
+        .expect("valid config");
     let mut machine = Machine::new(cfg, &program).expect("loads");
     machine.run().expect("runs");
     let stats = machine.stats();
     let values = machine.debug_log().iter().map(|&(_, _, v)| v).collect();
-    (
-        stats.cores[1].sleep_cycles,
-        stats.adapters.loads,
-        values,
-    )
+    (stats.cores[1].sleep_cycles, stats.adapters.loads, values)
 }
 
 fn main() {
@@ -85,16 +85,26 @@ fn main() {
     let (mw_sleep, mw_loads, mw_vals) = run(mwait);
 
     let expected: Vec<u32> = (1..=ROUNDS).collect();
-    assert_eq!(spin_vals, expected, "spin consumer saw every value in order");
+    assert_eq!(
+        spin_vals, expected,
+        "spin consumer saw every value in order"
+    );
     assert_eq!(mw_vals, expected, "mwait consumer saw every value in order");
 
     println!("{ROUNDS} producer→consumer hand-offs on 2 cores\n");
     println!("{:>24} {:>12} {:>12}", "", "spin-wait", "mwait");
-    println!("{:>24} {:>12} {:>12}", "consumer sleep cycles", spin_sleep, mw_sleep);
-    println!("{:>24} {:>12} {:>12}", "bank load requests", spin_loads, mw_loads);
     println!(
-        "\nmwait removes the polling loads entirely ({spin_loads} -> {mw_loads});"
+        "{:>24} {:>12} {:>12}",
+        "consumer sleep cycles", spin_sleep, mw_sleep
     );
+    println!(
+        "{:>24} {:>12} {:>12}",
+        "bank load requests", spin_loads, mw_loads
+    );
+    println!("\nmwait removes the polling loads entirely ({spin_loads} -> {mw_loads});");
     println!("the consumer is parked in the reservation queue and woken by the write.");
-    assert!(mw_loads < spin_loads, "mwait must eliminate polling traffic");
+    assert!(
+        mw_loads < spin_loads,
+        "mwait must eliminate polling traffic"
+    );
 }

@@ -33,14 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // A 16-core machine with Colibri controllers (2 tracked addresses per
-    // bank) — swap in `SyncArch::Lrsc` to watch retries appear.
-    let cfg = SimConfig::small(16, SyncArch::Colibri { queues: 2 });
+    // bank) — swap in `SyncArch::Lrsc` to watch retries appear. The builder
+    // validates the geometry before the machine is built.
+    let cfg = SimConfig::builder()
+        .cores(16)
+        .arch(SyncArch::Colibri { queues: 2 })
+        .build()?;
     let mut machine = Machine::new(cfg, &program)?;
     let summary = machine.run()?;
 
     let stats = machine.stats();
     println!("ran {} cycles on 16 cores", summary.cycles);
-    println!("counter            = {}", machine.read_word(program.symbol("counter")));
+    println!(
+        "counter            = {}",
+        machine.read_word(program.symbol("counter"))
+    );
     println!("host debug log     = {:?}", machine.debug_log());
     println!("scwait failures    = {}", stats.adapters.scwait_failure);
     println!("successor updates  = {}", stats.adapters.successor_updates);

@@ -23,10 +23,14 @@
 //! | [`asm`](lrscwait_asm) | Assembler for benchmark kernels |
 //! | [`noc`](lrscwait_noc) | Backpressured hierarchical interconnect |
 //! | [`sim`](lrscwait_sim) | Cycle-accurate MemPool-like manycore simulator |
-//! | [`kernels`](lrscwait_kernels) | The paper's benchmarks as real assembly |
+//! | [`kernels`](lrscwait_kernels) | The paper's benchmarks as real assembly, behind the `Workload` trait |
 //! | [`model`](lrscwait_model) | Area (Table I) and energy (Table II) models |
+//! | `lrscwait-bench` | `Experiment`/`Sweep` runners regenerating every figure and table |
 //!
 //! # Quickstart
+//!
+//! Configurations come from the validating `SimConfig::builder()`, which
+//! rejects inconsistent geometry up front:
 //!
 //! ```
 //! use lrscwait::asm::Assembler;
@@ -49,12 +53,36 @@
 //!     counter: .word 0
 //!     "#,
 //! )?;
-//! let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
+//! let cfg = SimConfig::builder()
+//!     .cores(4)
+//!     .arch(SyncArch::Colibri { queues: 2 })
+//!     .build()?;
 //! let mut machine = Machine::new(cfg, &program)?;
 //! machine.run()?;
 //! assert_eq!(machine.read_word(program.symbol("counter")), 4);
 //! // Nobody retried: the queue serialized the four cores.
 //! assert_eq!(machine.stats().adapters.scwait_failure, 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Packaged workloads run through `lrscwait-bench`'s `Experiment`, which
+//! loads, simulates, watchdogs and *functionally verifies* in one call:
+//!
+//! ```
+//! use lrscwait::core::SyncArch;
+//! use lrscwait::kernels::{HistImpl, HistogramKernel};
+//! use lrscwait::sim::SimConfig;
+//! use lrscwait_bench::Experiment;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = SimConfig::builder()
+//!     .cores(8)
+//!     .arch(SyncArch::Colibri { queues: 4 })
+//!     .build()?;
+//! let kernel = HistogramKernel::new(HistImpl::LrscWait, 16, 8, 8);
+//! let m = Experiment::new(&kernel, cfg).x(16).run()?;
+//! assert!(m.throughput > 0.0);
 //! # Ok(())
 //! # }
 //! ```

@@ -5,6 +5,7 @@ use lrscwait::asm::Assembler;
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{HistImpl, HistogramKernel, QueueImpl, QueueKernel};
 use lrscwait::sim::{ExitReason, Machine, SimConfig};
+use lrscwait_bench::Experiment;
 
 const ALL_ARCHES: [SyncArch; 4] = [
     SyncArch::Lrsc,
@@ -21,14 +22,14 @@ fn histogram_conserves_on_every_architecture() {
         } else {
             HistImpl::Lrsc
         };
+        // The Experiment runner enforces the watchdog, verifies bin
+        // conservation, and cross-checks the MMIO op counter.
         let kernel = HistogramKernel::new(impl_, 4, 12, 8);
-        let program = kernel.program();
-        let mut machine = Machine::new(SimConfig::small(8, arch), &program).unwrap();
-        let summary = machine.run().unwrap();
-        assert_eq!(summary.exit, ExitReason::AllHalted, "{arch}");
-        let bins = program.symbol("bins");
-        let total: u64 = (0..4).map(|b| u64::from(machine.read_word(bins + 4 * b))).sum();
-        assert_eq!(total, kernel.expected_total(), "{arch}");
+        let cfg = SimConfig::builder().cores(8).arch(arch).build().unwrap();
+        let m = Experiment::new(&kernel, cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{arch}: {e}"));
+        assert_eq!(m.stats.total_ops(), kernel.expected_total(), "{arch}");
     }
 }
 
@@ -41,17 +42,16 @@ fn queue_conserves_on_wait_architectures() {
         (QueueImpl::TicketRing, SyncArch::Lrsc),
     ] {
         let kernel = QueueKernel::new(impl_, 10, 6);
-        let program = kernel.program();
-        let mut cfg = SimConfig::small(6, arch);
-        cfg.max_cycles = 20_000_000;
-        let mut machine = Machine::new(cfg, &program).unwrap();
-        machine.run().unwrap();
-        let checks = program.symbol("checks");
-        let mut sum = 0u32;
-        for c in 0..6 {
-            sum = sum.wrapping_add(machine.read_word(checks + 4 * c));
-        }
-        assert_eq!(sum, kernel.expected_checksum(), "{impl_:?} on {arch}");
+        let cfg = SimConfig::builder()
+            .cores(6)
+            .arch(arch)
+            .max_cycles(20_000_000)
+            .build()
+            .unwrap();
+        // Checksum conservation is part of Experiment::run's verification.
+        Experiment::new(&kernel, cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{impl_:?} on {arch}: {e}"));
     }
 }
 
@@ -124,15 +124,14 @@ fn sleeping_vs_polling_traffic() {
     let arch = SyncArch::Colibri { queues: 1 };
     let mut machine = Machine::new(SimConfig::small(32, arch), &kernel.program()).unwrap();
     machine.run().unwrap();
-    let colibri_reqs = machine.stats().adapters.requests as f64
-        / machine.stats().total_ops() as f64;
+    let colibri_reqs =
+        machine.stats().adapters.requests as f64 / machine.stats().total_ops() as f64;
 
     let kernel = HistogramKernel::new(HistImpl::Lrsc, 1, 8, 32).with_backoff(8);
     let mut machine =
         Machine::new(SimConfig::small(32, SyncArch::Lrsc), &kernel.program()).unwrap();
     machine.run().unwrap();
-    let lrsc_reqs = machine.stats().adapters.requests as f64
-        / machine.stats().total_ops() as f64;
+    let lrsc_reqs = machine.stats().adapters.requests as f64 / machine.stats().total_ops() as f64;
 
     assert!(
         lrsc_reqs > 1.5 * colibri_reqs,

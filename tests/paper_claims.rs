@@ -5,15 +5,18 @@
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{HistImpl, HistogramKernel};
 use lrscwait::model::{table1, AreaParams, EnergyParams};
-use lrscwait::sim::{Machine, SimConfig};
+use lrscwait::sim::SimConfig;
+use lrscwait_bench::Experiment;
 
 fn throughput(arch: SyncArch, impl_: HistImpl, bins: u32, cores: u32) -> f64 {
     let kernel = HistogramKernel::new(impl_, bins, 16, cores);
-    let mut cfg = SimConfig::small(cores as usize, arch);
-    cfg.max_cycles = 50_000_000;
-    let mut machine = Machine::new(cfg, &kernel.program()).unwrap();
-    machine.run().unwrap();
-    machine.stats().throughput().expect("region measured")
+    let cfg = SimConfig::builder()
+        .cores(cores as usize)
+        .arch(arch)
+        .max_cycles(50_000_000)
+        .build()
+        .unwrap();
+    Experiment::new(&kernel, cfg).run().unwrap().throughput
 }
 
 #[test]
@@ -35,7 +38,12 @@ fn claim_colibri_tracks_ideal_queue() {
     // round trips.
     for bins in [1u32, 16] {
         let ideal = throughput(SyncArch::LrscWaitIdeal, HistImpl::LrscWait, bins, 16);
-        let colibri = throughput(SyncArch::Colibri { queues: 4 }, HistImpl::LrscWait, bins, 16);
+        let colibri = throughput(
+            SyncArch::Colibri { queues: 4 },
+            HistImpl::LrscWait,
+            bins,
+            16,
+        );
         let ratio = colibri / ideal;
         assert!(
             (0.6..=1.1).contains(&ratio),
@@ -57,7 +65,10 @@ fn claim_undersized_queue_degrades() {
 fn claim_atomic_add_is_the_roofline() {
     let amo = throughput(SyncArch::Lrsc, HistImpl::AmoAdd, 16, 16);
     let colibri = throughput(SyncArch::Colibri { queues: 4 }, HistImpl::LrscWait, 16, 16);
-    assert!(amo > colibri, "single-purpose AMO {amo:.4} caps generic RMW {colibri:.4}");
+    assert!(
+        amo > colibri,
+        "single-purpose AMO {amo:.4} caps generic RMW {colibri:.4}"
+    );
 }
 
 #[test]
@@ -85,11 +96,14 @@ fn claim_energy_ordering_at_contention() {
         (HistImpl::Lrsc, SyncArch::Lrsc),
     ] {
         let kernel = HistogramKernel::new(impl_, 1, 16, 16);
-        let mut cfg = SimConfig::small(16, arch);
-        cfg.max_cycles = 50_000_000;
-        let mut machine = Machine::new(cfg, &kernel.program()).unwrap();
-        let summary = machine.run().unwrap();
-        let report = energy.evaluate(&machine.stats(), summary.cycles);
+        let cfg = SimConfig::builder()
+            .cores(16)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        let m = Experiment::new(&kernel, cfg).run().unwrap();
+        let report = energy.evaluate(&m.stats, m.cycles);
         measured.push(report.pj_per_op);
     }
     assert!(measured[0] < measured[1], "AmoAdd < Colibri: {measured:?}");
