@@ -9,7 +9,10 @@
 
 use std::process::ExitCode;
 
-use lrscwait_bench::{fmt_tp, markdown_table, write_csv, BenchArgs, BenchError, Experiment};
+use lrscwait_bench::{
+    fmt_tp, markdown_table, write_bench_json, write_csv, BenchArgs, BenchError, Experiment,
+    PerfSummary,
+};
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_sim::SimConfig;
@@ -52,6 +55,11 @@ fn run() -> Result<(), BenchError> {
         eprintln!("ablation {arch} bins={bins}: {:.4}", m.throughput);
         Ok(m)
     })?;
+
+    let perf = PerfSummary::from_measurements("ablation", &results);
+    perf.log();
+    write_bench_json(&args.out, &perf)?;
+    args.guard_baseline(&perf)?;
 
     let rows: Vec<Vec<String>> = results
         .iter()

@@ -9,7 +9,10 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use lrscwait_bench::{check_claim, markdown_table, write_csv, BenchArgs, BenchError, Experiment};
+use lrscwait_bench::{
+    check_claim, markdown_table, write_bench_json, write_csv, BenchArgs, BenchError, Experiment,
+    PerfSummary,
+};
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{MatmulKernel, PollerKind};
 use lrscwait_sim::SimConfig;
@@ -109,20 +112,25 @@ fn run() -> Result<(), BenchError> {
             p.workers,
             p.bins
         );
-        Ok((p, cycles))
+        Ok((p, cycles, m))
     })?;
+
+    let perf = PerfSummary::from_measurements("fig5", results.iter().map(|(_, _, m)| m));
+    perf.log();
+    write_bench_json(&args.out, &perf)?;
+    args.guard_baseline(&perf)?;
 
     // Baselines: idle pollers, one per worker count.
     let baseline: HashMap<u32, u64> = results
         .iter()
-        .filter(|(p, _)| p.label == "baseline")
-        .map(|(p, cycles)| (p.workers, *cycles))
+        .filter(|(p, _, _)| p.label == "baseline")
+        .map(|(p, cycles, _)| (p.workers, *cycles))
         .collect();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut colibri_rel: Vec<f64> = Vec::new();
     let mut lrsc_extreme: Vec<f64> = Vec::new();
-    for (p, cycles) in results.iter().filter(|(p, _)| p.label != "baseline") {
+    for (p, cycles, _) in results.iter().filter(|(p, _, _)| p.label != "baseline") {
         let base = *baseline.get(&p.workers).ok_or(BenchError::MissingPoint {
             series: "baseline".to_string(),
             x: p.workers,

@@ -5,8 +5,8 @@
 use std::process::ExitCode;
 
 use lrscwait_bench::{
-    check_claim, find_throughput, markdown_table, write_csv, BenchArgs, BenchError, Experiment,
-    Measurement,
+    check_claim, find_throughput, markdown_table, write_bench_json, write_csv, BenchArgs,
+    BenchError, Experiment, Measurement, PerfSummary,
 };
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{QueueImpl, QueueKernel};
@@ -71,6 +71,11 @@ fn run() -> Result<(), BenchError> {
             Ok(m)
         })?;
 
+    let perf = PerfSummary::from_measurements("fig6", &measurements);
+    perf.log();
+    write_bench_json(&args.out, &perf)?;
+    args.guard_baseline(&perf)?;
+
     let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();
 
     write_csv(
@@ -83,6 +88,7 @@ fn run() -> Result<(), BenchError> {
             "slowest_core",
             "fastest_core",
             "cycles",
+            "stall_cycles",
         ],
         &rows,
     )?;

@@ -1,0 +1,97 @@
+//! perf_smoke — simulator-performance smoke test and regression guard.
+//!
+//! Runs the acceptance scenario for the event-driven scheduler: the
+//! paper's full 256-core MemPool geometry with every core contending on
+//! one Colibri-owned concurrent queue, so at any instant almost the whole
+//! machine is asleep in hardware wait queues. The scenario is executed on
+//! both the event-driven scheduler and the naive reference stepper,
+//! verifying bit-identical results and measuring the wall-clock speedup,
+//! then writes the aggregate throughput to `<out>/BENCH_sim.json`.
+//!
+//! With `--baseline FILE` (CI), the measured `sim_cycles_per_sec` is
+//! compared against the committed baseline and the run fails when
+//! throughput drops more than 2x below it.
+
+use std::process::ExitCode;
+
+use lrscwait_bench::{
+    check_claim, write_bench_json, BenchArgs, BenchError, Experiment, PerfSummary,
+};
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::{QueueImpl, QueueKernel};
+use lrscwait_sim::SimConfig;
+
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("perf_smoke", run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
+    let iters = if args.quick { 4 } else { 64 };
+    let cores = 256;
+    let cfg = SimConfig::builder()
+        .mempool()
+        .arch(SyncArch::Colibri { queues: 4 })
+        .max_cycles(100_000_000)
+        .build()?;
+    let kernel = QueueKernel::new(QueueImpl::LrscWaitDirect, iters, cores);
+
+    eprintln!("perf_smoke: {cores}-core Colibri queue, {iters} iterations/core");
+    let fast = Experiment::new(&kernel, cfg)
+        .label("event-driven")
+        .x(cores)
+        .run()?;
+    eprintln!(
+        "perf_smoke: event-driven: {} cycles in {:.3}s ({:.2} Mcycles/s)",
+        fast.cycles,
+        fast.host_seconds,
+        fast.sim_cycles_per_sec() / 1e6
+    );
+    let reference = Experiment::new(&kernel, cfg)
+        .label("reference")
+        .x(cores)
+        .reference()
+        .run()?;
+    eprintln!(
+        "perf_smoke: reference:    {} cycles in {:.3}s ({:.2} Mcycles/s)",
+        reference.cycles,
+        reference.host_seconds,
+        reference.sim_cycles_per_sec() / 1e6
+    );
+
+    check_claim(
+        fast.cycles == reference.cycles && fast.stats == reference.stats,
+        "event-driven and reference runs must be bit-identical",
+    )?;
+
+    let speedup = if fast.host_seconds > 0.0 {
+        reference.host_seconds / fast.host_seconds
+    } else {
+        0.0
+    };
+    println!(
+        "perf_smoke: event-driven vs reference on mostly-sleeping {cores} cores: {speedup:.1}x"
+    );
+
+    let summary = PerfSummary::from_measurements("perf_smoke", std::slice::from_ref(&fast))
+        .with("reference_host_seconds", reference.host_seconds)
+        .with(
+            "reference_sim_cycles_per_sec",
+            reference.sim_cycles_per_sec(),
+        )
+        .with("speedup_vs_reference", speedup);
+    summary.log();
+    write_bench_json(&args.out, &summary)?;
+
+    if !args.quick {
+        // The acceptance bar: the event-driven scheduler must be at least
+        // 5x faster on the mostly-sleeping large-geometry scenario.
+        // (--quick skips this: tiny runs are wall-clock-noise-dominated.)
+        check_claim(
+            speedup >= 5.0,
+            format!("event-driven speedup {speedup:.1}x below the 5x acceptance bar"),
+        )?;
+    }
+
+    args.guard_baseline(&summary)
+}

@@ -4,7 +4,10 @@
 
 use std::process::ExitCode;
 
-use lrscwait_bench::{check_claim, markdown_table, write_csv, BenchArgs, BenchError, Experiment};
+use lrscwait_bench::{
+    check_claim, markdown_table, write_bench_json, write_csv, BenchArgs, BenchError, Experiment,
+    PerfSummary,
+};
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{HistImpl, HistogramKernel};
 use lrscwait_model::EnergyParams;
@@ -70,14 +73,22 @@ fn run() -> Result<(), BenchError> {
                 "table2 {label}: {:.0} pJ/op, {:.1} mW (paper: {paper_pj} pJ/op, {paper_mw} mW)",
                 report.pj_per_op, report.power_mw
             );
-            Ok(Row {
-                label: label.to_string(),
-                pj_per_op: report.pj_per_op,
-                power_mw: report.power_mw,
-                paper_pj,
-            })
+            Ok((
+                Row {
+                    label: label.to_string(),
+                    pj_per_op: report.pj_per_op,
+                    power_mw: report.power_mw,
+                    paper_pj,
+                },
+                m,
+            ))
         },
     )?;
+    let perf = PerfSummary::from_measurements("table2", measured.iter().map(|(_, m)| m));
+    perf.log();
+    write_bench_json(&args.out, &perf)?;
+    args.guard_baseline(&perf)?;
+    let measured: Vec<Row> = measured.into_iter().map(|(row, _)| row).collect();
 
     let get = |label: &str| -> Result<f64, BenchError> {
         measured

@@ -11,10 +11,15 @@
 //! | `fig6` | Fig. 6 — queue throughput vs. core count |
 //! | `table2` | Table II — power and energy per operation |
 //! | `ablation` | Reservation-capacity ablation |
+//! | `perf_smoke` | Simulator-performance smoke: event-driven vs reference speedup |
 //!
 //! Every binary accepts `--quick` (reduced sweep), `--threads N` (sweep
-//! parallelism) and `--out DIR` (results directory, default `results/`),
-//! writes `<DIR>/<name>.csv` and prints a markdown rendering to stdout.
+//! parallelism), `--out DIR` (results directory, default `results/`) and
+//! `--baseline FILE` (committed `BENCH_sim.json` throughput guard),
+//! writes `<DIR>/<name>.csv` plus a `BENCH_sim.json` throughput summary
+//! ([`PerfSummary`]) and prints a markdown rendering to stdout —
+//! except `table1`, which evaluates the area model without simulating
+//! and therefore reports no simulator throughput.
 //!
 //! # The experiment API
 //!
@@ -42,18 +47,24 @@
 //! # }
 //! ```
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
+use lrscwait_asm::Program;
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{
     HistImpl, HistogramKernel, MatmulKernel, QueueKernel, VerifyError, Workload,
 };
-use lrscwait_sim::{ConfigError, ExitReason, Machine, SimConfig, SimError, SimStats, NUM_ARGS};
+use lrscwait_sim::{
+    ConfigError, DecodedProgram, ExecMode, ExitReason, Machine, SimConfig, SimError, SimStats,
+    NUM_ARGS,
+};
 
 /// Everything that can go wrong while producing a benchmark number.
 ///
@@ -131,7 +142,7 @@ impl fmt::Display for BenchError {
                 write!(f, "{label}: run produced no {what}")
             }
             BenchError::ClaimFailed(msg) => write!(f, "claim failed: {msg}"),
-            BenchError::Io { path, source } => write!(f, "writing {path}: {source}"),
+            BenchError::Io { path, source } => write!(f, "{path}: {source}"),
             BenchError::Usage(msg) => write!(f, "{msg}"),
             BenchError::Help => write!(f, "{USAGE}"),
         }
@@ -156,6 +167,60 @@ impl From<ConfigError> for BenchError {
     }
 }
 
+/// Process-wide decoded-program cache.
+///
+/// Sweep points routinely assemble byte-identical programs (only MMIO
+/// arguments differ across the x-axis), and every [`Machine`] used to
+/// re-decode its own copy. The cache keys on a content fingerprint and
+/// hands every worker the same [`Arc<DecodedProgram>`], so decoding and
+/// the text/raw/source-line buffers are shared across the whole sweep.
+/// Lookups hash the borrowed program (no allocation); the full content is
+/// cloned only once, when a program is first inserted. The cache is
+/// process-lifetime and unbounded, which is fine for the handful of
+/// distinct kernels a bench process assembles.
+fn program_fingerprint(program: &Program) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    program.text.hash(&mut hasher);
+    program.source_lines.hash(&mut hasher);
+    program.entry.hash(&mut hasher);
+    program.data_base.hash(&mut hasher);
+    program.data.hash(&mut hasher);
+    program.bss_base.hash(&mut hasher);
+    program.bss_size.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn program_matches(decoded: &DecodedProgram, program: &Program) -> bool {
+    decoded.raw == program.text
+        && decoded.source_lines == program.source_lines
+        && decoded.entry == program.entry
+        && decoded.data_base == program.data_base
+        && decoded.data == program.data
+        && decoded.bss_base == program.bss_base
+        && decoded.bss_size == program.bss_size
+}
+
+fn decode_shared(program: &Program) -> Result<Arc<DecodedProgram>, SimError> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DecodedProgram>>>> = OnceLock::new();
+    let fingerprint = program_fingerprint(program);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(decoded) = lock_ignoring_poison(cache).get(&fingerprint) {
+        if program_matches(decoded, program) {
+            return Ok(Arc::clone(decoded));
+        }
+        // Fingerprint collision between distinct programs (vanishingly
+        // rare): decode fresh without caching rather than evict.
+        return Machine::decode(program);
+    }
+    let decoded = Machine::decode(program)?;
+    Ok(Arc::clone(
+        lock_ignoring_poison(cache)
+            .entry(fingerprint)
+            .or_insert(decoded),
+    ))
+}
+
 /// A measured throughput point.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -172,13 +237,17 @@ pub struct Measurement {
     pub hi: f64,
     /// Total cycles simulated.
     pub cycles: u64,
+    /// Host wall-clock seconds spent inside [`Machine::run`] (simulator
+    /// throughput reporting; deliberately excluded from the CSV so result
+    /// files stay byte-deterministic).
+    pub host_seconds: f64,
     /// Full statistics (for the energy model and diagnostics).
     pub stats: SimStats,
 }
 
 impl Measurement {
     /// The standard figure CSV row:
-    /// `[label, x, throughput, lo, hi, cycles]`.
+    /// `[label, x, throughput, lo, hi, cycles, stall_cycles]`.
     #[must_use]
     pub fn csv_row(&self) -> Vec<String> {
         vec![
@@ -188,7 +257,18 @@ impl Measurement {
             fmt_tp(self.lo),
             fmt_tp(self.hi),
             self.cycles.to_string(),
+            self.stats.total_stall_cycles().to_string(),
         ]
+    }
+
+    /// Simulated cycles per host second for this run.
+    #[must_use]
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.cycles as f64 / self.host_seconds
+        } else {
+            0.0
+        }
     }
 
     /// Longest measured-region length among `cores`, when every one of them
@@ -219,6 +299,7 @@ pub struct Experiment<'w> {
     cfg: SimConfig,
     label: Option<String>,
     x: u32,
+    mode: ExecMode,
 }
 
 impl<'w> Experiment<'w> {
@@ -230,6 +311,7 @@ impl<'w> Experiment<'w> {
             cfg,
             label: None,
             x: 0,
+            mode: ExecMode::EventDriven,
         }
     }
 
@@ -244,6 +326,15 @@ impl<'w> Experiment<'w> {
     #[must_use]
     pub fn x(mut self, x: u32) -> Experiment<'w> {
         self.x = x;
+        self
+    }
+
+    /// Runs on the naive reference stepper instead of the event-driven
+    /// scheduler (differential testing and performance baselining; results
+    /// are bit-identical, only slower to produce).
+    #[must_use]
+    pub fn reference(mut self) -> Experiment<'w> {
+        self.mode = ExecMode::Reference;
         self
     }
 
@@ -270,9 +361,13 @@ impl<'w> Experiment<'w> {
             cfg.args[i] = value;
         }
         let program = self.workload.program();
-        let mut machine = Machine::new(cfg, &program).map_err(BenchError::Load)?;
+        let decoded = decode_shared(&program).map_err(BenchError::Load)?;
+        let mut machine = Machine::with_decoded(cfg, decoded).map_err(BenchError::Load)?;
+        machine.set_mode(self.mode);
         self.workload.init(&mut machine);
+        let started = Instant::now();
         let summary = machine.run().map_err(BenchError::Run)?;
+        let host_seconds = started.elapsed().as_secs_f64();
         if summary.exit != ExitReason::AllHalted {
             return Err(BenchError::Watchdog {
                 label,
@@ -307,6 +402,7 @@ impl<'w> Experiment<'w> {
             lo,
             hi,
             cycles: summary.cycles,
+            host_seconds,
             stats,
         })
     }
@@ -419,6 +515,170 @@ impl Sweep {
     }
 }
 
+/// Aggregate simulator-throughput numbers for one sweep: how many cycles
+/// were simulated, how long the host took, and the resulting
+/// cycles-per-second rate — the figure that makes simulator performance
+/// regressions visible across PRs via `BENCH_sim.json`.
+#[derive(Clone, Debug)]
+pub struct PerfSummary {
+    /// Sweep / binary name.
+    pub name: String,
+    /// Number of experiments aggregated.
+    pub experiments: usize,
+    /// Total simulated cycles across experiments.
+    pub total_sim_cycles: u64,
+    /// Total host wall-clock seconds spent inside `Machine::run`.
+    pub total_host_seconds: f64,
+    /// Extra named figures to include in the JSON (e.g. the event-driven
+    /// vs. reference speedup measured by `perf_smoke`).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl PerfSummary {
+    /// Aggregates the perf numbers of a finished sweep. Accepts anything
+    /// yielding `&Measurement` so callers holding tuples can aggregate
+    /// without cloning.
+    #[must_use]
+    pub fn from_measurements<'a, I>(name: impl Into<String>, measurements: I) -> PerfSummary
+    where
+        I: IntoIterator<Item = &'a Measurement>,
+    {
+        let mut summary = PerfSummary {
+            name: name.into(),
+            experiments: 0,
+            total_sim_cycles: 0,
+            total_host_seconds: 0.0,
+            extra: Vec::new(),
+        };
+        for m in measurements {
+            summary.experiments += 1;
+            summary.total_sim_cycles += m.cycles;
+            summary.total_host_seconds += m.host_seconds;
+        }
+        summary
+    }
+
+    /// Adds a named figure to the JSON output.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: f64) -> PerfSummary {
+        self.extra.push((key.into(), value));
+        self
+    }
+
+    /// Aggregate simulated cycles per host second.
+    #[must_use]
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.total_host_seconds > 0.0 {
+            self.total_sim_cycles as f64 / self.total_host_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the summary as a small JSON object (no external
+    /// dependencies; keys are fixed identifiers, values are numbers).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": \"{}\",", self.name);
+        let _ = writeln!(out, "  \"experiments\": {},", self.experiments);
+        let _ = writeln!(out, "  \"total_sim_cycles\": {},", self.total_sim_cycles);
+        let _ = writeln!(
+            out,
+            "  \"total_host_seconds\": {:.6},",
+            self.total_host_seconds
+        );
+        for (key, value) in &self.extra {
+            let _ = writeln!(out, "  \"{key}\": {value:.6},");
+        }
+        let _ = writeln!(
+            out,
+            "  \"sim_cycles_per_sec\": {:.1}",
+            self.sim_cycles_per_sec()
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Prints the one-line throughput report sweeps emit on stderr.
+    pub fn log(&self) {
+        eprintln!(
+            "{}: simulated {} cycles over {} experiments in {:.2}s host time ({:.2} Mcycles/s)",
+            self.name,
+            self.total_sim_cycles,
+            self.experiments,
+            self.total_host_seconds,
+            self.sim_cycles_per_sec() / 1e6,
+        );
+    }
+}
+
+/// Writes the aggregate simulator throughput to `<dir>/BENCH_sim.json`
+/// (most recent sweep; the name CI uploads) and to the per-sweep
+/// `<dir>/BENCH_sim.<name>.json` so binaries sharing a results directory
+/// don't clobber each other's records.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the directory or file cannot be
+/// written.
+pub fn write_bench_json(dir: &Path, summary: &PerfSummary) -> Result<PathBuf, BenchError> {
+    std::fs::create_dir_all(dir).map_err(|source| BenchError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
+    let json = summary.render_json();
+    // `BENCH_sim.json` is the fixed name CI uploads and the baseline guard
+    // reads; it holds the most recent sweep. The per-sweep copy keeps every
+    // binary's throughput record when several run into the same directory.
+    let named = dir.join(format!("BENCH_sim.{}.json", summary.name));
+    std::fs::write(&named, &json).map_err(|source| BenchError::Io {
+        path: named.display().to_string(),
+        source,
+    })?;
+    let path = dir.join("BENCH_sim.json");
+    std::fs::write(&path, json).map_err(|source| BenchError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    eprintln!("wrote {} (and {})", path.display(), named.display());
+    Ok(path)
+}
+
+/// Reads one numeric field out of a `BENCH_sim.json`-style file (a flat
+/// JSON object of string or numeric values — enough for the CI baseline
+/// guard without a JSON dependency).
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the file cannot be read and
+/// [`BenchError::ClaimFailed`] when the field is missing or not a number.
+pub fn read_bench_field(path: &Path, field: &str) -> Result<f64, BenchError> {
+    let text = std::fs::read_to_string(path).map_err(|source| BenchError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let needle = format!("\"{field}\"");
+    let start = text
+        .find(&needle)
+        .ok_or_else(|| BenchError::ClaimFailed(format!("{}: no field {field}", path.display())))?;
+    let rest = &text[start + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':').ok_or_else(|| {
+        BenchError::ClaimFailed(format!("{}: malformed field {field}", path.display()))
+    })?;
+    let number: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    number.parse().map_err(|_| {
+        BenchError::ClaimFailed(format!(
+            "{}: field {field} is not a number (`{number}`)",
+            path.display()
+        ))
+    })
+}
+
 /// Finds the throughput of series `label` at x value `x`.
 ///
 /// # Errors
@@ -484,11 +744,13 @@ pub fn arch_for(impl_: HistImpl, colibri_queues: usize) -> SyncArch {
 
 /// Usage text shared by every figure binary.
 pub const USAGE: &str = "\
-usage: <figure binary> [--quick] [--threads N] [--out DIR]
-  --quick       reduced sweep for CI / smoke testing
-  --threads N   sweep worker threads (default: all cores, min 2)
-  --out DIR     results directory (default: results)
-  -h, --help    show this help";
+usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE]
+  --quick          reduced sweep for CI / smoke testing
+  --threads N      sweep worker threads (default: all cores, min 2)
+  --out DIR        results directory (default: results)
+  --baseline FILE  committed BENCH_sim.json to guard simulator throughput
+                   against (fails when more than 2x slower; perf_smoke)
+  -h, --help       show this help";
 
 /// Parsed harness CLI flags.
 #[derive(Clone, Debug)]
@@ -499,6 +761,8 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// Results directory.
     pub out: PathBuf,
+    /// Committed baseline `BENCH_sim.json` to compare against.
+    pub baseline: Option<PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -507,6 +771,7 @@ impl Default for BenchArgs {
             quick: false,
             threads: None,
             out: PathBuf::from("results"),
+            baseline: None,
         }
     }
 }
@@ -547,6 +812,12 @@ impl BenchArgs {
                     })?;
                     parsed.out = PathBuf::from(value);
                 }
+                "--baseline" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--baseline needs a file\n{USAGE}"))
+                    })?;
+                    parsed.baseline = Some(PathBuf::from(value));
+                }
                 "-h" | "--help" => return Err(BenchError::Help),
                 other => {
                     return Err(BenchError::Usage(format!(
@@ -575,6 +846,36 @@ impl BenchArgs {
             Some(t) => sweep.threads(t),
             None => sweep,
         }
+    }
+
+    /// Applies the committed-baseline throughput guard when `--baseline`
+    /// was given (no-op otherwise): compares the sweep's aggregate
+    /// simulated-cycles-per-second against the baseline file's
+    /// `sim_cycles_per_sec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::ClaimFailed`] when throughput dropped more
+    /// than 2x below the baseline, and [`BenchError::Io`] when the
+    /// baseline file cannot be read.
+    pub fn guard_baseline(&self, summary: &PerfSummary) -> Result<(), BenchError> {
+        let Some(path) = &self.baseline else {
+            return Ok(());
+        };
+        let committed = read_bench_field(path, "sim_cycles_per_sec")?;
+        let measured = summary.sim_cycles_per_sec();
+        println!(
+            "{}: {measured:.0} sim cycles/s vs committed baseline {committed:.0} ({:.2}x)",
+            summary.name,
+            measured / committed
+        );
+        check_claim(
+            measured * 2.0 >= committed,
+            format!(
+                "simulator throughput regressed more than 2x: {measured:.0} cycles/s \
+                 vs baseline {committed:.0}"
+            ),
+        )
     }
 }
 
@@ -792,12 +1093,73 @@ mod tests {
 
     #[test]
     fn args_parse_all_flags() {
-        let args =
-            BenchArgs::parse(["--quick", "--threads", "3", "--out", "outdir"].map(String::from))
-                .unwrap();
+        let args = BenchArgs::parse(
+            [
+                "--quick",
+                "--threads",
+                "3",
+                "--out",
+                "outdir",
+                "--baseline",
+                "b.json",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
         assert!(args.quick);
         assert_eq!(args.threads, Some(3));
         assert_eq!(args.out, PathBuf::from("outdir"));
+        assert_eq!(args.baseline, Some(PathBuf::from("b.json")));
+    }
+
+    #[test]
+    fn reference_mode_is_bit_identical() {
+        let cfg = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::Colibri { queues: 2 })
+            .build()
+            .unwrap();
+        let kernel = HistogramKernel::new(HistImpl::LrscWait, 2, 8, 4);
+        let fast = Experiment::new(&kernel, cfg).x(2).run().unwrap();
+        let reference = Experiment::new(&kernel, cfg)
+            .x(2)
+            .reference()
+            .run()
+            .unwrap();
+        assert_eq!(fast.cycles, reference.cycles);
+        assert_eq!(fast.stats, reference.stats);
+        assert_eq!(fast.csv_row(), reference.csv_row());
+    }
+
+    #[test]
+    fn measurement_reports_host_time_and_stalls() {
+        let cfg = SimConfig::builder().cores(4).build().unwrap();
+        let kernel = HistogramKernel::new(HistImpl::AmoAdd, 4, 8, 4);
+        let m = Experiment::new(&kernel, cfg).x(4).run().unwrap();
+        assert!(m.host_seconds > 0.0, "run must be timed");
+        assert!(m.sim_cycles_per_sec() > 0.0);
+        let row = m.csv_row();
+        assert_eq!(row.len(), 7, "stall column present");
+        assert_eq!(row[6], m.stats.total_stall_cycles().to_string());
+    }
+
+    #[test]
+    fn perf_summary_round_trips_through_json() {
+        let dir = std::env::temp_dir().join(format!("lrscwait-bench-{}", std::process::id()));
+        let summary = PerfSummary {
+            name: "unit".to_string(),
+            experiments: 3,
+            total_sim_cycles: 1_000_000,
+            total_host_seconds: 0.5,
+            extra: vec![("speedup_vs_reference".to_string(), 7.25)],
+        };
+        assert!((summary.sim_cycles_per_sec() - 2.0e6).abs() < 1e-9);
+        let path = write_bench_json(&dir, &summary).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_sim.json");
+        assert!((read_bench_field(&path, "sim_cycles_per_sec").unwrap() - 2.0e6).abs() < 1.0);
+        assert!((read_bench_field(&path, "speedup_vs_reference").unwrap() - 7.25).abs() < 1e-9);
+        assert!(read_bench_field(&path, "no_such_field").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

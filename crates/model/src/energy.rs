@@ -25,6 +25,10 @@ pub struct EnergyParams {
     pub instr_pj: f64,
     /// Energy per active core cycle (fetch/clock overhead).
     pub active_cycle_pj: f64,
+    /// Energy per stalled-but-runnable core cycle (pipeline interlock or
+    /// outbox backpressure — the core is clocked, just not issuing, so
+    /// this matches the active-cycle cost).
+    pub stall_cycle_pj: f64,
     /// Energy per sleeping core cycle (clock-gated, waiting on memory).
     pub sleep_cycle_pj: f64,
     /// Energy per cycle parked at the barrier.
@@ -45,6 +49,7 @@ impl Default for EnergyParams {
             static_pj_per_cycle: 250.0, // ~150 mW at 600 MHz for 256 cores
             instr_pj: 0.5,
             active_cycle_pj: 0.3,
+            stall_cycle_pj: 0.3,
             sleep_cycle_pj: 0.05,
             barrier_cycle_pj: 0.05,
             hop_pj: 1.5,
@@ -78,16 +83,19 @@ impl EnergyParams {
     pub fn evaluate(&self, stats: &SimStats, cycles: u64) -> EnergyReport {
         let mut instret = 0.0;
         let mut active = 0.0;
+        let mut stall = 0.0;
         let mut sleep = 0.0;
         let mut barrier = 0.0;
         for c in &stats.cores {
             instret += c.instret as f64;
             active += c.active_cycles as f64;
+            stall += c.stall_cycles as f64;
             sleep += c.sleep_cycles as f64;
             barrier += c.barrier_cycles as f64;
         }
         let core_pj = instret * self.instr_pj
             + active * self.active_cycle_pj
+            + stall * self.stall_cycle_pj
             + sleep * self.sleep_cycle_pj
             + barrier * self.barrier_cycle_pj;
         let injected = (stats.req_network.injected + stats.resp_network.injected) as f64;

@@ -129,9 +129,13 @@ pub struct NetworkStats {
 #[derive(Clone, Debug)]
 pub struct Network<P> {
     nodes: Vec<Node<P>>,
-    /// Node ids with at least one queued flit (scan set for `advance`).
+    /// Node ids with at least one queued flit, kept sorted ascending so
+    /// `advance` needs no per-cycle sort (scan set for `advance`).
     active: Vec<NodeId>,
     active_flag: Vec<bool>,
+    /// Reusable rotated-order snapshot for `advance` (allocation-free
+    /// steady state).
+    scratch: Vec<NodeId>,
     stats: NetworkStats,
 }
 
@@ -152,6 +156,7 @@ impl<P> Network<P> {
             nodes,
             active: Vec::with_capacity(n),
             active_flag: vec![false; n],
+            scratch: Vec::with_capacity(n),
             stats: NetworkStats::default(),
         }
     }
@@ -180,8 +185,28 @@ impl<P> Network<P> {
     fn mark_active(&mut self, id: NodeId) {
         if !self.active_flag[id as usize] {
             self.active_flag[id as usize] = true;
-            self.active.push(id);
+            let pos = self.active.partition_point(|&x| x < id);
+            self.active.insert(pos, id);
         }
+    }
+
+    /// Earliest cycle at which any queued flit becomes movable, or `None`
+    /// when nothing is in flight.
+    ///
+    /// Per-node FIFOs assign non-decreasing `ready_at` values, so each
+    /// node's next event is its front flit; the network's next event is the
+    /// minimum over active nodes. A caller observing
+    /// `next_ready_at() > now` knows [`advance`](Network::advance) is a
+    /// no-op (no deliveries, no hops, no statistics changes) for every
+    /// cycle strictly before that time — the contract the simulator's
+    /// cycle fast-forwarding relies on.
+    #[must_use]
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.active
+            .iter()
+            .filter_map(|&id| self.nodes[id as usize].queue.front())
+            .map(|flit| flit.ready_at)
+            .min()
     }
 
     /// Attempts to inject `payload` along `route` at time `now`.
@@ -221,12 +246,16 @@ impl<P> Network<P> {
         if self.active.is_empty() {
             return;
         }
-        self.active.sort_unstable();
+        // `active` is maintained sorted, so the rotated processing order is
+        // two slice copies into the reusable scratch — no per-cycle sort,
+        // no per-cycle allocation.
         let rotation = (now as usize) % self.active.len();
-        self.active.rotate_left(rotation);
-        let mut still_active: Vec<NodeId> = Vec::with_capacity(self.active.len());
-        let active = std::mem::take(&mut self.active);
-        for id in active {
+        let mut order = std::mem::take(&mut self.scratch);
+        order.clear();
+        order.extend_from_slice(&self.active[rotation..]);
+        order.extend_from_slice(&self.active[..rotation]);
+        self.active.clear();
+        for &id in &order {
             self.active_flag[id as usize] = false;
             let rate = self.nodes[id as usize].spec.rate;
             let mut moved = 0;
@@ -266,12 +295,10 @@ impl<P> Network<P> {
                 moved += 1;
             }
             if !self.nodes[id as usize].queue.is_empty() {
-                still_active.push(id);
+                self.mark_active(id);
             }
         }
-        for id in still_active {
-            self.mark_active(id);
-        }
+        self.scratch = order;
     }
 }
 
@@ -405,6 +432,56 @@ mod tests {
             .collect();
         assert_eq!(a_seq, (0..50).collect::<Vec<_>>(), "route A FIFO");
         assert_eq!(b_seq, (0..50).collect::<Vec<_>>(), "route B FIFO");
+    }
+
+    #[test]
+    fn next_ready_at_tracks_front_flits() {
+        let mut net = Network::<u32>::new(vec![
+            NodeSpec::new(4, 4, 3), // final hop, latency 3
+            NodeSpec::new(4, 4, 5), // first hop, latency 5
+        ]);
+        assert_eq!(net.next_ready_at(), None, "idle network has no events");
+        net.try_send(Route::new(&[1, 0]), 7, 10).unwrap();
+        assert_eq!(net.next_ready_at(), Some(15), "injection at 10, latency 5");
+        let mut out = Vec::new();
+        for cycle in 11..15 {
+            net.advance(cycle, &mut out);
+            assert!(out.is_empty(), "nothing moves before ready_at");
+        }
+        net.advance(15, &mut out);
+        assert!(out.is_empty(), "hopped, not yet delivered");
+        assert_eq!(net.next_ready_at(), Some(18), "second hop adds latency 3");
+        net.advance(18, &mut out);
+        assert_eq!(out, vec![7]);
+        assert_eq!(net.next_ready_at(), None, "drained network has no events");
+    }
+
+    #[test]
+    fn next_ready_at_is_minimum_over_nodes() {
+        let mut net = Network::<u32>::new(vec![NodeSpec::new(1, 4, 2), NodeSpec::new(1, 4, 9)]);
+        net.try_send(Route::new(&[1]), 1, 0).unwrap();
+        net.try_send(Route::new(&[0]), 2, 0).unwrap();
+        assert_eq!(net.next_ready_at(), Some(2), "min(2, 9)");
+        let mut out = Vec::new();
+        net.advance(2, &mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(net.next_ready_at(), Some(9));
+    }
+
+    #[test]
+    fn advance_is_observably_idle_before_next_ready_at() {
+        // The fast-forward contract: skipping advance calls strictly before
+        // next_ready_at changes neither deliveries nor statistics.
+        let mut net = Network::<u32>::new(vec![NodeSpec::new(1, 4, 8)]);
+        net.try_send(Route::new(&[0]), 3, 0).unwrap();
+        let before = net.stats();
+        let mut out = Vec::new();
+        for cycle in 1..8 {
+            net.advance(cycle, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(net.stats(), before, "no stats drift while waiting");
+        assert_eq!(net.in_flight(), 1);
     }
 
     #[test]

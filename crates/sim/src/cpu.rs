@@ -12,7 +12,10 @@ use lrscwait_isa::{AluOp, AmoOp, Csr, CsrOp, Instr, MemWidth, Reg};
 use crate::config::CoreTiming;
 use crate::stats::CoreStats;
 
-/// A decoded program image shared by all cores.
+/// A decoded program image shared by all cores — and, behind an
+/// [`std::sync::Arc`], by all machines of a sweep: decoding (and the
+/// text/raw/source-line buffers) happens once per distinct program, not
+/// once per [`crate::Machine`].
 #[derive(Clone, Debug)]
 pub struct DecodedProgram {
     /// ROM base address.
@@ -23,9 +26,46 @@ pub struct DecodedProgram {
     pub raw: Vec<u32>,
     /// 1-based source line per word (diagnostics).
     pub source_lines: Vec<u32>,
+    /// Entry point every core starts at.
+    pub entry: u32,
+    /// Base address of the initialized data image.
+    pub data_base: u32,
+    /// Initialized data image (byte-addressed, little-endian words).
+    pub data: Vec<u8>,
+    /// Base address of the zero-initialized segment.
+    pub bss_base: u32,
+    /// Size in bytes of the zero-initialized segment.
+    pub bss_size: u32,
 }
 
 impl DecodedProgram {
+    /// Decodes an assembled [`lrscwait_asm::Program`] into a shareable
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first text word that does not decode.
+    pub fn from_program(program: &lrscwait_asm::Program) -> Result<DecodedProgram, usize> {
+        let mut instrs = Vec::with_capacity(program.text.len());
+        for (index, &word) in program.text.iter().enumerate() {
+            match lrscwait_isa::decode(word) {
+                Ok(i) => instrs.push(i),
+                Err(_) => return Err(index),
+            }
+        }
+        Ok(DecodedProgram {
+            base: program.text_base,
+            instrs,
+            raw: program.text.clone(),
+            source_lines: program.source_lines.clone(),
+            entry: program.entry,
+            data_base: program.data_base,
+            data: program.data.clone(),
+            bss_base: program.bss_base,
+            bss_size: program.bss_size,
+        })
+    }
+
     /// Index of `pc` within the program, if in range and aligned.
     #[must_use]
     pub fn index_of(&self, pc: u32) -> Option<usize> {
@@ -135,6 +175,11 @@ pub struct Core {
     pub state: CoreState,
     /// Earliest cycle the next instruction may issue.
     pub ready_at: u64,
+    /// Cycle at which the core last entered `WaitingMem` or `Barrier`
+    /// (event-driven lazy accounting: the sleep/barrier cycle total is
+    /// settled as a single delta on wake instead of one increment per
+    /// parked cycle).
+    pub parked_at: u64,
     /// In-flight blocking operation (when `state == WaitingMem`).
     pub pending: Option<PendingMem>,
     /// Posted stores awaiting acknowledgement.
@@ -153,6 +198,7 @@ impl Core {
             pc: entry,
             state: CoreState::Running,
             ready_at: 0,
+            parked_at: 0,
             pending: None,
             outstanding_stores: 0,
             stats: CoreStats::default(),
@@ -389,16 +435,7 @@ mod tests {
         let p = Assembler::new()
             .assemble(src)
             .expect("test program assembles");
-        DecodedProgram {
-            base: p.text_base,
-            instrs: p
-                .text
-                .iter()
-                .map(|&w| lrscwait_isa::decode(w).unwrap())
-                .collect(),
-            raw: p.text.clone(),
-            source_lines: p.source_lines.clone(),
-        }
+        DecodedProgram::from_program(&p).expect("test program decodes")
     }
 
     fn run_steps(core: &mut Core, prog: &DecodedProgram, steps: usize) {

@@ -49,5 +49,6 @@ pub use config::{
     mmio_reg, ConfigError, CoreTiming, SimConfig, SimConfigBuilder, MMIO_BASE, MMIO_SIZE, NUM_ARGS,
     ROM_BASE,
 };
-pub use machine::{Machine, SimError};
+pub use cpu::DecodedProgram;
+pub use machine::{ExecMode, Machine, SimError};
 pub use stats::{CoreStats, ExitReason, RunSummary, SimStats};

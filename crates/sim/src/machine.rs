@@ -15,10 +15,54 @@
 //!    resolved against MMIO (instant), ROM (instant) or the SPM (queued).
 //! 5. Flush core outboxes into the request network (backpressure stalls
 //!    the core).
+//!
+//! # Event-driven scheduling
+//!
+//! The paper's whole point is that LRSCwait cores *sleep* instead of
+//! polling, so in the interesting regimes almost every core is parked in a
+//! wait queue or at the barrier. The default execution mode
+//! ([`ExecMode::EventDriven`]) makes the simulator's cost track *events*
+//! instead of `cores × cycles`:
+//!
+//! * **Runnable set.** Phase 4 walks an always-sorted list of the cores in
+//!   [`CoreState::Running`]. Cores leave it when they halt, park at the
+//!   barrier, or block on memory, and re-enter on response delivery or
+//!   barrier release — a parked core costs zero work per cycle.
+//! * **Lazy parked accounting.** Sleep/barrier cycle counters are settled
+//!   as one `now − parked_at` delta on wake (and flushed on
+//!   [`Machine::stats`]) instead of one increment per parked cycle.
+//! * **Cycle fast-forwarding.** Between cycles, [`Machine::run`] asks both
+//!   networks for their [`next_ready_at`](Network::next_ready_at) and the
+//!   runnable cores for their earliest `ready_at`; when the next event is
+//!   more than one cycle away (and no outbox holds backpressured traffic),
+//!   the cycle counter jumps straight to it. Long all-asleep phases — the
+//!   common case under LRSCwait — cost O(events), and an all-parked
+//!   deadlock jumps directly to the watchdog.
+//! * **Allocation-free hot loops.** Every per-cycle scratch buffer
+//!   (message buffers, dirty-bank/dirty-core lists, the runnable set and
+//!   its merge scratch, the networks' scan sets) is reused; steady-state
+//!   cycles perform zero heap allocations.
+//!
+//! # Equivalence guarantee
+//!
+//! Event-driven execution is an *optimization, not a model change*: cycle
+//! counts, every statistic, and therefore every benchmark CSV byte are
+//! identical to the naive reference stepper ([`ExecMode::Reference`]),
+//! which visits all cores every cycle with eager per-cycle accounting.
+//! The differential test suite (`crates/sim/tests/differential.rs` and the
+//! workspace-level `tests/differential.rs`) runs both modes across the
+//! kernel × architecture matrix and asserts bit-identical
+//! [`RunSummary`]/[`SimStats`] and byte-identical sweep CSVs. The one
+//! subtlety is barrier release order: within the releasing cycle the
+//! reference charges a barrier cycle to parked cores the Phase 4 scan
+//! visits *before* the releasing core and a stall cycle to those *after*
+//! it; the event-driven path reproduces this positionally by comparing
+//! core indices at release time.
 
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use lrscwait_asm::Program;
 use lrscwait_core::{
@@ -179,11 +223,27 @@ impl WordStorage for BankView<'_> {
     }
 }
 
+/// How the machine schedules core stepping.
+///
+/// Both modes are cycle-accurate and produce bit-identical results (see
+/// the module-level *Equivalence guarantee*); they differ only in cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Runnable-set scheduling with lazy parked-core accounting and (in
+    /// [`Machine::run`]) cycle fast-forwarding: O(events) — the default.
+    #[default]
+    EventDriven,
+    /// Naive stepper: every core visited every cycle with eager per-cycle
+    /// accounting — O(cores × cycles). Kept as the differential-testing
+    /// ground truth and performance baseline.
+    Reference,
+}
+
 /// The simulated manycore system.
 pub struct Machine {
     cfg: SimConfig,
     topo: MempoolTopology,
-    program: DecodedProgram,
+    program: Arc<DecodedProgram>,
     cores: Vec<Core>,
     qnodes: Vec<Qnode>,
     adapters: Vec<Box<dyn SyncAdapter>>,
@@ -197,10 +257,22 @@ pub struct Machine {
     halted: usize,
     barrier_waiting: usize,
     debug_log: Vec<(u64, u32, u32)>,
+    mode: ExecMode,
+    /// Cores in `Running` state, sorted ascending (event-driven Phase 4).
+    runnable: Vec<u32>,
+    /// Cores that became `Running` outside the Phase 4 walk (response
+    /// deliveries, barrier releases), merged into `runnable` next walk.
+    pending_wake: Vec<u32>,
+    /// Cores with a non-empty request outbox, sorted ascending
+    /// (event-driven Phase 5).
+    dirty_cores: Vec<u32>,
     // Scratch buffers (allocation-free steady state).
     req_buf: Vec<ReqMsg>,
     resp_buf: Vec<RespMsg>,
     adapter_out: Vec<(u32, MemResponse)>,
+    bank_scratch: Vec<u32>,
+    core_scratch: Vec<u32>,
+    merge_scratch: Vec<u32>,
 }
 
 impl fmt::Debug for Machine {
@@ -229,24 +301,51 @@ impl Machine {
     /// Panics when the program's text base does not match [`ROM_BASE`]
     /// (a harness bug, not an input error).
     pub fn new(cfg: SimConfig, program: &Program) -> Result<Machine, SimError> {
+        Machine::with_decoded(cfg, Machine::decode(program)?)
+    }
+
+    /// Decodes a program into an image shareable across machines.
+    ///
+    /// Sweep runners decode each distinct program once and hand the same
+    /// [`Arc`] to every worker via [`Machine::with_decoded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadProgram`] when a text word does not decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program's text base does not match [`ROM_BASE`]
+    /// (a harness bug, not an input error).
+    pub fn decode(program: &Program) -> Result<Arc<DecodedProgram>, SimError> {
         assert_eq!(
             program.text_base, ROM_BASE,
             "assemble kernels with the default text base"
         );
+        DecodedProgram::from_program(program)
+            .map(Arc::new)
+            .map_err(|index| SimError::BadProgram { index })
+    }
+
+    /// Builds a machine around an already-decoded (possibly shared)
+    /// program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProgramTooLarge`] when the data image exceeds
+    /// the SPM and [`SimError::Config`] when the configuration is
+    /// inconsistent (see [`SimConfig::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image's text base does not match [`ROM_BASE`]
+    /// (a harness bug, not an input error).
+    pub fn with_decoded(cfg: SimConfig, program: Arc<DecodedProgram>) -> Result<Machine, SimError> {
+        assert_eq!(
+            program.base, ROM_BASE,
+            "assemble kernels with the default text base"
+        );
         cfg.validate()?;
-        let mut instrs = Vec::with_capacity(program.text.len());
-        for (index, &word) in program.text.iter().enumerate() {
-            match lrscwait_isa::decode(word) {
-                Ok(i) => instrs.push(i),
-                Err(_) => return Err(SimError::BadProgram { index }),
-            }
-        }
-        let decoded = DecodedProgram {
-            base: program.text_base,
-            instrs,
-            raw: program.text.clone(),
-            source_lines: program.source_lines.clone(),
-        };
         let topo = MempoolTopology::new(cfg.topology);
         let num_cores = cfg.topology.num_cores;
         let num_banks = cfg.topology.num_banks();
@@ -259,11 +358,12 @@ impl Machine {
             });
         }
 
+        let entry = program.entry;
         let mut machine = Machine {
             topo,
-            program: decoded,
+            program: Arc::clone(&program),
             cores: (0..num_cores as u32)
-                .map(|id| Core::new(id, program.entry))
+                .map(|id| Core::new(id, entry))
                 .collect(),
             qnodes: vec![Qnode::new(); num_cores],
             adapters: (0..num_banks).map(|_| cfg.arch.build(num_cores)).collect(),
@@ -277,9 +377,16 @@ impl Machine {
             halted: 0,
             barrier_waiting: 0,
             debug_log: Vec::new(),
+            mode: ExecMode::EventDriven,
+            runnable: (0..num_cores as u32).collect(),
+            pending_wake: Vec::with_capacity(num_cores),
+            dirty_cores: Vec::with_capacity(num_cores),
             req_buf: Vec::new(),
             resp_buf: Vec::new(),
             adapter_out: Vec::new(),
+            bank_scratch: Vec::with_capacity(num_banks),
+            core_scratch: Vec::with_capacity(num_cores),
+            merge_scratch: Vec::with_capacity(num_cores),
             cfg,
         };
 
@@ -290,6 +397,24 @@ impl Machine {
             machine.write_word(program.data_base + 4 * i as u32, u32::from_le_bytes(word));
         }
         Ok(machine)
+    }
+
+    /// Selects the execution mode (see [`ExecMode`]). Must be called
+    /// before the first cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the machine has already been stepped — the two modes'
+    /// accounting disciplines cannot be mixed mid-run.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        assert_eq!(self.cycle, 0, "select the execution mode before running");
+        self.mode = mode;
+    }
+
+    /// The active execution mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Current cycle count.
@@ -355,8 +480,30 @@ impl Machine {
             adapters.wakeups += s.wakeups;
             adapters.reservations_broken += s.reservations_broken;
         }
+        let lazy = self.mode == ExecMode::EventDriven;
         SimStats {
-            cores: self.cores.iter().map(|c| c.stats).collect(),
+            cores: self
+                .cores
+                .iter()
+                .map(|c| {
+                    let mut stats = c.stats;
+                    if lazy {
+                        // Flush the deferred parked-cycle delta for cores
+                        // still asleep: the reference would have counted
+                        // one cycle per Phase 4 visit since parking.
+                        match c.state {
+                            CoreState::WaitingMem => {
+                                stats.sleep_cycles += self.cycle - c.parked_at;
+                            }
+                            CoreState::Barrier => {
+                                stats.barrier_cycles += self.cycle - c.parked_at;
+                            }
+                            CoreState::Running | CoreState::Halted => {}
+                        }
+                    }
+                    stats
+                })
+                .collect(),
             req_network: self.req_net.stats(),
             resp_network: self.resp_net.stats(),
             adapters,
@@ -365,12 +512,22 @@ impl Machine {
 
     /// Runs until every core halts or the watchdog fires.
     ///
+    /// In [`ExecMode::EventDriven`] mode, cycles in which provably nothing
+    /// can happen — every runnable core is pipeline-stalled, the outboxes
+    /// are drained, and no network flit becomes movable — are skipped by
+    /// jumping the cycle counter straight to the next event (or to the
+    /// watchdog limit, whichever comes first). Skipped stall cycles are
+    /// credited in bulk so statistics stay bit-identical to stepping.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] on kernel bugs (illegal pc, misalignment,
     /// breakpoints, faults).
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
         while self.halted < self.cores.len() {
+            if self.mode == ExecMode::EventDriven {
+                self.fast_forward();
+            }
             if self.cycle >= self.cfg.max_cycles {
                 return Ok(RunSummary {
                     cycles: self.cycle,
@@ -383,6 +540,60 @@ impl Machine {
             cycles: self.cycle,
             exit: ExitReason::AllHalted,
         })
+    }
+
+    /// Jumps `cycle` to just before the next event when the machine is
+    /// provably idle until then.
+    ///
+    /// A cycle can only be skipped when stepping it would change nothing:
+    /// no outbox holds traffic (pending injections touch network
+    /// statistics every cycle), every runnable core still waits on
+    /// `ready_at`, and no flit in either network becomes movable. The one
+    /// observable effect of such a cycle — a stall tick per runnable core
+    /// — is credited in bulk.
+    fn fast_forward(&mut self) {
+        if !self.dirty_banks.is_empty() || !self.dirty_cores.is_empty() {
+            return;
+        }
+        let now = self.cycle;
+        let horizon = now + 1;
+        let mut next = u64::MAX;
+        // Cheapest scan first, bailing as soon as the very next cycle is
+        // known to have work: compute-bound phases (every core issuing
+        // with ready_at == now + 1) exit on the first core and never pay
+        // the network scans.
+        for &c in &self.runnable {
+            let ready_at = self.cores[c as usize].ready_at;
+            if ready_at <= horizon {
+                return;
+            }
+            next = next.min(ready_at);
+        }
+        if let Some(t) = self.req_net.next_ready_at() {
+            if t <= horizon {
+                return;
+            }
+            next = next.min(t);
+        }
+        if let Some(t) = self.resp_net.next_ready_at() {
+            if t <= horizon {
+                return;
+            }
+            next = next.min(t);
+        }
+        debug_assert!(next > horizon);
+        // `next == u64::MAX` means no event can ever occur (all-parked
+        // deadlock): jump straight to the watchdog.
+        let target = (next - 1).min(self.cfg.max_cycles);
+        if target <= now {
+            return;
+        }
+        let skipped = target - now;
+        for i in 0..self.runnable.len() {
+            let c = self.runnable[i] as usize;
+            self.cores[c].stats.stall_cycles += skipped;
+        }
+        self.cycle = target;
     }
 
     /// Advances the machine by exactly one cycle.
@@ -420,9 +631,10 @@ impl Machine {
 
         // Phase 2: flush bank outboxes into the response network.
         if !self.dirty_banks.is_empty() {
-            let mut still_dirty = Vec::new();
+            let mut still_dirty = std::mem::take(&mut self.bank_scratch);
+            still_dirty.clear();
             let dirty = std::mem::take(&mut self.dirty_banks);
-            for bank in dirty {
+            for &bank in &dirty {
                 while let Some(&msg) = self.bank_outbox[bank as usize].front() {
                     let route = self.topo.response_route(bank as usize, msg.core as usize);
                     match self.resp_net.try_send(route, msg, now) {
@@ -437,6 +649,7 @@ impl Machine {
                 }
             }
             self.dirty_banks = still_dirty;
+            self.bank_scratch = dirty;
         }
 
         // Phase 3: responses reach cores (through their Qnodes).
@@ -451,38 +664,148 @@ impl Machine {
             }
             if let Some(wakeup) = output.wakeup {
                 let bank = self.bank_of(wakeup.addr());
-                self.core_outbox[c].push_back(ReqMsg {
-                    src: msg.core,
-                    bank,
-                    req: wakeup,
-                });
+                self.push_outbox(
+                    c,
+                    ReqMsg {
+                        src: msg.core,
+                        bank,
+                        req: wakeup,
+                    },
+                );
             }
         }
         self.resp_buf = resp_buf;
 
-        // Phase 4: step cores.
-        for c in 0..self.cores.len() {
-            self.step_core(c, now)?;
-        }
+        match self.mode {
+            ExecMode::EventDriven => {
+                // Phase 4: step the runnable cores only.
+                self.merge_pending_wakes();
+                self.step_runnable_cores(now)?;
 
-        // Phase 5: flush core outboxes into the request network. The start
-        // index rotates each cycle so no core gets static injection
-        // priority (round-robin arbitration, as in the real fabric).
-        let n = self.cores.len();
-        let start = (now as usize) % n;
-        for i in 0..n {
-            let c = (start + i) % n;
-            while let Some(&msg) = self.core_outbox[c].front() {
-                let route = self.topo.request_route(c, msg.bank as usize);
-                match self.req_net.try_send(route, msg, now) {
-                    Ok(()) => {
-                        self.core_outbox[c].pop_front();
+                // Phase 5: flush the non-empty core outboxes into the
+                // request network, in the same rotated order the reference
+                // uses over all cores (empty outboxes are no-ops there).
+                if !self.dirty_cores.is_empty() {
+                    let n = self.cores.len();
+                    let start = (now % n as u64) as u32;
+                    let dirty = std::mem::take(&mut self.dirty_cores);
+                    let split = dirty.partition_point(|&c| c < start);
+                    for &c in dirty[split..].iter().chain(dirty[..split].iter()) {
+                        self.drain_core_outbox(c as usize, now);
                     }
-                    Err(_) => break,
+                    let mut keep = std::mem::take(&mut self.core_scratch);
+                    keep.clear();
+                    keep.extend(
+                        dirty
+                            .iter()
+                            .copied()
+                            .filter(|&c| !self.core_outbox[c as usize].is_empty()),
+                    );
+                    self.dirty_cores = keep;
+                    self.core_scratch = dirty;
+                }
+
+                // Barrier releases during Phase 4 become runnable next
+                // cycle; merge now so `fast_forward` sees their
+                // `ready_at`.
+                self.merge_pending_wakes();
+            }
+            ExecMode::Reference => {
+                // Phase 4: visit every core, eager accounting.
+                for c in 0..self.cores.len() {
+                    self.step_core_reference(c, now)?;
+                }
+
+                // Phase 5: flush core outboxes into the request network.
+                // The start index rotates each cycle so no core gets
+                // static injection priority (round-robin arbitration, as
+                // in the real fabric).
+                let n = self.cores.len();
+                let start = (now as usize) % n;
+                for i in 0..n {
+                    let c = (start + i) % n;
+                    self.drain_core_outbox(c, now);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Injects a core's queued requests until the network backpressures.
+    fn drain_core_outbox(&mut self, c: usize, now: u64) {
+        while let Some(&msg) = self.core_outbox[c].front() {
+            let route = self.topo.request_route(c, msg.bank as usize);
+            match self.req_net.try_send(route, msg, now) {
+                Ok(()) => {
+                    self.core_outbox[c].pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Queues a request on a core's outbox, tracking outbox dirtiness for
+    /// the event-driven Phase 5.
+    fn push_outbox(&mut self, c: usize, msg: ReqMsg) {
+        self.core_outbox[c].push_back(msg);
+        let id = c as u32;
+        if let Err(pos) = self.dirty_cores.binary_search(&id) {
+            self.dirty_cores.insert(pos, id);
+        }
+    }
+
+    /// Merges cores woken outside the Phase 4 walk into the sorted
+    /// runnable set.
+    fn merge_pending_wakes(&mut self) {
+        if self.pending_wake.is_empty() {
+            return;
+        }
+        self.pending_wake.sort_unstable();
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        merged.clear();
+        let (a, b) = (&self.runnable, &self.pending_wake);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                debug_assert_ne!(a[i], b[j], "core woken while already runnable");
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.pending_wake.clear();
+        self.merge_scratch = std::mem::replace(&mut self.runnable, merged);
+    }
+
+    /// Walks the runnable set in ascending core order (the order the
+    /// reference stepper visits cores in), compacting out cores that
+    /// leave the `Running` state.
+    fn step_runnable_cores(&mut self, now: u64) -> Result<(), SimError> {
+        let mut runnable = std::mem::take(&mut self.runnable);
+        let mut keep = 0;
+        let mut result = Ok(());
+        for i in 0..runnable.len() {
+            let c = runnable[i] as usize;
+            result = self.step_running_core(c, now);
+            if self.cores[c].state == CoreState::Running {
+                runnable[keep] = runnable[i];
+                keep += 1;
+            }
+            if result.is_err() {
+                // Fatal error: preserve the unstepped tail so the machine
+                // state stays consistent for post-mortem inspection.
+                runnable.copy_within(i + 1.., keep);
+                keep += runnable.len() - i - 1;
+                break;
+            }
+        }
+        runnable.truncate(keep);
+        self.runnable = runnable;
+        result
     }
 
     fn complete_response(&mut self, c: usize, resp: MemResponse, now: u64) {
@@ -496,13 +819,27 @@ impl Machine {
             | MemResponse::Lr { value }
             | MemResponse::Wait { value, .. } => {
                 self.cores[c].complete(value, now);
+                self.wake_from_sleep(c, now);
             }
             MemResponse::Sc { success } | MemResponse::ScWait { success } => {
                 self.cores[c].complete(u32::from(!success), now);
+                self.wake_from_sleep(c, now);
             }
             MemResponse::SuccessorUpdate { .. } => {
                 unreachable!("SuccessorUpdate must be consumed by the Qnode")
             }
+        }
+    }
+
+    /// Event-driven bookkeeping after a blocking response delivery at
+    /// `now`: settle the lazy sleep-cycle delta (the reference counts a
+    /// sleep cycle per Phase 4 visit, i.e. for cycles `parked_at+1 ..
+    /// now-1`; the core runs again in this cycle's Phase 4) and queue the
+    /// core for the runnable set.
+    fn wake_from_sleep(&mut self, c: usize, now: u64) {
+        if self.mode == ExecMode::EventDriven {
+            self.cores[c].stats.sleep_cycles += now - 1 - self.cores[c].parked_at;
+            self.pending_wake.push(c as u32);
         }
     }
 
@@ -512,7 +849,9 @@ impl Machine {
             .and_then(|i| self.program.source_lines.get(i).copied())
     }
 
-    fn step_core(&mut self, c: usize, now: u64) -> Result<(), SimError> {
+    /// Reference-mode per-core visit: eager accounting for parked states,
+    /// then the shared running-core step.
+    fn step_core_reference(&mut self, c: usize, now: u64) -> Result<(), SimError> {
         match self.cores[c].state {
             CoreState::Halted => return Ok(()),
             CoreState::Barrier => {
@@ -525,10 +864,16 @@ impl Machine {
             }
             CoreState::Running => {}
         }
-        self.cores[c].stats.active_cycles += 1;
+        self.step_running_core(c, now)
+    }
+
+    /// Steps one core known to be in [`CoreState::Running`].
+    fn step_running_core(&mut self, c: usize, now: u64) -> Result<(), SimError> {
         if now < self.cores[c].ready_at || self.core_outbox[c].len() >= 4 {
+            self.cores[c].stats.stall_cycles += 1;
             return Ok(());
         }
+        self.cores[c].stats.active_cycles += 1;
         let action = {
             let program = &self.program;
             let timing = self.cfg.timing;
@@ -569,17 +914,41 @@ impl Machine {
         if self.cores[c].state != CoreState::Halted {
             self.cores[c].state = CoreState::Halted;
             self.halted += 1;
-            self.release_barrier_if_ready(now);
+            self.release_barrier_if_ready(now, c);
         }
     }
 
-    fn release_barrier_if_ready(&mut self, now: u64) {
+    /// Releases the barrier when every still-running core has arrived.
+    ///
+    /// `releaser` is the core whose Phase 4 step triggered the check (the
+    /// last arriver, or a halting core). Event-driven mode settles each
+    /// parked core's lazily-deferred `barrier_cycles` here and reproduces
+    /// the reference's positional within-cycle accounting: the reference
+    /// visits cores in ascending order, so cores *after* the releaser are
+    /// seen as `Running` but not yet `ready_at`-eligible (one stall
+    /// cycle), while cores *before* it were still parked when visited
+    /// (one more barrier cycle).
+    fn release_barrier_if_ready(&mut self, now: u64, releaser: usize) {
         let running = self.cores.len() - self.halted;
         if running > 0 && self.barrier_waiting == running {
-            for core in &mut self.cores {
+            let event_driven = self.mode == ExecMode::EventDriven;
+            for (x, core) in self.cores.iter_mut().enumerate() {
                 if core.state == CoreState::Barrier {
                     core.state = CoreState::Running;
                     core.ready_at = now + 1;
+                    if event_driven {
+                        if x > releaser {
+                            core.stats.barrier_cycles += now - 1 - core.parked_at;
+                            core.stats.stall_cycles += 1;
+                        } else {
+                            core.stats.barrier_cycles += now - core.parked_at;
+                        }
+                        if x != releaser {
+                            // The releaser is mid-step in the runnable
+                            // walk and stays in the set via compaction.
+                            self.pending_wake.push(x as u32);
+                        }
+                    }
                 }
             }
             self.barrier_waiting = 0;
@@ -633,6 +1002,7 @@ impl Machine {
                     kind: PendingKind::Load { width, signed },
                 });
                 self.cores[c].state = CoreState::WaitingMem;
+                self.cores[c].parked_at = now;
                 self.cores[c].pc += 4;
                 self.push_request(c, MemRequest::Load { addr: addr & !3 });
                 Ok(())
@@ -714,6 +1084,7 @@ impl Machine {
                 };
                 self.cores[c].pending = Some(PendingMem { rd, addr, kind });
                 self.cores[c].state = CoreState::WaitingMem;
+                self.cores[c].parked_at = now;
                 self.cores[c].pc += 4;
                 self.push_request(c, req);
                 Ok(())
@@ -724,18 +1095,24 @@ impl Machine {
     fn push_request(&mut self, c: usize, req: MemRequest) {
         let wakeup = self.qnodes[c].on_core_request(&req);
         let bank = self.bank_of(req.addr());
-        self.core_outbox[c].push_back(ReqMsg {
-            src: c as u32,
-            bank,
-            req,
-        });
+        self.push_outbox(
+            c,
+            ReqMsg {
+                src: c as u32,
+                bank,
+                req,
+            },
+        );
         if let Some(wk) = wakeup {
             let wk_bank = self.bank_of(wk.addr());
-            self.core_outbox[c].push_back(ReqMsg {
-                src: c as u32,
-                bank: wk_bank,
-                req: wk,
-            });
+            self.push_outbox(
+                c,
+                ReqMsg {
+                    src: c as u32,
+                    bank: wk_bank,
+                    req: wk,
+                },
+            );
         }
     }
 
@@ -767,8 +1144,9 @@ impl Machine {
             }
             mmio_reg::BARRIER => {
                 self.cores[c].state = CoreState::Barrier;
+                self.cores[c].parked_at = now;
                 self.barrier_waiting += 1;
-                self.release_barrier_if_ready(now);
+                self.release_barrier_if_ready(now, c);
             }
             mmio_reg::PRINT => self.debug_log.push((now, c as u32, value)),
             _ => {}

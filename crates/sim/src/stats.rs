@@ -9,8 +9,13 @@ use lrscwait_noc::NetworkStats;
 pub struct CoreStats {
     /// Instructions retired.
     pub instret: u64,
-    /// Cycles spent executing (issuing instructions or pipeline-stalled).
+    /// Cycles spent issuing an instruction.
     pub active_cycles: u64,
+    /// Cycles the core was runnable but could not issue: the pipeline had
+    /// not reached `ready_at` (branch/divide penalties, post-wake
+    /// alignment) or the request outbox was full (backpressure). These
+    /// used to be misattributed to `active_cycles`.
+    pub stall_cycles: u64,
     /// Cycles blocked waiting for a memory response — *sleeping*, producing
     /// no traffic (the LRSCwait benefit shows up here).
     pub sleep_cycles: u64,
@@ -43,7 +48,7 @@ impl CoreStats {
 }
 
 /// Machine-wide statistics after (or during) a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Per-core counters.
     pub cores: Vec<CoreStats>,
@@ -66,6 +71,19 @@ impl SimStats {
     #[must_use]
     pub fn total_instructions(&self) -> u64 {
         self.cores.iter().map(|c| c.instret).sum()
+    }
+
+    /// Total cycles runnable cores spent stalled (pipeline not ready or
+    /// outbox backpressure) across cores.
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.stall_cycles).sum()
+    }
+
+    /// Total cycles cores spent asleep waiting on memory.
+    #[must_use]
+    pub fn total_sleep_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.sleep_cycles).sum()
     }
 
     /// Measured-region window: `(latest start, earliest end among cores that
@@ -132,7 +150,7 @@ pub enum ExitReason {
 }
 
 /// Result of [`crate::Machine::run`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunSummary {
     /// Cycle count at exit.
     pub cycles: u64,

@@ -1,0 +1,128 @@
+//! Kernel-level differential equivalence: the event-driven scheduler and
+//! the naive reference stepper must produce byte-identical benchmark
+//! results — cycle counts, full statistics, and the rendered sweep CSV —
+//! across the kernel × architecture matrix. The machine-level suite with
+//! targeted assembly lives in `crates/sim/tests/differential.rs`.
+
+use lrscwait::core::SyncArch;
+use lrscwait::kernels::{
+    HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl, QueueKernel, Workload,
+};
+use lrscwait::sim::SimConfig;
+use lrscwait_bench::{Experiment, Measurement, Sweep};
+
+fn assert_equivalent(kernel: &dyn Workload, cfg: SimConfig, what: &str) -> Measurement {
+    let fast = Experiment::new(kernel, cfg).x(1).run().expect(what);
+    let reference = Experiment::new(kernel, cfg)
+        .x(1)
+        .reference()
+        .run()
+        .expect(what);
+    assert_eq!(fast.cycles, reference.cycles, "{what}: cycle count");
+    assert_eq!(fast.stats, reference.stats, "{what}: statistics");
+    assert_eq!(
+        fast.csv_row(),
+        reference.csv_row(),
+        "{what}: rendered CSV row"
+    );
+    fast
+}
+
+#[test]
+fn histogram_matrix_is_equivalent() {
+    for (impl_, arch) in [
+        (HistImpl::AmoAdd, SyncArch::Lrsc),
+        (HistImpl::Lrsc, SyncArch::Lrsc),
+        (HistImpl::TicketLock, SyncArch::Lrsc),
+        (HistImpl::LrscWait, SyncArch::LrscWaitIdeal),
+        (HistImpl::LrscWait, SyncArch::LrscWait { slots: 2 }),
+        (HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }),
+        (HistImpl::ColibriLock, SyncArch::Colibri { queues: 4 }),
+    ] {
+        let kernel = HistogramKernel::new(impl_, 2, 8, 8);
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        assert_equivalent(&kernel, cfg, &format!("histogram {impl_:?} on {arch}"));
+    }
+}
+
+#[test]
+fn queue_matrix_is_equivalent() {
+    for (impl_, arch) in [
+        (QueueImpl::LrscWaitDirect, SyncArch::Colibri { queues: 4 }),
+        (QueueImpl::LrscMs, SyncArch::Lrsc),
+        (QueueImpl::TicketRing, SyncArch::Lrsc),
+    ] {
+        let kernel = QueueKernel::new(impl_, 6, 8);
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        assert_equivalent(&kernel, cfg, &format!("queue {impl_:?} on {arch}"));
+    }
+}
+
+#[test]
+fn matmul_interference_is_equivalent() {
+    for (kind, arch) in [
+        (PollerKind::Idle, SyncArch::Lrsc),
+        (PollerKind::Lrsc, SyncArch::Lrsc),
+        (PollerKind::LrscWait, SyncArch::Colibri { queues: 4 }),
+    ] {
+        let kernel = MatmulKernel::new(8, 2, 4, kind);
+        let cfg = SimConfig::builder()
+            .cores(4)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        let m = assert_equivalent(&kernel, cfg, &format!("matmul {kind:?} on {arch}"));
+        assert!(m.max_region_cycles(0..2).is_some());
+    }
+}
+
+#[test]
+fn sweep_csv_bytes_are_identical_across_modes() {
+    // A whole (impl × bins) sweep rendered to CSV text must come out
+    // byte-for-byte the same from both schedulers.
+    let points: Vec<(HistImpl, SyncArch, u32)> = [
+        (HistImpl::AmoAdd, SyncArch::Lrsc),
+        (HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }),
+        (HistImpl::Lrsc, SyncArch::Lrsc),
+    ]
+    .into_iter()
+    .flat_map(|(impl_, arch)| [1u32, 4, 16].map(move |bins| (impl_, arch, bins)))
+    .collect();
+
+    let render = |reference: bool| -> String {
+        let measurements = Sweep::new("diff-csv")
+            .threads(4)
+            .quiet()
+            .run(points.clone(), |(impl_, arch, bins)| {
+                let cfg = SimConfig::builder()
+                    .cores(8)
+                    .arch(arch)
+                    .max_cycles(50_000_000)
+                    .build()?;
+                let kernel = HistogramKernel::new(impl_, bins, 8, 8);
+                let exp = Experiment::new(&kernel, cfg).x(bins);
+                let exp = if reference { exp.reference() } else { exp };
+                exp.run()
+            })
+            .expect("sweep completes");
+        let mut text = String::from("series,bins,updates_per_cycle,lo,hi,cycles,stalls\n");
+        for m in &measurements {
+            text.push_str(&m.csv_row().join(","));
+            text.push('\n');
+        }
+        text
+    };
+
+    assert_eq!(render(false), render(true), "sweep CSV bytes diverge");
+}
