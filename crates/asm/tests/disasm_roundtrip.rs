@@ -1,0 +1,276 @@
+//! Seeded four-stage round trip over **all** ISA instruction forms:
+//! `encode → decode → disasm → re-assemble` must agree — the binary
+//! encoding, the decoder, the disassembler and the assembler describe
+//! one and the same instruction.
+//!
+//! PC-relative forms (`jal`, branches) disassemble to a *relative*
+//! offset while the assembler consumes *absolute* targets, so the
+//! harness rewrites the final operand to `text_base + offset` before
+//! re-assembling; everything else round-trips textually untouched.
+//!
+//! Uses the same dependency-free SplitMix64 generator as the other
+//! seeded suites, so any failure reproduces exactly from the seed.
+
+use lrscwait_asm::{Assembler, DEFAULT_TEXT_BASE};
+use lrscwait_isa::{
+    decode, disasm, encode, AluOp, AmoOp, BranchOp, Csr, CsrOp, Instr, MemWidth, Reg,
+};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (self.below((hi - lo) as u64) as i32)
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new(self.below(32) as u8)
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.below(options.len() as u64) as usize]
+    }
+}
+
+const ALU_RR: [AluOp; 18] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Mulhsu,
+    AluOp::Mulhu,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+];
+
+const ALU_IMM: [AluOp; 6] = [
+    AluOp::Add,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::And,
+];
+
+const SHIFTS: [AluOp; 3] = [AluOp::Sll, AluOp::Srl, AluOp::Sra];
+
+const BRANCHES: [BranchOp; 6] = [
+    BranchOp::Eq,
+    BranchOp::Ne,
+    BranchOp::Lt,
+    BranchOp::Ge,
+    BranchOp::Ltu,
+    BranchOp::Geu,
+];
+
+const AMOS: [AmoOp; 14] = [
+    AmoOp::Lr,
+    AmoOp::Sc,
+    AmoOp::Swap,
+    AmoOp::Add,
+    AmoOp::Xor,
+    AmoOp::And,
+    AmoOp::Or,
+    AmoOp::Min,
+    AmoOp::Max,
+    AmoOp::Minu,
+    AmoOp::Maxu,
+    AmoOp::LrWait,
+    AmoOp::ScWait,
+    AmoOp::MWait,
+];
+
+const WIDTHS: [(MemWidth, bool); 5] = [
+    (MemWidth::Byte, true),
+    (MemWidth::Half, true),
+    (MemWidth::Word, true),
+    (MemWidth::Byte, false),
+    (MemWidth::Half, false),
+];
+
+/// Every instruction form the ISA defines, exercised by form index so a
+/// generator bug cannot silently drop one.
+const NUM_FORMS: u64 = 14;
+
+fn gen_form(form: u64, rng: &mut Rng) -> Instr {
+    match form {
+        0 => Instr::Lui {
+            rd: rng.reg(),
+            imm: (rng.next() as u32) & 0xFFFF_F000,
+        },
+        1 => Instr::Auipc {
+            rd: rng.reg(),
+            imm: (rng.next() as u32) & 0xFFFF_F000,
+        },
+        2 => Instr::Jal {
+            rd: rng.reg(),
+            // Keep targets inside the 32-bit address space around the
+            // default text base.
+            offset: rng.range(-(1 << 19), 1 << 19) & !1,
+        },
+        3 => Instr::Jalr {
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            offset: rng.range(-2048, 2048),
+        },
+        4 => Instr::Branch {
+            op: rng.pick(&BRANCHES),
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+            offset: rng.range(-4096, 4096) & !1,
+        },
+        5 => {
+            let (width, signed) = rng.pick(&WIDTHS);
+            Instr::Load {
+                width,
+                signed,
+                rd: rng.reg(),
+                rs1: rng.reg(),
+                offset: rng.range(-2048, 2048),
+            }
+        }
+        6 => {
+            let (width, _) = rng.pick(&WIDTHS);
+            Instr::Store {
+                width,
+                rs2: rng.reg(),
+                rs1: rng.reg(),
+                offset: rng.range(-2048, 2048),
+            }
+        }
+        7 => Instr::OpImm {
+            op: rng.pick(&ALU_IMM),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            imm: rng.range(-2048, 2048),
+        },
+        8 => Instr::OpImm {
+            op: rng.pick(&SHIFTS),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            imm: rng.range(0, 32),
+        },
+        9 => Instr::Op {
+            op: rng.pick(&ALU_RR),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+        },
+        10 => rng.pick(&[Instr::Fence, Instr::Ecall, Instr::Ebreak]),
+        11 => Instr::Csr {
+            op: rng.pick(&[CsrOp::ReadWrite, CsrOp::ReadSet, CsrOp::ReadClear]),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            csr: (rng.next() as u16) & 0xFFF,
+            imm_form: false,
+        },
+        12 => Instr::Csr {
+            op: rng.pick(&[CsrOp::ReadWrite, CsrOp::ReadSet, CsrOp::ReadClear]),
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            csr: (rng.next() as u16) & 0xFFF,
+            imm_form: true,
+        },
+        _ => {
+            let op = rng.pick(&AMOS);
+            Instr::Amo {
+                op,
+                rd: rng.reg(),
+                rs1: rng.reg(),
+                rs2: if matches!(op, AmoOp::Lr | AmoOp::LrWait) {
+                    Reg::ZERO
+                } else {
+                    rng.reg()
+                },
+            }
+        }
+    }
+}
+
+/// Rewrites PC-relative operands from the relative offset `disasm`
+/// prints to the absolute target the assembler expects (the instruction
+/// sits alone at `DEFAULT_TEXT_BASE`).
+fn assembler_source(instr: &Instr, text: &str) -> String {
+    match *instr {
+        Instr::Jal { offset, .. } | Instr::Branch { offset, .. } => {
+            let target = DEFAULT_TEXT_BASE.wrapping_add(offset as u32);
+            let (head, _) = text
+                .rsplit_once(' ')
+                .expect("jal/branch disasm has operands");
+            format!("{head} {target:#x}")
+        }
+        _ => text.to_string(),
+    }
+}
+
+#[test]
+fn encode_decode_disasm_reassemble_agree() {
+    let mut rng = Rng(0xC0FF_EE00_5EED);
+    let assembler = Assembler::new();
+    for case in 0..2048u64 {
+        let instr = gen_form(case % NUM_FORMS, &mut rng);
+
+        // Stage 1+2: binary round trip.
+        let word = encode(&instr);
+        let decoded = decode(word).expect("encoded instruction must decode");
+        assert_eq!(decoded, instr, "case {case}: encode/decode");
+
+        // Stage 3+4: textual round trip through the real assembler.
+        let text = disasm(&decoded);
+        let source = assembler_source(&instr, &text);
+        let program = assembler
+            .assemble(&source)
+            .unwrap_or_else(|e| panic!("case {case}: `{source}` does not assemble: {e}"));
+        assert_eq!(
+            program.text.len(),
+            1,
+            "case {case}: `{source}` must assemble to one word"
+        );
+        assert_eq!(
+            program.text[0], word,
+            "case {case}: `{source}` re-assembles to {:#010x}, expected {word:#010x} ({instr:?})",
+            program.text[0]
+        );
+    }
+}
+
+/// Named CSRs disassemble to their names and re-assemble through them.
+#[test]
+fn named_csrs_round_trip_textually() {
+    let assembler = Assembler::new();
+    for csr in [Csr::MHartId, Csr::Cycle, Csr::CycleH] {
+        let instr = Instr::Csr {
+            op: CsrOp::ReadSet,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            csr: csr.address(),
+            imm_form: false,
+        };
+        let text = disasm(&instr);
+        assert!(text.contains(csr.name()), "`{text}` must use the CSR name");
+        let program = assembler.assemble(&text).expect("assembles");
+        assert_eq!(program.text[0], encode(&instr));
+    }
+}

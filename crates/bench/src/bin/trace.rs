@@ -1,0 +1,297 @@
+//! `trace` — run any kernel × architecture pair with tracing attached,
+//! export a Perfetto/Chrome trace (open at <https://ui.perfetto.dev>)
+//! and print the derived synchronization analysis: lock handoff latency
+//! distribution, wait-queue occupancy, and retry/abort causes.
+//!
+//! One simulation feeds both artifacts through a fan-out sink, the
+//! exported JSON is validated before the process exits, and the event
+//! counts are reconciled against the run's `SimStats` aggregates — a
+//! mismatch is a hard error, so the trace subsystem continuously proves
+//! itself against the counters the figures are built from.
+//!
+//! ```sh
+//! cargo run --release -p lrscwait-bench --bin trace -- \
+//!     --kernel histogram --impl lrscwait --arch colibri:4 --cores 16
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lrscwait_bench::{check_claim, BenchError, Experiment};
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::{
+    HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl, QueueKernel, Workload,
+};
+use lrscwait_sim::SimConfig;
+use lrscwait_trace::{json, AnalysisSink, FanoutSink, PerfettoSink, SharedSink};
+
+const USAGE: &str = "\
+usage: trace [--kernel K] [--impl I] [--arch A] [--cores N] [--iters N]
+             [--max-cycles N] [--out DIR]
+  --kernel K      histogram (default) | queue | matmul
+  --impl I        histogram: amoadd | lrsc | lrscwait (default) | ticket | tas
+                             | colibri-lock | mcs
+                  queue:     direct (default) | ms | ring
+                  (matmul takes no --impl)
+  --arch A        lrsc | lrscwait:<slots> | ideal | colibri:<queues>
+                  (default colibri:4)
+  --cores N       number of cores (default 16)
+  --iters N       per-core iterations (default 16)
+  --max-cycles N  watchdog limit (default 2000000; traced runs buffer
+                  events in memory, so keep this proportionate)
+  --out DIR       output directory for the Perfetto JSON (default results)
+  -h, --help      show this help";
+
+/// Cap on buffered Perfetto events: a retry-storming kernel × arch pair
+/// can emit several events per core per cycle, and the sink holds one
+/// string per event — without a cap a pathological run exhausts host
+/// memory long before the watchdog fires. Truncation is never silent:
+/// the count is printed and recorded in the document.
+const PERFETTO_EVENT_LIMIT: usize = 2_000_000;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(BenchError::Help) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct TraceArgs {
+    kernel: String,
+    impl_: Option<String>,
+    arch: SyncArch,
+    cores: u32,
+    iters: u32,
+    max_cycles: u64,
+    out: PathBuf,
+}
+
+fn usage_err(msg: impl std::fmt::Display) -> BenchError {
+    BenchError::Usage(format!("{msg}\n{USAGE}"))
+}
+
+fn parse_arch(text: &str) -> Result<SyncArch, BenchError> {
+    let (name, param) = match text.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (text, None),
+    };
+    let number = |what: &str| -> Result<usize, BenchError> {
+        param
+            .ok_or_else(|| usage_err(format!("--arch {name} needs `:{what}`")))?
+            .parse::<usize>()
+            .map_err(|_| {
+                usage_err(format!(
+                    "--arch {name}: bad {what} `{}`",
+                    param.unwrap_or("")
+                ))
+            })
+    };
+    match name {
+        "lrsc" => Ok(SyncArch::Lrsc),
+        "ideal" => Ok(SyncArch::LrscWaitIdeal),
+        "lrscwait" => Ok(SyncArch::LrscWait {
+            slots: number("slots")?,
+        }),
+        "colibri" => Ok(SyncArch::Colibri {
+            queues: number("queues")?,
+        }),
+        other => Err(usage_err(format!("unknown --arch `{other}`"))),
+    }
+}
+
+fn parse_args() -> Result<TraceArgs, BenchError> {
+    let mut parsed = TraceArgs {
+        kernel: "histogram".to_string(),
+        impl_: None,
+        arch: SyncArch::Colibri { queues: 4 },
+        cores: 16,
+        iters: 16,
+        max_cycles: 2_000_000,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| usage_err(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--kernel" => parsed.kernel = value("--kernel")?,
+            "--impl" => parsed.impl_ = Some(value("--impl")?),
+            "--arch" => parsed.arch = parse_arch(&value("--arch")?)?,
+            "--cores" => {
+                parsed.cores = value("--cores")?
+                    .parse()
+                    .map_err(|_| usage_err("--cores: not a count"))?;
+            }
+            "--iters" => {
+                parsed.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| usage_err("--iters: not a count"))?;
+            }
+            "--max-cycles" => {
+                parsed.max_cycles = value("--max-cycles")?
+                    .parse()
+                    .map_err(|_| usage_err("--max-cycles: not a count"))?;
+            }
+            "--out" => parsed.out = PathBuf::from(value("--out")?),
+            "-h" | "--help" => return Err(BenchError::Help),
+            other => return Err(usage_err(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Builds the workload plus the canonical implementation name (the
+/// default made explicit), used in the output filename.
+fn build_kernel(args: &TraceArgs) -> Result<(Box<dyn Workload>, String), BenchError> {
+    match args.kernel.as_str() {
+        "histogram" => {
+            let impl_name = args.impl_.as_deref().unwrap_or("lrscwait").to_string();
+            let impl_ = match impl_name.as_str() {
+                "amoadd" => HistImpl::AmoAdd,
+                "lrsc" => HistImpl::Lrsc,
+                "lrscwait" => HistImpl::LrscWait,
+                "ticket" => HistImpl::TicketLock,
+                "tas" => HistImpl::TasLock,
+                "colibri-lock" => HistImpl::ColibriLock,
+                "mcs" => HistImpl::McsMwaitLock,
+                other => return Err(usage_err(format!("unknown histogram impl `{other}`"))),
+            };
+            // Few bins on purpose: contention is what makes traces worth
+            // looking at.
+            let bins = (args.cores / 4).max(1);
+            Ok((
+                Box::new(HistogramKernel::new(impl_, bins, args.iters, args.cores)),
+                impl_name,
+            ))
+        }
+        "queue" => {
+            let impl_name = args.impl_.as_deref().unwrap_or("direct").to_string();
+            let impl_ = match impl_name.as_str() {
+                "direct" => QueueImpl::LrscWaitDirect,
+                "ms" => QueueImpl::LrscMs,
+                "ring" => QueueImpl::TicketRing,
+                other => return Err(usage_err(format!("unknown queue impl `{other}`"))),
+            };
+            Ok((
+                Box::new(QueueKernel::new(impl_, args.iters, args.cores)),
+                impl_name,
+            ))
+        }
+        "matmul" => {
+            if let Some(impl_) = &args.impl_ {
+                return Err(usage_err(format!(
+                    "--kernel matmul takes no --impl (got `{impl_}`)"
+                )));
+            }
+            let workers = (args.cores / 2).max(1);
+            Ok((
+                Box::new(MatmulKernel::new(8, workers, args.cores, PollerKind::Idle)),
+                "idle-pollers".to_string(),
+            ))
+        }
+        other => Err(usage_err(format!("unknown kernel `{other}`"))),
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = parse_args()?;
+    let (kernel, impl_name) = build_kernel(&args)?;
+    let cfg = SimConfig::builder()
+        .cores(args.cores as usize)
+        .arch(args.arch)
+        .max_cycles(args.max_cycles)
+        .build()?;
+
+    // One simulation, two artifacts: tee the event stream into the
+    // Perfetto exporter and the analysis sink.
+    let perfetto = SharedSink::new(PerfettoSink::new().with_event_limit(PERFETTO_EVENT_LIMIT));
+    let analysis = SharedSink::new(AnalysisSink::new());
+    let fanout = FanoutSink::new()
+        .with(Box::new(perfetto.clone()))
+        .with(Box::new(analysis.clone()));
+
+    let measurement = Experiment::new(kernel.as_ref(), cfg)
+        .sink(Box::new(fanout))
+        .run()?;
+    let report = analysis.take().finish();
+    let exporter = perfetto.take();
+    let truncated = exporter.truncated();
+    let trace_json = exporter.finish();
+
+    // Self-check 1: the exported document must be valid JSON with a
+    // traceEvents array.
+    let doc = json::parse(&trace_json)
+        .map_err(|e| BenchError::ClaimFailed(format!("exported trace is not valid JSON: {e}")))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .ok_or_else(|| BenchError::ClaimFailed("trace has no traceEvents array".to_string()))?;
+
+    // Self-check 2: event counts must reconcile with the aggregate
+    // statistics of the very same run.
+    let adapters = &measurement.stats.adapters;
+    let c = &report.counters;
+    check_claim(
+        c.wait_enqueued == adapters.wait_enqueued
+            && c.wait_failfast == adapters.wait_failfast
+            && c.sc_success == adapters.sc_success
+            && c.sc_failure == adapters.sc_failure
+            && c.scwait_success == adapters.scwait_success
+            && c.scwait_failure == adapters.scwait_failure
+            && c.successor_updates == adapters.successor_updates
+            && c.wakeups == adapters.wakeups
+            && c.reservations_broken == adapters.reservations_broken,
+        format!("trace counters diverge from SimStats: {c:?} vs {adapters:?}"),
+    )?;
+
+    // Every flag that changes the simulation is in the filename, so runs
+    // that differ only in impl/cores/iters never overwrite each other.
+    let name = format!(
+        "trace_{}_{}_{}_c{}_i{}",
+        args.kernel,
+        impl_name,
+        args.arch.to_string().to_lowercase(),
+        args.cores,
+        args.iters
+    );
+    let path = args.out.join(format!("{name}.json"));
+    std::fs::create_dir_all(&args.out).map_err(|source| BenchError::Io {
+        path: args.out.display().to_string(),
+        source,
+    })?;
+    std::fs::write(&path, &trace_json).map_err(|source| BenchError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+
+    println!(
+        "## trace — {} on {} ({} cores, {} cycles)\n",
+        kernel.label(),
+        args.arch,
+        args.cores,
+        measurement.cycles
+    );
+    print!("{}", report.summary());
+    if truncated > 0 {
+        println!(
+            "WARNING: Perfetto export truncated — {truncated} events dropped after the \
+             {PERFETTO_EVENT_LIMIT}-event cap (the analysis above is still complete); \
+             reduce --iters/--cores or trace a shorter run"
+        );
+    }
+    println!(
+        "\nwrote {} ({} trace events, validated) — open at https://ui.perfetto.dev",
+        path.display(),
+        events.len()
+    );
+    Ok(())
+}

@@ -12,6 +12,7 @@
 //! | `table2` | Table II — power and energy per operation |
 //! | `ablation` | Reservation-capacity ablation |
 //! | `perf_smoke` | Simulator-performance smoke: event-driven vs reference speedup |
+//! | `trace` | Perfetto trace + synchronization analysis for any kernel × arch pair |
 //!
 //! Every binary accepts `--quick` (reduced sweep), `--threads N` (sweep
 //! parallelism), `--out DIR` (results directory, default `results/`) and
@@ -65,6 +66,7 @@ use lrscwait_sim::{
     ConfigError, DecodedProgram, ExecMode, ExitReason, Machine, SimConfig, SimError, SimStats,
     NUM_ARGS,
 };
+use lrscwait_trace::{AnalysisSink, FanoutSink, PerfettoSink, SharedSink, SyncAnalysis, TraceSink};
 
 /// Everything that can go wrong while producing a benchmark number.
 ///
@@ -299,7 +301,7 @@ pub struct Experiment<'w> {
     cfg: SimConfig,
     label: Option<String>,
     x: u32,
-    mode: ExecMode,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<'w> Experiment<'w> {
@@ -311,7 +313,7 @@ impl<'w> Experiment<'w> {
             cfg,
             label: None,
             x: 0,
-            mode: ExecMode::EventDriven,
+            sink: None,
         }
     }
 
@@ -331,11 +333,71 @@ impl<'w> Experiment<'w> {
 
     /// Runs on the naive reference stepper instead of the event-driven
     /// scheduler (differential testing and performance baselining; results
-    /// are bit-identical, only slower to produce).
+    /// are bit-identical, only slower to produce). Equivalent to building
+    /// the config with `SimConfig::builder().exec_mode(ExecMode::Reference)`.
     #[must_use]
     pub fn reference(mut self) -> Experiment<'w> {
-        self.mode = ExecMode::Reference;
+        self.cfg.exec_mode = ExecMode::Reference;
         self
+    }
+
+    /// Attaches a trace sink for this run (see `lrscwait-trace`).
+    /// Tracing never changes results — the measurement is bit-identical
+    /// to an untraced run. Hand in a [`SharedSink`] clone to read the
+    /// sink back afterwards, or use the [`analyzed`](Experiment::analyzed)
+    /// / [`perfetto`](Experiment::perfetto) conveniences.
+    ///
+    /// Calling this more than once (directly, or implicitly through the
+    /// conveniences) fans the event stream out to every attached sink —
+    /// a second sink never silently replaces the first.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn TraceSink>) -> Experiment<'w> {
+        self.sink = Some(match self.sink {
+            Some(existing) => Box::new(FanoutSink::new().with(existing).with(sink)),
+            None => sink,
+        });
+        self
+    }
+
+    /// Runs the experiment with an [`AnalysisSink`] attached and returns
+    /// the measurement together with the derived synchronization
+    /// analysis: lock handoff latency distribution (p50/p99/max),
+    /// wait-queue occupancy over time, and SC-failure / retry-abort
+    /// causes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Experiment::run).
+    pub fn analyzed(self) -> Result<(Measurement, SyncAnalysis), BenchError> {
+        let shared = SharedSink::new(AnalysisSink::new());
+        let measurement = self.sink(Box::new(shared.clone())).run()?;
+        Ok((measurement, shared.take().finish()))
+    }
+
+    /// Runs the experiment with a [`PerfettoSink`] attached and writes
+    /// the Chrome-trace/Perfetto JSON (per-core tracks plus wait-queue
+    /// depth and runnable-core counter tracks) to `path`. Open the file
+    /// at <https://ui.perfetto.dev>.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Experiment::run), plus [`BenchError::Io`] when the
+    /// trace file cannot be written.
+    pub fn perfetto(self, path: &Path) -> Result<Measurement, BenchError> {
+        let shared = SharedSink::new(PerfettoSink::new());
+        let measurement = self.sink(Box::new(shared.clone())).run()?;
+        let json = shared.take().finish();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|source| BenchError::Io {
+                path: dir.display().to_string(),
+                source,
+            })?;
+        }
+        std::fs::write(path, json).map_err(|source| BenchError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Ok(measurement)
     }
 
     /// Runs the experiment to completion.
@@ -363,7 +425,9 @@ impl<'w> Experiment<'w> {
         let program = self.workload.program();
         let decoded = decode_shared(&program).map_err(BenchError::Load)?;
         let mut machine = Machine::with_decoded(cfg, decoded).map_err(BenchError::Load)?;
-        machine.set_mode(self.mode);
+        if let Some(sink) = self.sink {
+            machine.set_tracer(sink);
+        }
         self.workload.init(&mut machine);
         let started = Instant::now();
         let summary = machine.run().map_err(BenchError::Run)?;

@@ -2,8 +2,108 @@
 
 use std::fmt;
 
-use crate::msg::{Addr, CoreId, MemRequest, MemResponse};
+use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode};
 use crate::storage::WordStorage;
+
+/// A structured synchronization event observed inside a bank adapter.
+///
+/// These are the per-occurrence counterparts of the aggregate
+/// [`AdapterStats`] counters: where the counters answer *how many*, the
+/// events answer *who, where and in which order* — the raw material for
+/// handoff-latency and queue-occupancy analysis. Adapters are time-free,
+/// so events carry no cycle; the caller (the simulator, or a protocol
+/// harness) stamps them on receipt.
+///
+/// Emission is exact with respect to the statistics: every adapter emits
+/// one `WaitEnqueued` per `wait_enqueued` increment, one `WaitFailFast`
+/// per `wait_failfast`, one `ScResult` per `sc_*`/`scwait_*` increment,
+/// one `SuccessorUpdate` per `successor_updates`, one `WakeupPromoted`
+/// per `wakeups`, and one `ReservationBroken` per `reservations_broken`
+/// — event streams reconcile with end-of-run aggregates by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncEvent {
+    /// A `lrwait`/`mwait` request was accepted into a reservation queue
+    /// (the issuing core will sleep until served).
+    WaitEnqueued {
+        /// Enqueued core.
+        core: CoreId,
+        /// Contended word address.
+        addr: Addr,
+        /// Which wait instruction created the entry.
+        mode: WaitMode,
+    },
+    /// A queued waiter's withheld response was released (the core at the
+    /// queue head becomes runnable once the response reaches it).
+    WaitServed {
+        /// Served core.
+        core: CoreId,
+        /// Contended word address.
+        addr: Addr,
+        /// Which wait instruction the entry came from.
+        mode: WaitMode,
+        /// `true` when the serve was triggered by a predecessor leaving
+        /// the queue (a lock handoff or monitor fire) rather than the
+        /// waiter finding the queue empty on arrival.
+        handoff: bool,
+    },
+    /// A `lrwait`/`mwait` request failed fast (queue structure full, or
+    /// wait-free hardware): no reservation was placed and software must
+    /// retry.
+    WaitFailFast {
+        /// Rejected core.
+        core: CoreId,
+        /// Contended word address.
+        addr: Addr,
+        /// Which wait instruction was rejected.
+        mode: WaitMode,
+    },
+    /// A store-conditional completed. `wait: false` is a classic `sc.w`,
+    /// `wait: true` an `scwait.w` closing an `lrwait` sequence.
+    ScResult {
+        /// Issuing core.
+        core: CoreId,
+        /// Target word address.
+        addr: Addr,
+        /// Whether the store was performed.
+        success: bool,
+        /// Whether this was the wait-extension (`scwait.w`) form.
+        wait: bool,
+    },
+    /// Colibri: a new tail enqueued behind `predecessor`, whose Qnode is
+    /// being notified of its `successor`.
+    SuccessorUpdate {
+        /// Previous tail (receives the notification).
+        predecessor: CoreId,
+        /// Newly enqueued core.
+        successor: CoreId,
+        /// Contended word address.
+        addr: Addr,
+        /// Wait mode of the new tail.
+        mode: WaitMode,
+    },
+    /// Colibri: a bounced `WakeUp` was processed and `successor` promoted
+    /// to queue head (its withheld response is released in the same
+    /// cycle, reported as a separate [`SyncEvent::WaitServed`]).
+    WakeupPromoted {
+        /// Contended word address.
+        addr: Addr,
+        /// Promoted core.
+        successor: CoreId,
+        /// Wait mode of the promoted head.
+        mode: WaitMode,
+    },
+    /// A reservation (classic slot or `lrwait` head) was invalidated by
+    /// an intervening write.
+    ReservationBroken {
+        /// Word address whose reservation broke.
+        addr: Addr,
+    },
+}
+
+/// The no-op event consumer the untraced [`SyncAdapter::handle`] entry
+/// point uses.
+#[inline]
+pub(crate) fn no_trace(_: SyncEvent) {}
 
 /// Event counters every adapter maintains (inputs to the energy model and
 /// the interference analysis).
@@ -50,14 +150,33 @@ pub struct AdapterStats {
 /// FIFO order, which both the test harness and the NoC guarantee.
 pub trait SyncAdapter: fmt::Debug {
     /// Processes one request from `src`, appending `(destination core,
-    /// response)` pairs to `out` in send order.
+    /// response)` pairs to `out` in send order, and reporting every
+    /// synchronization event through `emit` (see [`SyncEvent`]).
+    ///
+    /// This is the one required entry point; the untraced
+    /// [`handle`](SyncAdapter::handle) wrapper passes a no-op consumer.
+    /// Implementations must behave identically regardless of what `emit`
+    /// does — tracing observes, it never steers.
+    fn handle_traced(
+        &mut self,
+        src: CoreId,
+        req: &MemRequest,
+        mem: &mut dyn WordStorage,
+        out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
+    );
+
+    /// Processes one request from `src`, appending `(destination core,
+    /// response)` pairs to `out` in send order (untraced).
     fn handle(
         &mut self,
         src: CoreId,
         req: &MemRequest,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
-    );
+    ) {
+        self.handle_traced(src, req, mem, out, &mut no_trace);
+    }
 
     /// Human-readable architecture label (used in reports and plots).
     fn label(&self) -> String;

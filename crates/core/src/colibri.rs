@@ -23,7 +23,7 @@
 //! [`SuccessorUpdate`]: MemResponse::SuccessorUpdate
 //! [`WakeUp`]: MemRequest::WakeUp
 
-use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
+use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
 use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode};
 use crate::storage::WordStorage;
 
@@ -113,6 +113,7 @@ impl ColibriAdapter {
         mode: WaitMode,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         if let Some(slot) = self.slot_for(addr) {
             debug_assert!(
@@ -123,6 +124,17 @@ impl ColibriAdapter {
             slot.tail = src;
             self.stats.wait_enqueued += 1;
             self.stats.successor_updates += 1;
+            emit(SyncEvent::WaitEnqueued {
+                core: src,
+                addr,
+                mode,
+            });
+            emit(SyncEvent::SuccessorUpdate {
+                predecessor,
+                successor: src,
+                addr,
+                mode,
+            });
             out.push((
                 predecessor,
                 MemResponse::SuccessorUpdate {
@@ -143,6 +155,17 @@ impl ColibriAdapter {
                     slot.head_valid = true;
                     slot.armed_mwait = false;
                     self.stats.wait_enqueued += 1;
+                    emit(SyncEvent::WaitEnqueued {
+                        core: src,
+                        addr,
+                        mode,
+                    });
+                    emit(SyncEvent::WaitServed {
+                        core: src,
+                        addr,
+                        mode,
+                        handoff: false,
+                    });
                     out.push((
                         src,
                         MemResponse::Wait {
@@ -155,6 +178,11 @@ impl ColibriAdapter {
                     slot.head_valid = false;
                     slot.armed_mwait = true;
                     self.stats.wait_enqueued += 1;
+                    emit(SyncEvent::WaitEnqueued {
+                        core: src,
+                        addr,
+                        mode,
+                    });
                     // No response: the monitor sleeps until a write arrives.
                 }
             }
@@ -162,6 +190,11 @@ impl ColibriAdapter {
         }
         // All head/tail register pairs busy with other addresses: fail fast.
         self.stats.wait_failfast += 1;
+        emit(SyncEvent::WaitFailFast {
+            core: src,
+            addr,
+            mode,
+        });
         out.push((
             src,
             MemResponse::Wait {
@@ -177,9 +210,11 @@ impl ColibriAdapter {
         addr: Addr,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         if self.slot.on_write(addr) {
             self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
         }
         let mut broke = false;
         if let Some(slot) = self.slot_for(addr) {
@@ -192,6 +227,12 @@ impl ColibriAdapter {
                 if last {
                     slot.occupied = false;
                 }
+                emit(SyncEvent::WaitServed {
+                    core: head,
+                    addr,
+                    mode: WaitMode::MWait,
+                    handoff: true,
+                });
                 out.push((
                     head,
                     MemResponse::Wait {
@@ -206,17 +247,19 @@ impl ColibriAdapter {
         }
         if broke {
             self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
         }
     }
 }
 
 impl SyncAdapter for ColibriAdapter {
-    fn handle(
+    fn handle_traced(
         &mut self,
         src: CoreId,
         req: &MemRequest,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         self.stats.requests += 1;
         match *req {
@@ -232,14 +275,14 @@ impl SyncAdapter for ColibriAdapter {
             MemRequest::Store { addr, value, mask } => {
                 self.stats.stores += 1;
                 mem.write_masked(addr, value, mask);
-                self.on_write(addr, mem, out);
+                self.on_write(addr, mem, out, emit);
                 out.push((src, MemResponse::StoreAck));
             }
             MemRequest::Amo { addr, op, operand } => {
                 self.stats.amos += 1;
                 let old = mem.read_word(addr);
                 mem.write_word(addr, op.apply(old, operand));
-                self.on_write(addr, mem, out);
+                self.on_write(addr, mem, out, emit);
                 out.push((src, MemResponse::Amo { old }));
             }
             MemRequest::Lr { addr } => {
@@ -255,15 +298,23 @@ impl SyncAdapter for ColibriAdapter {
                 let success = self.slot.store_conditional(src, addr);
                 if success {
                     self.stats.sc_success += 1;
-                    mem.write_word(addr, value);
-                    self.on_write(addr, mem, out);
                 } else {
                     self.stats.sc_failure += 1;
+                }
+                emit(SyncEvent::ScResult {
+                    core: src,
+                    addr,
+                    success,
+                    wait: false,
+                });
+                if success {
+                    mem.write_word(addr, value);
+                    self.on_write(addr, mem, out, emit);
                 }
                 out.push((src, MemResponse::Sc { success }));
             }
             MemRequest::LrWait { addr } => {
-                self.enqueue_wait(src, addr, WaitMode::LrWait, mem, out);
+                self.enqueue_wait(src, addr, WaitMode::LrWait, mem, out, emit);
             }
             MemRequest::MWait { addr, expected } => {
                 let value = mem.read_word(addr);
@@ -277,17 +328,29 @@ impl SyncAdapter for ColibriAdapter {
                         },
                     ));
                 } else {
-                    self.enqueue_wait(src, addr, WaitMode::MWait, mem, out);
+                    self.enqueue_wait(src, addr, WaitMode::MWait, mem, out, emit);
                 }
             }
             MemRequest::ScWait { addr, value } => {
                 let Some(slot) = self.slot_for(addr) else {
                     self.stats.scwait_failure += 1;
+                    emit(SyncEvent::ScResult {
+                        core: src,
+                        addr,
+                        success: false,
+                        wait: true,
+                    });
                     out.push((src, MemResponse::ScWait { success: false }));
                     return;
                 };
                 if slot.head != src || slot.waiting_wakeup || slot.armed_mwait {
                     self.stats.scwait_failure += 1;
+                    emit(SyncEvent::ScResult {
+                        core: src,
+                        addr,
+                        success: false,
+                        wait: true,
+                    });
                     out.push((src, MemResponse::ScWait { success: false }));
                     return;
                 }
@@ -306,10 +369,17 @@ impl SyncAdapter for ColibriAdapter {
                     mem.write_word(addr, value);
                     if self.slot.on_write(addr) {
                         self.stats.reservations_broken += 1;
+                        emit(SyncEvent::ReservationBroken { addr });
                     }
                 } else {
                     self.stats.scwait_failure += 1;
                 }
+                emit(SyncEvent::ScResult {
+                    core: src,
+                    addr,
+                    success,
+                    wait: true,
+                });
                 out.push((src, MemResponse::ScWait { success }));
             }
             MemRequest::WakeUp {
@@ -324,6 +394,17 @@ impl SyncAdapter for ColibriAdapter {
                 };
                 slot.head = successor;
                 slot.waiting_wakeup = false;
+                emit(SyncEvent::WakeupPromoted {
+                    addr,
+                    successor,
+                    mode,
+                });
+                emit(SyncEvent::WaitServed {
+                    core: successor,
+                    addr,
+                    mode,
+                    handoff: true,
+                });
                 match mode {
                     WaitMode::LrWait => {
                         slot.head_valid = true;

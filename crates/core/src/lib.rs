@@ -53,7 +53,7 @@ mod qnode;
 mod storage;
 mod waitq;
 
-pub use adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
+pub use adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
 pub use arch::SyncArch;
 pub use colibri::ColibriAdapter;
 pub use lrsc::LrscAdapter;

@@ -5,8 +5,8 @@
 //! failing `sc.w` instructions force software retry loops whose traffic is
 //! the source of the polling problem.
 
-use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
-use crate::msg::{CoreId, MemRequest, MemResponse};
+use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
+use crate::msg::{CoreId, MemRequest, MemResponse, WaitMode};
 use crate::storage::WordStorage;
 
 /// Bank adapter implementing plain RV32A with a single LR/SC reservation
@@ -25,20 +25,22 @@ impl LrscAdapter {
         LrscAdapter::default()
     }
 
-    fn on_write(&mut self, addr: u32) {
+    fn on_write(&mut self, addr: u32, emit: &mut dyn FnMut(SyncEvent)) {
         if self.slot.on_write(addr) {
             self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
         }
     }
 }
 
 impl SyncAdapter for LrscAdapter {
-    fn handle(
+    fn handle_traced(
         &mut self,
         src: CoreId,
         req: &MemRequest,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         self.stats.requests += 1;
         match *req {
@@ -54,14 +56,14 @@ impl SyncAdapter for LrscAdapter {
             MemRequest::Store { addr, value, mask } => {
                 self.stats.stores += 1;
                 mem.write_masked(addr, value, mask);
-                self.on_write(addr);
+                self.on_write(addr, emit);
                 out.push((src, MemResponse::StoreAck));
             }
             MemRequest::Amo { addr, op, operand } => {
                 self.stats.amos += 1;
                 let old = mem.read_word(addr);
                 mem.write_word(addr, op.apply(old, operand));
-                self.on_write(addr);
+                self.on_write(addr, emit);
                 out.push((src, MemResponse::Amo { old }));
             }
             MemRequest::Lr { addr } => {
@@ -83,11 +85,25 @@ impl SyncAdapter for LrscAdapter {
                 } else {
                     self.stats.sc_failure += 1;
                 }
+                emit(SyncEvent::ScResult {
+                    core: src,
+                    addr,
+                    success,
+                    wait: false,
+                });
                 out.push((src, MemResponse::Sc { success }));
             }
             // Wait-extension requests on non-wait hardware: fail fast.
             MemRequest::LrWait { addr } | MemRequest::MWait { addr, .. } => {
                 self.stats.wait_failfast += 1;
+                emit(SyncEvent::WaitFailFast {
+                    core: src,
+                    addr,
+                    mode: match req {
+                        MemRequest::LrWait { .. } => WaitMode::LrWait,
+                        _ => WaitMode::MWait,
+                    },
+                });
                 out.push((
                     src,
                     MemResponse::Wait {
@@ -96,8 +112,14 @@ impl SyncAdapter for LrscAdapter {
                     },
                 ));
             }
-            MemRequest::ScWait { .. } => {
+            MemRequest::ScWait { addr, .. } => {
                 self.stats.scwait_failure += 1;
+                emit(SyncEvent::ScResult {
+                    core: src,
+                    addr,
+                    success: false,
+                    wait: true,
+                });
                 out.push((src, MemResponse::ScWait { success: false }));
             }
             MemRequest::WakeUp { .. } => {

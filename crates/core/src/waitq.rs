@@ -6,7 +6,7 @@
 //! trades hardware for fail-fast behaviour under contention. Its hardware
 //! cost is what motivates Colibri — see the area model in `lrscwait-model`.
 
-use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter};
+use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
 use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode, Word};
 use crate::storage::WordStorage;
 
@@ -78,11 +78,16 @@ impl WaitQueueAdapter {
 
     /// Activates the head entry for `addr` (after a pop or fresh enqueue),
     /// cascading through `mwait` entries whose condition already holds.
+    /// `handoff` records whether the activation was triggered by a
+    /// predecessor leaving the queue (for the emitted
+    /// [`SyncEvent::WaitServed`] events).
     fn activate_next(
         &mut self,
         addr: Addr,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        handoff: bool,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         while let Some(idx) = self.first_index_for(addr) {
             let entry = self.entries[idx];
@@ -93,6 +98,12 @@ impl WaitQueueAdapter {
                 WaitMode::LrWait => {
                     self.entries[idx].active = true;
                     self.entries[idx].valid = true;
+                    emit(SyncEvent::WaitServed {
+                        core: entry.core,
+                        addr,
+                        mode: WaitMode::LrWait,
+                        handoff,
+                    });
                     out.push((
                         entry.core,
                         MemResponse::Wait {
@@ -107,6 +118,12 @@ impl WaitQueueAdapter {
                     if value != entry.expected {
                         // Condition already true: notify and keep cascading.
                         self.entries.remove(idx);
+                        emit(SyncEvent::WaitServed {
+                            core: entry.core,
+                            addr,
+                            mode: WaitMode::MWait,
+                            handoff,
+                        });
                         out.push((
                             entry.core,
                             MemResponse::Wait {
@@ -130,9 +147,11 @@ impl WaitQueueAdapter {
         addr: Addr,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         if self.slot.on_write(addr) {
             self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
         }
         if let Some(idx) = self.first_index_for(addr) {
             let entry = self.entries[idx];
@@ -144,12 +163,19 @@ impl WaitQueueAdapter {
                     if entry.valid {
                         self.entries[idx].valid = false;
                         self.stats.reservations_broken += 1;
+                        emit(SyncEvent::ReservationBroken { addr });
                     }
                 }
                 WaitMode::MWait => {
                     if entry.valid {
                         // Fire the monitor and wake any satisfied followers.
                         self.entries.remove(idx);
+                        emit(SyncEvent::WaitServed {
+                            core: entry.core,
+                            addr,
+                            mode: WaitMode::MWait,
+                            handoff: true,
+                        });
                         out.push((
                             entry.core,
                             MemResponse::Wait {
@@ -157,7 +183,7 @@ impl WaitQueueAdapter {
                                 reserved: true,
                             },
                         ));
-                        self.activate_next(addr, mem, out);
+                        self.activate_next(addr, mem, out, true, emit);
                     }
                 }
             }
@@ -166,12 +192,13 @@ impl WaitQueueAdapter {
 }
 
 impl SyncAdapter for WaitQueueAdapter {
-    fn handle(
+    fn handle_traced(
         &mut self,
         src: CoreId,
         req: &MemRequest,
         mem: &mut dyn WordStorage,
         out: &mut Vec<(CoreId, MemResponse)>,
+        emit: &mut dyn FnMut(SyncEvent),
     ) {
         self.stats.requests += 1;
         match *req {
@@ -187,14 +214,14 @@ impl SyncAdapter for WaitQueueAdapter {
             MemRequest::Store { addr, value, mask } => {
                 self.stats.stores += 1;
                 mem.write_masked(addr, value, mask);
-                self.on_write(addr, mem, out);
+                self.on_write(addr, mem, out, emit);
                 out.push((src, MemResponse::StoreAck));
             }
             MemRequest::Amo { addr, op, operand } => {
                 self.stats.amos += 1;
                 let old = mem.read_word(addr);
                 mem.write_word(addr, op.apply(old, operand));
-                self.on_write(addr, mem, out);
+                self.on_write(addr, mem, out, emit);
                 out.push((src, MemResponse::Amo { old }));
             }
             MemRequest::Lr { addr } => {
@@ -211,9 +238,17 @@ impl SyncAdapter for WaitQueueAdapter {
                 if success {
                     self.stats.sc_success += 1;
                     mem.write_word(addr, value);
-                    self.on_write(addr, mem, out);
                 } else {
                     self.stats.sc_failure += 1;
+                }
+                emit(SyncEvent::ScResult {
+                    core: src,
+                    addr,
+                    success,
+                    wait: false,
+                });
+                if success {
+                    self.on_write(addr, mem, out, emit);
                 }
                 out.push((src, MemResponse::Sc { success }));
             }
@@ -222,6 +257,11 @@ impl SyncAdapter for WaitQueueAdapter {
                 if self.entries.len() >= self.capacity || duplicate {
                     debug_assert!(!duplicate, "core {src} has two outstanding wait ops");
                     self.stats.wait_failfast += 1;
+                    emit(SyncEvent::WaitFailFast {
+                        core: src,
+                        addr,
+                        mode: WaitMode::LrWait,
+                    });
                     out.push((
                         src,
                         MemResponse::Wait {
@@ -232,6 +272,11 @@ impl SyncAdapter for WaitQueueAdapter {
                     return;
                 }
                 self.stats.wait_enqueued += 1;
+                emit(SyncEvent::WaitEnqueued {
+                    core: src,
+                    addr,
+                    mode: WaitMode::LrWait,
+                });
                 self.entries.push(Entry {
                     core: src,
                     addr,
@@ -240,7 +285,7 @@ impl SyncAdapter for WaitQueueAdapter {
                     active: false,
                     valid: false,
                 });
-                self.activate_next(addr, mem, out);
+                self.activate_next(addr, mem, out, false, emit);
             }
             MemRequest::MWait { addr, expected } => {
                 let value = mem.read_word(addr);
@@ -259,6 +304,11 @@ impl SyncAdapter for WaitQueueAdapter {
                 if self.entries.len() >= self.capacity || duplicate {
                     debug_assert!(!duplicate, "core {src} has two outstanding wait ops");
                     self.stats.wait_failfast += 1;
+                    emit(SyncEvent::WaitFailFast {
+                        core: src,
+                        addr,
+                        mode: WaitMode::MWait,
+                    });
                     out.push((
                         src,
                         MemResponse::Wait {
@@ -269,6 +319,11 @@ impl SyncAdapter for WaitQueueAdapter {
                     return;
                 }
                 self.stats.wait_enqueued += 1;
+                emit(SyncEvent::WaitEnqueued {
+                    core: src,
+                    addr,
+                    mode: WaitMode::MWait,
+                });
                 self.entries.push(Entry {
                     core: src,
                     addr,
@@ -277,7 +332,7 @@ impl SyncAdapter for WaitQueueAdapter {
                     active: false,
                     valid: false,
                 });
-                self.activate_next(addr, mem, out);
+                self.activate_next(addr, mem, out, false, emit);
             }
             MemRequest::ScWait { addr, value } => {
                 let pos = self.entries.iter().position(|e| {
@@ -286,22 +341,41 @@ impl SyncAdapter for WaitQueueAdapter {
                 match pos {
                     Some(idx) if self.entries[idx].valid => {
                         self.stats.scwait_success += 1;
+                        emit(SyncEvent::ScResult {
+                            core: src,
+                            addr,
+                            success: true,
+                            wait: true,
+                        });
                         mem.write_word(addr, value);
                         if self.slot.on_write(addr) {
                             self.stats.reservations_broken += 1;
+                            emit(SyncEvent::ReservationBroken { addr });
                         }
                         self.entries.remove(idx);
                         out.push((src, MemResponse::ScWait { success: true }));
-                        self.activate_next(addr, mem, out);
+                        self.activate_next(addr, mem, out, true, emit);
                     }
                     Some(idx) => {
                         self.stats.scwait_failure += 1;
+                        emit(SyncEvent::ScResult {
+                            core: src,
+                            addr,
+                            success: false,
+                            wait: true,
+                        });
                         self.entries.remove(idx);
                         out.push((src, MemResponse::ScWait { success: false }));
-                        self.activate_next(addr, mem, out);
+                        self.activate_next(addr, mem, out, true, emit);
                     }
                     None => {
                         self.stats.scwait_failure += 1;
+                        emit(SyncEvent::ScResult {
+                            core: src,
+                            addr,
+                            success: false,
+                            wait: true,
+                        });
                         out.push((src, MemResponse::ScWait { success: false }));
                     }
                 }

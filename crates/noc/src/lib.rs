@@ -30,5 +30,5 @@
 mod network;
 mod topology;
 
-pub use network::{Network, NetworkStats, NodeId, NodeSpec, Route};
+pub use network::{Network, NetworkStats, NocEvent, NodeId, NodeSpec, Route};
 pub use topology::{LinkSpecs, MempoolTopology, TopologyConfig};

@@ -110,6 +110,40 @@ struct Node<P> {
     queue: VecDeque<Flit<P>>,
 }
 
+/// An observable transport event, emitted through the tracing hooks
+/// ([`Network::try_send_traced`], [`Network::advance_traced`]).
+///
+/// The events carry node ids only — the network is payload-agnostic, so
+/// semantic context (which core, which request) is the caller's to add.
+/// The untraced entry points compile these hooks out entirely (the no-op
+/// closure is monomorphized away), keeping the hot path identical to a
+/// build without tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NocEvent {
+    /// A message entered the network at `node`.
+    Injected {
+        /// First node of the message's route.
+        node: NodeId,
+    },
+    /// An injection attempt was refused because `node`'s queue was full
+    /// (backpressure reached the source).
+    InjectStalled {
+        /// First node of the refused route.
+        node: NodeId,
+    },
+    /// A message left the network at `node` (the end of its route).
+    Delivered {
+        /// Final node of the message's route.
+        node: NodeId,
+    },
+    /// `node`'s front flit could not move because the downstream queue was
+    /// full — one head-of-line blocking occurrence.
+    HolBlocked {
+        /// Blocked node.
+        node: NodeId,
+    },
+}
+
 /// Statistics of a network (for utilization reports and the energy model).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetworkStats {
@@ -216,10 +250,33 @@ impl<P> Network<P> {
     /// Returns the payload back when the first node's queue is full — the
     /// caller must stall and retry (backpressure reaches the source).
     pub fn try_send(&mut self, route: Route, payload: P, now: u64) -> Result<(), P> {
+        self.try_send_traced(route, payload, now, &mut |_| {})
+    }
+
+    /// [`try_send`](Network::try_send) with a tracing hook: `emit` receives
+    /// [`NocEvent::Injected`] on success and [`NocEvent::InjectStalled`] on
+    /// refusal. Behaviour and statistics are identical to the untraced
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back when the first node's queue is full — the
+    /// caller must stall and retry (backpressure reaches the source).
+    pub fn try_send_traced<F>(
+        &mut self,
+        route: Route,
+        payload: P,
+        now: u64,
+        emit: &mut F,
+    ) -> Result<(), P>
+    where
+        F: FnMut(NocEvent),
+    {
         let first = route.hops()[0];
         let node = &mut self.nodes[first as usize];
         if node.queue.len() >= node.spec.capacity {
             self.stats.inject_stalls += 1;
+            emit(NocEvent::InjectStalled { node: first });
             return Err(payload);
         }
         let ready_at = now + u64::from(node.spec.latency);
@@ -230,6 +287,7 @@ impl<P> Network<P> {
             ready_at,
         });
         self.stats.injected += 1;
+        emit(NocEvent::Injected { node: first });
         self.mark_active(first);
         Ok(())
     }
@@ -243,6 +301,19 @@ impl<P> Network<P> {
     /// a saturated bank), which real fabrics implement with round-robin
     /// arbiters. Without it, a retry storm can starve one producer forever.
     pub fn advance(&mut self, now: u64, out: &mut Vec<P>) {
+        self.advance_traced(now, out, &mut |_| {});
+    }
+
+    /// [`advance`](Network::advance) with a tracing hook: `emit` receives
+    /// [`NocEvent::Delivered`] for every payload appended to `out` and
+    /// [`NocEvent::HolBlocked`] for every head-of-line blocking occurrence.
+    /// Behaviour, delivery order and statistics are identical to the
+    /// untraced entry point, which calls this with a no-op closure the
+    /// compiler removes.
+    pub fn advance_traced<F>(&mut self, now: u64, out: &mut Vec<P>, emit: &mut F)
+    where
+        F: FnMut(NocEvent),
+    {
         if self.active.is_empty() {
             return;
         }
@@ -271,6 +342,7 @@ impl<P> Network<P> {
                 if at_last_hop {
                     let flit = node.queue.pop_front().expect("front exists");
                     self.stats.delivered += 1;
+                    emit(NocEvent::Delivered { node: id });
                     out.push(flit.payload);
                 } else {
                     let next = front.route.hops()[usize::from(front.hop) + 1];
@@ -280,6 +352,7 @@ impl<P> Network<P> {
                     };
                     if !next_free {
                         self.stats.hol_blocks += 1;
+                        emit(NocEvent::HolBlocked { node: id });
                         break; // head-of-line blocking
                     }
                     let mut flit = self.nodes[id as usize]

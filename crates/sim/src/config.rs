@@ -42,6 +42,28 @@ pub mod mmio_reg {
 /// Number of MMIO argument registers.
 pub const NUM_ARGS: usize = 8;
 
+/// How the machine schedules core stepping.
+///
+/// Both modes are cycle-accurate and produce bit-identical results —
+/// every cycle count, statistic and benchmark CSV byte (proven
+/// continuously by the differential suites in
+/// `crates/sim/tests/differential.rs` and `tests/differential.rs`); they
+/// differ only in simulation cost. Selected per run through
+/// [`SimConfigBuilder::exec_mode`]; any mode is valid with any
+/// workload or architecture, so the builder accepts both without
+/// further validation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Runnable-set scheduling with lazy parked-core accounting and (in
+    /// `Machine::run`) cycle fast-forwarding: O(events) — the default.
+    #[default]
+    EventDriven,
+    /// Naive stepper: every core visited every cycle with eager per-cycle
+    /// accounting — O(cores × cycles). Kept as the differential-testing
+    /// ground truth and performance baseline.
+    Reference,
+}
+
 /// Core pipeline timing knobs (Snitch-like single-issue in-order core).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoreTiming {
@@ -175,6 +197,8 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Benchmark arguments visible at `ARG0..`.
     pub args: [u32; NUM_ARGS],
+    /// How the machine schedules core stepping (see [`ExecMode`]).
+    pub exec_mode: ExecMode,
 }
 
 impl SimConfig {
@@ -195,6 +219,7 @@ impl SimConfig {
             timing: CoreTiming::default(),
             max_cycles: 10_000_000,
             args: [0; NUM_ARGS],
+            exec_mode: ExecMode::EventDriven,
         }
     }
 
@@ -208,6 +233,7 @@ impl SimConfig {
             timing: CoreTiming::default(),
             max_cycles: 2_000_000,
             args: [0; NUM_ARGS],
+            exec_mode: ExecMode::EventDriven,
         }
     }
 
@@ -304,6 +330,7 @@ pub struct SimConfigBuilder {
     timing: CoreTiming,
     max_cycles: u64,
     args: Vec<(usize, u32)>,
+    exec_mode: ExecMode,
 }
 
 impl Default for SimConfigBuilder {
@@ -323,6 +350,7 @@ impl SimConfigBuilder {
             timing: CoreTiming::default(),
             max_cycles: 2_000_000,
             args: Vec::new(),
+            exec_mode: ExecMode::EventDriven,
         }
     }
 
@@ -385,6 +413,32 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects how the machine schedules core stepping.
+    ///
+    /// [`ExecMode::EventDriven`] (the default) is the O(events)
+    /// runnable-set scheduler; [`ExecMode::Reference`] is the naive
+    /// O(cores × cycles) ground-truth stepper. Results are bit-identical
+    /// either way — pick `Reference` only for differential testing or
+    /// simulator-performance baselining:
+    ///
+    /// ```
+    /// use lrscwait_sim::{ExecMode, SimConfig};
+    ///
+    /// # fn main() -> Result<(), lrscwait_sim::ConfigError> {
+    /// let cfg = SimConfig::builder()
+    ///     .cores(4)
+    ///     .exec_mode(ExecMode::Reference)
+    ///     .build()?;
+    /// assert_eq!(cfg.exec_mode, ExecMode::Reference);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn exec_mode(mut self, mode: ExecMode) -> SimConfigBuilder {
+        self.exec_mode = mode;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -409,6 +463,7 @@ impl SimConfigBuilder {
             timing: self.timing,
             max_cycles: self.max_cycles,
             args,
+            exec_mode: self.exec_mode,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -465,6 +520,22 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.args[0], 7);
         assert_eq!(cfg.args[3], 9);
+    }
+
+    #[test]
+    fn builder_exec_mode_defaults_to_event_driven() {
+        let cfg = SimConfig::builder().cores(2).build().unwrap();
+        assert_eq!(cfg.exec_mode, ExecMode::EventDriven);
+        let cfg = SimConfig::builder()
+            .cores(2)
+            .exec_mode(ExecMode::Reference)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.exec_mode, ExecMode::Reference);
+        assert_eq!(
+            SimConfig::mempool(SyncArch::Lrsc).exec_mode,
+            ExecMode::EventDriven
+        );
     }
 
     #[test]

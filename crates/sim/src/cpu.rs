@@ -8,9 +8,25 @@
 //! exploits.
 
 use lrscwait_isa::{AluOp, AmoOp, Csr, CsrOp, Instr, MemWidth, Reg};
+use lrscwait_trace::OpKind;
 
 use crate::config::CoreTiming;
 use crate::stats::CoreStats;
+
+/// The trace [`OpKind`] a blocking atomic parks a core under — the
+/// "cause" attached to the simulator's park/wake trace events and the
+/// label Perfetto sleep spans carry.
+#[must_use]
+pub fn amo_op_kind(op: AmoOp) -> OpKind {
+    match op {
+        AmoOp::Lr => OpKind::Lr,
+        AmoOp::Sc => OpKind::Sc,
+        AmoOp::LrWait => OpKind::LrWait,
+        AmoOp::ScWait => OpKind::ScWait,
+        AmoOp::MWait => OpKind::MWait,
+        _ => OpKind::Amo,
+    }
+}
 
 /// A decoded program image shared by all cores — and, behind an
 /// [`std::sync::Arc`], by all machines of a sweep: decoding (and the

@@ -46,9 +46,9 @@ mod machine;
 mod stats;
 
 pub use config::{
-    mmio_reg, ConfigError, CoreTiming, SimConfig, SimConfigBuilder, MMIO_BASE, MMIO_SIZE, NUM_ARGS,
-    ROM_BASE,
+    mmio_reg, ConfigError, CoreTiming, ExecMode, SimConfig, SimConfigBuilder, MMIO_BASE, MMIO_SIZE,
+    NUM_ARGS, ROM_BASE,
 };
 pub use cpu::DecodedProgram;
-pub use machine::{ExecMode, Machine, SimError};
+pub use machine::{Machine, SimError};
 pub use stats::{CoreStats, ExitReason, RunSummary, SimStats};

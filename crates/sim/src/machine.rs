@@ -58,6 +58,19 @@
 //! visits *before* the releasing core and a stall cycle to those *after*
 //! it; the event-driven path reproduces this positionally by comparing
 //! core indices at release time.
+//!
+//! # Tracing
+//!
+//! [`Machine::set_tracer`] attaches a `lrscwait-trace` sink that observes
+//! the run as structured events: core park/wake with cause, barrier
+//! arrivals and releases, measured-region markers, request issue, the
+//! bank adapters' synchronization events and the networks' transport
+//! events. Tracing is an *observer, never a steering input*: results are
+//! bit-identical with and without a sink, and the event stream itself is
+//! identical across execution modes (enforced by
+//! `crates/sim/tests/tracing.rs`). With no sink attached — the default —
+//! each emit site is a single predictable branch and the event is never
+//! constructed, so the alloc-free, O(events) hot path is unchanged.
 
 use std::collections::VecDeque;
 use std::error::Error;
@@ -71,10 +84,14 @@ use lrscwait_core::{
 use lrscwait_isa::AmoOp;
 use lrscwait_noc::{MempoolTopology, Network};
 
-use crate::config::{mmio_reg, ConfigError, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE};
+use lrscwait_trace::{NetDir, OpKind, TraceEvent, TraceSink, Tracer, WakeCause};
+
+use crate::config::{
+    mmio_reg, ConfigError, ExecMode, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE,
+};
 use crate::cpu::{
-    extract, store_lanes, Action, Core, CoreState, DecodedProgram, ExecError, MemIntent,
-    PendingKind, PendingMem,
+    amo_op_kind, extract, store_lanes, Action, Core, CoreState, DecodedProgram, ExecError,
+    MemIntent, PendingKind, PendingMem,
 };
 use crate::stats::{ExitReason, RunSummary, SimStats};
 
@@ -223,22 +240,6 @@ impl WordStorage for BankView<'_> {
     }
 }
 
-/// How the machine schedules core stepping.
-///
-/// Both modes are cycle-accurate and produce bit-identical results (see
-/// the module-level *Equivalence guarantee*); they differ only in cost.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Runnable-set scheduling with lazy parked-core accounting and (in
-    /// [`Machine::run`]) cycle fast-forwarding: O(events) — the default.
-    #[default]
-    EventDriven,
-    /// Naive stepper: every core visited every cycle with eager per-cycle
-    /// accounting — O(cores × cycles). Kept as the differential-testing
-    /// ground truth and performance baseline.
-    Reference,
-}
-
 /// The simulated manycore system.
 pub struct Machine {
     cfg: SimConfig,
@@ -257,7 +258,14 @@ pub struct Machine {
     halted: usize,
     barrier_waiting: usize,
     debug_log: Vec<(u64, u32, u32)>,
-    mode: ExecMode,
+    /// Tracing switch: [`Tracer::Off`] by default, in which case every
+    /// emit site is a single predictable branch and results are
+    /// bit-identical to a sink-attached run (tracing observes, it never
+    /// steers).
+    tracer: Tracer,
+    /// Per-core blocking-operation kind (only maintained while tracing;
+    /// gives [`TraceEvent::Wake`] its cause).
+    park_kind: Vec<OpKind>,
     /// Cores in `Running` state, sorted ascending (event-driven Phase 4).
     runnable: Vec<u32>,
     /// Cores that became `Running` outside the Phase 4 walk (response
@@ -377,7 +385,8 @@ impl Machine {
             halted: 0,
             barrier_waiting: 0,
             debug_log: Vec::new(),
-            mode: ExecMode::EventDriven,
+            tracer: Tracer::Off,
+            park_kind: vec![OpKind::Load; num_cores],
             runnable: (0..num_cores as u32).collect(),
             pending_wake: Vec::with_capacity(num_cores),
             dirty_cores: Vec::with_capacity(num_cores),
@@ -399,22 +408,43 @@ impl Machine {
         Ok(machine)
     }
 
-    /// Selects the execution mode (see [`ExecMode`]). Must be called
-    /// before the first cycle.
+    /// The active execution mode, fixed at construction by
+    /// [`SimConfig::exec_mode`] (select it through
+    /// [`crate::SimConfigBuilder::exec_mode`]).
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.cfg.exec_mode
+    }
+
+    /// Attaches a trace sink. Must be called before the first cycle so
+    /// the sink observes a complete run. Emits
+    /// [`TraceEvent::Start`] immediately with the machine geometry.
+    ///
+    /// Tracing never perturbs simulation: cycle counts, statistics and
+    /// memory contents are bit-identical with and without a sink (the
+    /// sink only observes). With no sink attached (the default) every
+    /// emit site reduces to one predictable branch and the event is
+    /// never constructed — the differential and counting-allocator
+    /// suites run untraced and prove the hot path unchanged.
+    ///
+    /// To read results back after [`Machine::run`], hand in a
+    /// [`lrscwait_trace::SharedSink`] clone and keep the other handle.
     ///
     /// # Panics
     ///
-    /// Panics when the machine has already been stepped — the two modes'
-    /// accounting disciplines cannot be mixed mid-run.
-    pub fn set_mode(&mut self, mode: ExecMode) {
-        assert_eq!(self.cycle, 0, "select the execution mode before running");
-        self.mode = mode;
+    /// Panics when the machine has already been stepped.
+    pub fn set_tracer(&mut self, sink: Box<dyn TraceSink>) {
+        assert_eq!(self.cycle, 0, "attach the trace sink before running");
+        self.tracer = Tracer::sink(sink);
+        let cores = self.cores.len() as u32;
+        let banks = self.banks.len() as u32;
+        self.tracer.emit(0, || TraceEvent::Start { cores, banks });
     }
 
-    /// The active execution mode.
+    /// Whether a trace sink is attached.
     #[must_use]
-    pub fn mode(&self) -> ExecMode {
-        self.mode
+    pub fn tracing(&self) -> bool {
+        !self.tracer.is_off()
     }
 
     /// Current cycle count.
@@ -480,7 +510,7 @@ impl Machine {
             adapters.wakeups += s.wakeups;
             adapters.reservations_broken += s.reservations_broken;
         }
-        let lazy = self.mode == ExecMode::EventDriven;
+        let lazy = self.cfg.exec_mode == ExecMode::EventDriven;
         SimStats {
             cores: self
                 .cores
@@ -525,7 +555,7 @@ impl Machine {
     /// breakpoints, faults).
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
         while self.halted < self.cores.len() {
-            if self.mode == ExecMode::EventDriven {
+            if self.cfg.exec_mode == ExecMode::EventDriven {
                 self.fast_forward();
             }
             if self.cycle >= self.cfg.max_cycles {
@@ -608,7 +638,18 @@ impl Machine {
         // Phase 1: requests reach banks.
         let mut req_buf = std::mem::take(&mut self.req_buf);
         req_buf.clear();
-        self.req_net.advance(now, &mut req_buf);
+        if self.tracer.is_off() {
+            self.req_net.advance(now, &mut req_buf);
+        } else {
+            let tracer = &mut self.tracer;
+            self.req_net
+                .advance_traced(now, &mut req_buf, &mut |event| {
+                    tracer.emit(now, || TraceEvent::Noc {
+                        net: NetDir::Request,
+                        event,
+                    });
+                });
+        }
         for msg in &req_buf {
             let bank = msg.bank as usize;
             let mut view = BankView {
@@ -618,7 +659,24 @@ impl Machine {
             };
             let mut out = std::mem::take(&mut self.adapter_out);
             out.clear();
-            self.adapters[bank].handle(msg.src, &msg.req, &mut view, &mut out);
+            if self.tracer.is_off() {
+                self.adapters[bank].handle(msg.src, &msg.req, &mut view, &mut out);
+            } else {
+                let tracer = &mut self.tracer;
+                let bank_id = msg.bank;
+                self.adapters[bank].handle_traced(
+                    msg.src,
+                    &msg.req,
+                    &mut view,
+                    &mut out,
+                    &mut |event| {
+                        tracer.emit(now, || TraceEvent::Sync {
+                            bank: bank_id,
+                            event,
+                        });
+                    },
+                );
+            }
             if self.bank_outbox[bank].is_empty() && !out.is_empty() {
                 self.dirty_banks.push(msg.bank);
             }
@@ -637,7 +695,7 @@ impl Machine {
             for &bank in &dirty {
                 while let Some(&msg) = self.bank_outbox[bank as usize].front() {
                     let route = self.topo.response_route(bank as usize, msg.core as usize);
-                    match self.resp_net.try_send(route, msg, now) {
+                    match self.resp_try_send(route, msg, now) {
                         Ok(()) => {
                             self.bank_outbox[bank as usize].pop_front();
                         }
@@ -655,7 +713,18 @@ impl Machine {
         // Phase 3: responses reach cores (through their Qnodes).
         let mut resp_buf = std::mem::take(&mut self.resp_buf);
         resp_buf.clear();
-        self.resp_net.advance(now, &mut resp_buf);
+        if self.tracer.is_off() {
+            self.resp_net.advance(now, &mut resp_buf);
+        } else {
+            let tracer = &mut self.tracer;
+            self.resp_net
+                .advance_traced(now, &mut resp_buf, &mut |event| {
+                    tracer.emit(now, || TraceEvent::Noc {
+                        net: NetDir::Response,
+                        event,
+                    });
+                });
+        }
         for msg in &resp_buf {
             let c = msg.core as usize;
             let output = self.qnodes[c].on_response(msg.resp);
@@ -664,6 +733,11 @@ impl Machine {
             }
             if let Some(wakeup) = output.wakeup {
                 let bank = self.bank_of(wakeup.addr());
+                self.tracer.emit(now, || TraceEvent::ReqSent {
+                    core: msg.core,
+                    bank,
+                    kind: OpKind::WakeUp,
+                });
                 self.push_outbox(
                     c,
                     ReqMsg {
@@ -676,7 +750,7 @@ impl Machine {
         }
         self.resp_buf = resp_buf;
 
-        match self.mode {
+        match self.cfg.exec_mode {
             ExecMode::EventDriven => {
                 // Phase 4: step the runnable cores only.
                 self.merge_pending_wakes();
@@ -735,12 +809,55 @@ impl Machine {
     fn drain_core_outbox(&mut self, c: usize, now: u64) {
         while let Some(&msg) = self.core_outbox[c].front() {
             let route = self.topo.request_route(c, msg.bank as usize);
-            match self.req_net.try_send(route, msg, now) {
+            match self.req_try_send(route, msg, now) {
                 Ok(()) => {
                     self.core_outbox[c].pop_front();
                 }
                 Err(_) => break,
             }
+        }
+    }
+
+    /// Request-network injection with the tracing hook applied when a
+    /// sink is attached (identical behaviour either way).
+    fn req_try_send(
+        &mut self,
+        route: lrscwait_noc::Route,
+        msg: ReqMsg,
+        now: u64,
+    ) -> Result<(), ReqMsg> {
+        if self.tracer.is_off() {
+            self.req_net.try_send(route, msg, now)
+        } else {
+            let tracer = &mut self.tracer;
+            self.req_net.try_send_traced(route, msg, now, &mut |event| {
+                tracer.emit(now, || TraceEvent::Noc {
+                    net: NetDir::Request,
+                    event,
+                });
+            })
+        }
+    }
+
+    /// Response-network injection with the tracing hook applied when a
+    /// sink is attached (identical behaviour either way).
+    fn resp_try_send(
+        &mut self,
+        route: lrscwait_noc::Route,
+        msg: RespMsg,
+        now: u64,
+    ) -> Result<(), RespMsg> {
+        if self.tracer.is_off() {
+            self.resp_net.try_send(route, msg, now)
+        } else {
+            let tracer = &mut self.tracer;
+            self.resp_net
+                .try_send_traced(route, msg, now, &mut |event| {
+                    tracer.emit(now, || TraceEvent::Noc {
+                        net: NetDir::Response,
+                        event,
+                    });
+                })
         }
     }
 
@@ -819,15 +936,29 @@ impl Machine {
             | MemResponse::Lr { value }
             | MemResponse::Wait { value, .. } => {
                 self.cores[c].complete(value, now);
+                self.emit_wake(c, now);
                 self.wake_from_sleep(c, now);
             }
             MemResponse::Sc { success } | MemResponse::ScWait { success } => {
                 self.cores[c].complete(u32::from(!success), now);
+                self.emit_wake(c, now);
                 self.wake_from_sleep(c, now);
             }
             MemResponse::SuccessorUpdate { .. } => {
                 unreachable!("SuccessorUpdate must be consumed by the Qnode")
             }
+        }
+    }
+
+    /// Emits the [`TraceEvent::Wake`] for a blocking-response delivery,
+    /// with the operation the core parked on as the cause.
+    fn emit_wake(&mut self, c: usize, now: u64) {
+        if !self.tracer.is_off() {
+            let cause = WakeCause::Response(self.park_kind[c]);
+            self.tracer.emit(now, || TraceEvent::Wake {
+                core: c as u32,
+                cause,
+            });
         }
     }
 
@@ -837,7 +968,7 @@ impl Machine {
     /// now-1`; the core runs again in this cycle's Phase 4) and queue the
     /// core for the runnable set.
     fn wake_from_sleep(&mut self, c: usize, now: u64) {
-        if self.mode == ExecMode::EventDriven {
+        if self.cfg.exec_mode == ExecMode::EventDriven {
             self.cores[c].stats.sleep_cycles += now - 1 - self.cores[c].parked_at;
             self.pending_wake.push(c as u32);
         }
@@ -914,6 +1045,8 @@ impl Machine {
         if self.cores[c].state != CoreState::Halted {
             self.cores[c].state = CoreState::Halted;
             self.halted += 1;
+            self.tracer
+                .emit(now, || TraceEvent::Halt { core: c as u32 });
             self.release_barrier_if_ready(now, c);
         }
     }
@@ -931,11 +1064,18 @@ impl Machine {
     fn release_barrier_if_ready(&mut self, now: u64, releaser: usize) {
         let running = self.cores.len() - self.halted;
         if running > 0 && self.barrier_waiting == running {
-            let event_driven = self.mode == ExecMode::EventDriven;
+            let event_driven = self.cfg.exec_mode == ExecMode::EventDriven;
+            let waiting = self.barrier_waiting as u32;
+            self.tracer
+                .emit(now, || TraceEvent::BarrierRelease { waiting });
             for (x, core) in self.cores.iter_mut().enumerate() {
                 if core.state == CoreState::Barrier {
                     core.state = CoreState::Running;
                     core.ready_at = now + 1;
+                    self.tracer.emit(now, || TraceEvent::Wake {
+                        core: x as u32,
+                        cause: WakeCause::Barrier,
+                    });
                     if event_driven {
                         if x > releaser {
                             core.stats.barrier_cycles += now - 1 - core.parked_at;
@@ -1004,7 +1144,8 @@ impl Machine {
                 self.cores[c].state = CoreState::WaitingMem;
                 self.cores[c].parked_at = now;
                 self.cores[c].pc += 4;
-                self.push_request(c, MemRequest::Load { addr: addr & !3 });
+                self.emit_park(c, OpKind::Load, now);
+                self.push_request(c, MemRequest::Load { addr: addr & !3 }, now);
                 Ok(())
             }
             MemIntent::Store { addr, value, width } => {
@@ -1033,6 +1174,7 @@ impl Machine {
                         value: lane_value,
                         mask,
                     },
+                    now,
                 );
                 Ok(())
             }
@@ -1086,15 +1228,33 @@ impl Machine {
                 self.cores[c].state = CoreState::WaitingMem;
                 self.cores[c].parked_at = now;
                 self.cores[c].pc += 4;
-                self.push_request(c, req);
+                self.emit_park(c, amo_op_kind(op), now);
+                self.push_request(c, req, now);
                 Ok(())
             }
         }
     }
 
-    fn push_request(&mut self, c: usize, req: MemRequest) {
+    /// Marks a core parked on a blocking operation, remembering the
+    /// cause for the later [`TraceEvent::Wake`] (tracing only).
+    fn emit_park(&mut self, c: usize, kind: OpKind, now: u64) {
+        if !self.tracer.is_off() {
+            self.park_kind[c] = kind;
+            self.tracer.emit(now, || TraceEvent::Park {
+                core: c as u32,
+                cause: kind,
+            });
+        }
+    }
+
+    fn push_request(&mut self, c: usize, req: MemRequest, now: u64) {
         let wakeup = self.qnodes[c].on_core_request(&req);
         let bank = self.bank_of(req.addr());
+        self.tracer.emit(now, || TraceEvent::ReqSent {
+            core: c as u32,
+            bank,
+            kind: req_kind(&req),
+        });
         self.push_outbox(
             c,
             ReqMsg {
@@ -1105,6 +1265,11 @@ impl Machine {
         );
         if let Some(wk) = wakeup {
             let wk_bank = self.bank_of(wk.addr());
+            self.tracer.emit(now, || TraceEvent::ReqSent {
+                core: c as u32,
+                bank: wk_bank,
+                kind: OpKind::WakeUp,
+            });
             self.push_outbox(
                 c,
                 ReqMsg {
@@ -1138,19 +1303,40 @@ impl Machine {
                     if self.cores[c].stats.region_start.is_none() {
                         self.cores[c].stats.region_start = Some(now);
                     }
+                    self.tracer
+                        .emit(now, || TraceEvent::RegionEnter { core: c as u32 });
                 } else {
                     self.cores[c].stats.region_end = Some(now);
+                    self.tracer
+                        .emit(now, || TraceEvent::RegionExit { core: c as u32 });
                 }
             }
             mmio_reg::BARRIER => {
                 self.cores[c].state = CoreState::Barrier;
                 self.cores[c].parked_at = now;
                 self.barrier_waiting += 1;
+                self.tracer
+                    .emit(now, || TraceEvent::BarrierArrive { core: c as u32 });
                 self.release_barrier_if_ready(now, c);
             }
             mmio_reg::PRINT => self.debug_log.push((now, c as u32, value)),
             _ => {}
         }
+    }
+}
+
+/// Trace [`OpKind`] of a request (what a core sent towards memory).
+fn req_kind(req: &MemRequest) -> OpKind {
+    match req {
+        MemRequest::Load { .. } => OpKind::Load,
+        MemRequest::Store { .. } => OpKind::Store,
+        MemRequest::Amo { .. } => OpKind::Amo,
+        MemRequest::Lr { .. } => OpKind::Lr,
+        MemRequest::Sc { .. } => OpKind::Sc,
+        MemRequest::LrWait { .. } => OpKind::LrWait,
+        MemRequest::ScWait { .. } => OpKind::ScWait,
+        MemRequest::MWait { .. } => OpKind::MWait,
+        MemRequest::WakeUp { .. } => OpKind::WakeUp,
     }
 }
 

@@ -20,8 +20,9 @@ fn assert_equivalent(src: &str, cfg: SimConfig, what: &str) -> (RunSummary, SimS
     assert_eq!(fast.mode(), ExecMode::EventDriven, "event-driven default");
     let fast_summary = fast.run().expect("fast run");
 
-    let mut reference = Machine::with_decoded(cfg, decoded).expect("loads");
-    reference.set_mode(ExecMode::Reference);
+    let mut ref_cfg = cfg;
+    ref_cfg.exec_mode = ExecMode::Reference;
+    let mut reference = Machine::with_decoded(ref_cfg, decoded).expect("loads");
     let ref_summary = reference.run().expect("reference run");
 
     assert_eq!(fast_summary, ref_summary, "{what}: run summary");
@@ -343,8 +344,9 @@ fn step_cycle_equivalence_without_run_loop() {
     let decoded = Machine::decode(&program).unwrap();
     let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
     let mut fast = Machine::with_decoded(cfg, decoded.clone()).unwrap();
-    let mut reference = Machine::with_decoded(cfg, decoded).unwrap();
-    reference.set_mode(ExecMode::Reference);
+    let mut ref_cfg = cfg;
+    ref_cfg.exec_mode = ExecMode::Reference;
+    let mut reference = Machine::with_decoded(ref_cfg, decoded).unwrap();
     for cycle in 0..400 {
         fast.step_cycle().unwrap();
         reference.step_cycle().unwrap();

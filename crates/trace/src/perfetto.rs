@@ -1,0 +1,438 @@
+//! Perfetto / Chrome `about:tracing` JSON exporter.
+//!
+//! Produces the [Trace Event Format] consumed by <https://ui.perfetto.dev>
+//! and `chrome://tracing`: one thread track per core carrying sleep,
+//! barrier and measured-region duration spans plus instants for SC
+//! failures and Colibri hand-off messages, and process-level counter
+//! tracks for the two quantities the paper's argument hinges on — how
+//! many cores are waiting inside a hardware queue (`wait_queue_depth`)
+//! and how many are runnable (`runnable_cores`).
+//!
+//! Timestamps are simulated cycles, written to the `ts` field one
+//! microsecond per cycle (the viewer's time ruler then reads directly in
+//! cycles).
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use lrscwait_core::SyncEvent;
+
+use crate::{OpKind, TraceEvent, TraceSink};
+
+/// The single simulated process all tracks live under.
+const PID: u32 = 1;
+
+/// Streaming Perfetto JSON builder (see the module docs).
+#[derive(Debug, Default)]
+pub struct PerfettoSink {
+    /// Serialized trace-event objects, in emission order.
+    events: Vec<String>,
+    /// Per-core stack of open duration spans (names of pending `"B"`s).
+    open: Vec<Vec<&'static str>>,
+    /// Cores runnable right now (seeded from [`TraceEvent::Start`]).
+    runnable: i64,
+    /// Cores currently enqueued in some reservation queue.
+    wait_depth: i64,
+    /// Latest cycle seen (dangling spans close here in [`finish`]).
+    ///
+    /// [`finish`]: PerfettoSink::finish
+    last_cycle: u64,
+    /// Optional cap on buffered trace events (see
+    /// [`with_event_limit`](PerfettoSink::with_event_limit)).
+    event_limit: Option<usize>,
+    /// Events dropped after the cap was reached.
+    truncated: u64,
+}
+
+impl PerfettoSink {
+    /// An empty exporter with no event cap.
+    #[must_use]
+    pub fn new() -> PerfettoSink {
+        PerfettoSink::default()
+    }
+
+    /// Caps the number of buffered trace events. The sink buffers one
+    /// small JSON string per event, so an unexpectedly long or
+    /// retry-storming run can otherwise exhaust host memory; once the
+    /// cap is reached the trace is *frozen* — later events are counted
+    /// but not recorded (open spans still close cleanly in
+    /// [`finish`](PerfettoSink::finish)), and the truncation is reported
+    /// through [`truncated`](PerfettoSink::truncated) and as a
+    /// `trace.truncated` instant in the document. Never truncate
+    /// silently: callers should surface the count to the user.
+    #[must_use]
+    pub fn with_event_limit(mut self, limit: usize) -> PerfettoSink {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Events dropped because the event cap was reached (0 = complete).
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Number of trace-event objects produced so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push_meta(&mut self, tid: u32, what: &str, name: &str) {
+        self.events.push(format!(
+            r#"{{"ph":"M","pid":{PID},"tid":{tid},"name":"{what}","args":{{"name":"{name}"}}}}"#
+        ));
+    }
+
+    fn push_span_begin(&mut self, cycle: u64, core: u32, name: &'static str, arg: &str) {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            r#"{{"ph":"B","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}""#
+        );
+        if !arg.is_empty() {
+            let _ = write!(s, r#","args":{{"what":"{arg}"}}"#);
+        }
+        s.push('}');
+        self.events.push(s);
+        if let Some(stack) = self.open.get_mut(core as usize) {
+            stack.push(name);
+        }
+    }
+
+    fn push_span_end(&mut self, cycle: u64, core: u32) {
+        if let Some(name) = self
+            .open
+            .get_mut(core as usize)
+            .and_then(std::vec::Vec::pop)
+        {
+            self.events.push(format!(
+                r#"{{"ph":"E","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}"}}"#
+            ));
+        }
+    }
+
+    fn push_instant(&mut self, cycle: u64, core: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"ph":"i","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}","s":"t"}}"#
+        ));
+    }
+
+    fn push_counter(&mut self, cycle: u64, name: &str, key: &str, value: i64) {
+        self.events.push(format!(
+            r#"{{"ph":"C","pid":{PID},"ts":{cycle},"name":"{name}","args":{{"{key}":{value}}}}}"#
+        ));
+    }
+
+    fn runnable_delta(&mut self, cycle: u64, delta: i64) {
+        self.runnable += delta;
+        let value = self.runnable;
+        self.push_counter(cycle, "runnable_cores", "runnable", value);
+    }
+
+    fn depth_delta(&mut self, cycle: u64, delta: i64) {
+        self.wait_depth += delta;
+        let value = self.wait_depth;
+        self.push_counter(cycle, "wait_queue_depth", "waiting", value);
+    }
+
+    /// Renders the complete JSON document. Dangling duration spans (cores
+    /// still parked when the run ended) are closed at the last recorded
+    /// cycle so every `"B"` has its `"E"`.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 80);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: &str, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(s);
+        };
+        for event in &self.events {
+            push(event, &mut out);
+        }
+        for (core, stack) in self.open.iter().enumerate() {
+            for name in stack.iter().rev() {
+                push(
+                    &format!(
+                        r#"{{"ph":"E","pid":{PID},"tid":{core},"ts":{},"name":"{name}"}}"#,
+                        self.last_cycle
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        if self.truncated > 0 {
+            push(
+                &format!(
+                    r#"{{"ph":"i","pid":{PID},"tid":0,"ts":{},"name":"trace.truncated","s":"g","args":{{"dropped_events":{}}}}}"#,
+                    self.last_cycle, self.truncated
+                ),
+                &mut out,
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl TraceSink for PerfettoSink {
+    fn record(&mut self, cycle: u64, event: TraceEvent) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        if self
+            .event_limit
+            .is_some_and(|limit| self.events.len() >= limit)
+        {
+            self.truncated += 1;
+            return;
+        }
+        match event {
+            TraceEvent::Start { cores, .. } => {
+                self.open = vec![Vec::new(); cores as usize];
+                self.runnable = i64::from(cores);
+                self.push_meta(0, "process_name", "lrscwait machine");
+                for core in 0..cores {
+                    let name = format!("core {core}");
+                    self.push_meta(core, "thread_name", &name);
+                }
+                self.push_counter(cycle, "runnable_cores", "runnable", i64::from(cores));
+                self.push_counter(cycle, "wait_queue_depth", "waiting", 0);
+            }
+            TraceEvent::Park { core, cause } => {
+                self.push_span_begin(cycle, core, "sleep", cause.label());
+                self.runnable_delta(cycle, -1);
+            }
+            TraceEvent::Wake { core, .. } => {
+                self.push_span_end(cycle, core);
+                self.runnable_delta(cycle, 1);
+            }
+            TraceEvent::BarrierArrive { core } => {
+                self.push_span_begin(cycle, core, "barrier", "");
+                self.runnable_delta(cycle, -1);
+            }
+            TraceEvent::BarrierRelease { .. } => {}
+            TraceEvent::RegionEnter { core } => {
+                self.push_span_begin(cycle, core, "region", "");
+            }
+            TraceEvent::RegionExit { core } => {
+                self.push_span_end(cycle, core);
+            }
+            TraceEvent::Halt { core } => {
+                while self
+                    .open
+                    .get(core as usize)
+                    .is_some_and(|stack| !stack.is_empty())
+                {
+                    self.push_span_end(cycle, core);
+                }
+                self.push_instant(cycle, core, "halt");
+                self.runnable_delta(cycle, -1);
+            }
+            TraceEvent::Sync { event, .. } => match event {
+                SyncEvent::WaitEnqueued { .. } => self.depth_delta(cycle, 1),
+                SyncEvent::WaitServed { .. } => self.depth_delta(cycle, -1),
+                SyncEvent::WaitFailFast { core, .. } => {
+                    self.push_instant(cycle, core, "wait.failfast");
+                }
+                SyncEvent::ScResult {
+                    core,
+                    success: false,
+                    wait,
+                    ..
+                } => {
+                    self.push_instant(cycle, core, if wait { "scwait.fail" } else { "sc.fail" });
+                }
+                SyncEvent::ScResult { .. } => {}
+                SyncEvent::SuccessorUpdate { predecessor, .. } => {
+                    self.push_instant(cycle, predecessor, "succ.update");
+                }
+                SyncEvent::WakeupPromoted { successor, .. } => {
+                    self.push_instant(cycle, successor, "promoted");
+                }
+                SyncEvent::ReservationBroken { .. } => {}
+            },
+            TraceEvent::ReqSent { core, kind, .. } => {
+                if kind == OpKind::WakeUp {
+                    self.push_instant(cycle, core, "wakeup.sent");
+                }
+            }
+            TraceEvent::Noc { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, WakeCause};
+
+    fn feed(sink: &mut PerfettoSink, stream: &[(u64, TraceEvent)]) {
+        for &(cycle, event) in stream {
+            sink.record(cycle, event);
+        }
+    }
+
+    #[test]
+    fn produces_valid_json_with_per_core_tracks() {
+        let mut sink = PerfettoSink::new();
+        feed(
+            &mut sink,
+            &[
+                (0, TraceEvent::Start { cores: 2, banks: 4 }),
+                (
+                    3,
+                    TraceEvent::Park {
+                        core: 0,
+                        cause: OpKind::LrWait,
+                    },
+                ),
+                (
+                    9,
+                    TraceEvent::Wake {
+                        core: 0,
+                        cause: WakeCause::Response(OpKind::LrWait),
+                    },
+                ),
+                (11, TraceEvent::BarrierArrive { core: 1 }),
+                (12, TraceEvent::Halt { core: 0 }),
+                (12, TraceEvent::Halt { core: 1 }),
+            ],
+        );
+        let text = sink.finish();
+        let doc = json::parse(&text).expect("exported trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Both cores have a thread_name metadata record.
+        for core in 0..2 {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(json::Json::as_str) == Some("M")
+                        && e.get("tid").and_then(json::Json::as_f64) == Some(f64::from(core))
+                }),
+                "core {core} track missing"
+            );
+        }
+        // The sleep span is closed (B/E balance per tid).
+        let b = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("B"))
+            .count();
+        let e = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("E"))
+            .count();
+        assert_eq!(b, e, "every B span must be closed");
+    }
+
+    #[test]
+    fn counters_track_runnable_and_depth() {
+        let mut sink = PerfettoSink::new();
+        feed(
+            &mut sink,
+            &[
+                (0, TraceEvent::Start { cores: 4, banks: 8 }),
+                (
+                    2,
+                    TraceEvent::Sync {
+                        bank: 0,
+                        event: SyncEvent::WaitEnqueued {
+                            core: 1,
+                            addr: 0x40,
+                            mode: lrscwait_core::WaitMode::LrWait,
+                        },
+                    },
+                ),
+                (
+                    5,
+                    TraceEvent::Sync {
+                        bank: 0,
+                        event: SyncEvent::WaitServed {
+                            core: 1,
+                            addr: 0x40,
+                            mode: lrscwait_core::WaitMode::LrWait,
+                            handoff: true,
+                        },
+                    },
+                ),
+            ],
+        );
+        let text = sink.finish();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let depth_values: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(json::Json::as_str) == Some("wait_queue_depth"))
+            .filter_map(|e| e.get("args")?.get("waiting")?.as_f64())
+            .collect();
+        assert_eq!(depth_values, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn event_limit_freezes_trace_and_reports_truncation() {
+        let mut sink = PerfettoSink::new().with_event_limit(4);
+        sink.record(0, TraceEvent::Start { cores: 1, banks: 1 });
+        for cycle in 1..100 {
+            sink.record(
+                cycle,
+                TraceEvent::Park {
+                    core: 0,
+                    cause: OpKind::Lr,
+                },
+            );
+            sink.record(
+                cycle,
+                TraceEvent::Wake {
+                    core: 0,
+                    cause: WakeCause::Response(OpKind::Lr),
+                },
+            );
+        }
+        assert!(sink.truncated() > 0, "cap must have engaged");
+        let text = sink.finish();
+        let doc = json::parse(&text).expect("truncated trace still parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| { e.get("name").and_then(json::Json::as_str) == Some("trace.truncated") }),
+            "truncation must be reported in the document"
+        );
+    }
+
+    #[test]
+    fn dangling_spans_close_in_finish() {
+        let mut sink = PerfettoSink::new();
+        feed(
+            &mut sink,
+            &[
+                (0, TraceEvent::Start { cores: 1, banks: 1 }),
+                (
+                    4,
+                    TraceEvent::Park {
+                        core: 0,
+                        cause: OpKind::MWait,
+                    },
+                ),
+            ],
+        );
+        let text = sink.finish();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("ph").and_then(json::Json::as_str) == Some("E")),
+            "finish must close the open sleep span"
+        );
+    }
+}

@@ -51,10 +51,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("host debug log     = {:?}", machine.debug_log());
     println!("scwait failures    = {}", stats.adapters.scwait_failure);
     println!("successor updates  = {}", stats.adapters.successor_updates);
+
+    // Where did the cycles go? Every visited core-cycle lands in exactly
+    // one bucket (see the `CoreStats` rustdoc): issuing instructions,
+    // stalled-but-runnable, asleep waiting on memory (the polling-free
+    // LRSCwait win — parked in the reservation queue), or at the barrier.
+    let active = stats.total_active_cycles();
+    let stall = stats.total_stall_cycles();
+    let sleep = stats.total_sleep_cycles();
+    let barrier = stats.total_barrier_cycles();
+    let total = (active + stall + sleep + barrier).max(1);
+    let pct = |v: u64| 100.0 * v as f64 / total as f64;
+    println!("cycle split across {} core-cycles:", total);
     println!(
-        "core sleep cycles  = {} (waiting without polling)",
-        stats.cores.iter().map(|c| c.sleep_cycles).sum::<u64>()
+        "  active  = {active:>6} ({:>5.1}%) issuing instructions",
+        pct(active)
     );
+    println!(
+        "  stall   = {stall:>6} ({:>5.1}%) runnable, pipeline/backpressure",
+        pct(stall)
+    );
+    println!(
+        "  sleep   = {sleep:>6} ({:>5.1}%) parked in a wait queue — no polling traffic",
+        pct(sleep)
+    );
+    println!(
+        "  barrier = {barrier:>6} ({:>5.1}%) parked at the barrier",
+        pct(barrier)
+    );
+
     assert_eq!(machine.read_word(program.symbol("counter")), 16);
+    assert!(sleep > 0, "contended lrwait kernels must sleep, not poll");
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | [`asm`](lrscwait_asm) | Assembler for benchmark kernels |
 //! | [`noc`](lrscwait_noc) | Backpressured hierarchical interconnect |
 //! | [`sim`](lrscwait_sim) | Cycle-accurate MemPool-like manycore simulator |
+//! | [`trace`](lrscwait_trace) | Zero-overhead tracing: structured events, Perfetto export, handoff/occupancy analysis |
 //! | [`kernels`](lrscwait_kernels) | The paper's benchmarks as real assembly, behind the `Workload` trait |
 //! | [`model`](lrscwait_model) | Area (Table I) and energy (Table II) models |
 //! | `lrscwait-bench` | `Experiment`/`Sweep` runners regenerating every figure and table |
@@ -94,3 +95,4 @@ pub use lrscwait_kernels as kernels;
 pub use lrscwait_model as model;
 pub use lrscwait_noc as noc;
 pub use lrscwait_sim as sim;
+pub use lrscwait_trace as trace;
