@@ -5,8 +5,8 @@
 use std::process::ExitCode;
 
 use lrscwait_bench::{
-    check_claim, find_throughput, markdown_table, write_bench_json, write_csv, BenchArgs,
-    BenchError, Experiment, Measurement, PerfSummary,
+    check_claim, find_throughput, markdown_table, write_bench_json, write_csv, write_trace_csv,
+    BenchArgs, BenchError, Experiment, Measurement, PerfSummary, TracePoint,
 };
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{HistImpl, HistogramKernel};
@@ -58,17 +58,37 @@ fn run() -> Result<(), BenchError> {
                 .map(move |&b| (label.to_string(), impl_, arch, b))
         })
         .collect();
-    let measurements = args.sweep("fig3").run(points, |(label, impl_, arch, b)| {
+    let trace = args.trace;
+    let results = args.sweep("fig3").run(points, |(label, impl_, arch, b)| {
         let cfg = SimConfig::builder().mempool().arch(arch).build()?;
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
-        let m = Experiment::new(&kernel, cfg).label(label).x(b).run()?;
+        let exp = Experiment::new(&kernel, cfg).label(label).x(b);
+        // With --trace, every point also collects its synchronization
+        // analysis (handoff latency distribution) from the event stream.
+        let (m, analysis) = if trace {
+            let (m, analysis) = exp.analyzed()?;
+            (m, Some(analysis))
+        } else {
+            (exp.run()?, None)
+        };
         eprintln!(
             "fig3 {} bins={b}: {:.4} updates/cycle",
             m.label, m.throughput
         );
-        Ok(m)
+        Ok((m, analysis))
     })?;
+    let measurements: Vec<Measurement> = results.iter().map(|(m, _)| m.clone()).collect();
+    if trace {
+        let trace_points: Vec<TracePoint> = results
+            .iter()
+            .filter_map(|(m, a)| {
+                a.as_ref()
+                    .map(|a| TracePoint::new(m.label.clone(), m.x, a.clone()))
+            })
+            .collect();
+        write_trace_csv(&args.out, "fig3", &trace_points)?;
+    }
 
     let perf = PerfSummary::from_measurements("fig3", &measurements);
     perf.log();

@@ -5,8 +5,8 @@
 use std::process::ExitCode;
 
 use lrscwait_bench::{
-    check_claim, find_throughput, markdown_table, write_bench_json, write_csv, BenchArgs,
-    BenchError, Experiment, Measurement, PerfSummary,
+    check_claim, find_throughput, markdown_table, write_bench_json, write_csv, write_trace_csv,
+    BenchArgs, BenchError, Experiment, Measurement, PerfSummary, TracePoint,
 };
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{QueueImpl, QueueKernel};
@@ -53,7 +53,8 @@ fn run() -> Result<(), BenchError> {
         })
         .collect();
 
-    let measurements = args
+    let trace = args.trace;
+    let results = args
         .sweep("fig6")
         .run(points, |(label, impl_, arch, active)| {
             let cfg = SimConfig::builder()
@@ -63,13 +64,33 @@ fn run() -> Result<(), BenchError> {
                 .build()?;
             // Non-participating cores halt immediately inside the kernel.
             let kernel = QueueKernel::new(impl_, iters, active);
-            let m = Experiment::new(&kernel, cfg).label(label).x(active).run()?;
+            let exp = Experiment::new(&kernel, cfg).label(label).x(active);
+            // With --trace, every point also collects its synchronization
+            // analysis (handoff latency distribution) from the event
+            // stream — the per-handoff evidence behind the queue curve.
+            let (m, analysis) = if trace {
+                let (m, analysis) = exp.analyzed()?;
+                (m, Some(analysis))
+            } else {
+                (exp.run()?, None)
+            };
             eprintln!(
                 "fig6 {} cores={active}: {:.4} accesses/cycle [{:.4}, {:.4}]",
                 m.label, m.throughput, m.lo, m.hi
             );
-            Ok(m)
+            Ok((m, analysis))
         })?;
+    let measurements: Vec<Measurement> = results.iter().map(|(m, _)| m.clone()).collect();
+    if trace {
+        let trace_points: Vec<TracePoint> = results
+            .iter()
+            .filter_map(|(m, a)| {
+                a.as_ref()
+                    .map(|a| TracePoint::new(m.label.clone(), m.x, a.clone()))
+            })
+            .collect();
+        write_trace_csv(&args.out, "fig6", &trace_points)?;
+    }
 
     let perf = PerfSummary::from_measurements("fig6", &measurements);
     perf.log();

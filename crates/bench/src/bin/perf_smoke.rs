@@ -1,12 +1,23 @@
 //! perf_smoke — simulator-performance smoke test and regression guard.
 //!
-//! Runs the acceptance scenario for the event-driven scheduler: the
-//! paper's full 256-core MemPool geometry with every core contending on
-//! one Colibri-owned concurrent queue, so at any instant almost the whole
-//! machine is asleep in hardware wait queues. The scenario is executed on
-//! both the event-driven scheduler and the naive reference stepper,
-//! verifying bit-identical results and measuring the wall-clock speedup,
-//! then writes the aggregate throughput to `<out>/BENCH_sim.json`.
+//! Three measurements on the paper's full 256-core MemPool geometry:
+//!
+//! 1. **Event-driven vs reference** on the mostly-sleeping Colibri queue
+//!    (every core contending on one LRSCwait-owned queue, so at any
+//!    instant almost the whole machine is asleep in hardware wait
+//!    queues): verifies bit-identical results and measures the O(events)
+//!    scheduler's wall-clock speedup.
+//! 2. **Sharded vs single-sharded** on the same queue scenario: verifies
+//!    the bank-sharded worker pool is bit-identical too, and reports its
+//!    throughput. (This scenario has little per-cycle parallelism by
+//!    design — it exists to prove sharding never corrupts the
+//!    mostly-asleep fast path.)
+//! 3. **Sharded vs single-sharded** on a busy scenario (all 256 cores
+//!    hammering a 1024-bin histogram, heavy per-cycle bank service):
+//!    the configuration sharding is *for*. The speedup is printed and
+//!    recorded in `BENCH_sim.json`; it is only enforced when the host
+//!    actually has `>= shards` CPUs (a single-CPU container cannot
+//!    demonstrate parallel speedup, and CI hosts vary).
 //!
 //! With `--baseline FILE` (CI), the measured `sim_cycles_per_sec` is
 //! compared against the committed baseline and the run fails when
@@ -15,20 +26,41 @@
 use std::process::ExitCode;
 
 use lrscwait_bench::{
-    check_claim, write_bench_json, BenchArgs, BenchError, Experiment, PerfSummary,
+    check_claim, write_bench_json, BenchArgs, BenchError, Experiment, Measurement, PerfSummary,
 };
 use lrscwait_core::SyncArch;
-use lrscwait_kernels::{QueueImpl, QueueKernel};
+use lrscwait_kernels::{HistImpl, HistogramKernel, QueueImpl, QueueKernel};
 use lrscwait_sim::SimConfig;
+
+/// Shard count exercised by the parallel smoke.
+const SHARDS: usize = 4;
 
 fn main() -> ExitCode {
     lrscwait_bench::run_main("perf_smoke", run)
+}
+
+fn report(name: &str, m: &Measurement) {
+    eprintln!(
+        "perf_smoke: {name}: {} cycles in {:.3}s ({:.2} Mcycles/s)",
+        m.cycles,
+        m.host_seconds,
+        m.sim_cycles_per_sec() / 1e6
+    );
+}
+
+fn speedup(base: &Measurement, improved: &Measurement) -> f64 {
+    if improved.host_seconds > 0.0 {
+        base.host_seconds / improved.host_seconds
+    } else {
+        0.0
+    }
 }
 
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::from_env()?;
     let iters = if args.quick { 4 } else { 64 };
     let cores = 256;
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let cfg = SimConfig::builder()
         .mempool()
         .arch(SyncArch::Colibri { queues: 4 })
@@ -36,41 +68,85 @@ fn run() -> Result<(), BenchError> {
         .build()?;
     let kernel = QueueKernel::new(QueueImpl::LrscWaitDirect, iters, cores);
 
+    // 1. Event-driven vs reference on the mostly-sleeping queue.
     eprintln!("perf_smoke: {cores}-core Colibri queue, {iters} iterations/core");
     let fast = Experiment::new(&kernel, cfg)
         .label("event-driven")
         .x(cores)
         .run()?;
-    eprintln!(
-        "perf_smoke: event-driven: {} cycles in {:.3}s ({:.2} Mcycles/s)",
-        fast.cycles,
-        fast.host_seconds,
-        fast.sim_cycles_per_sec() / 1e6
-    );
+    report("event-driven", &fast);
     let reference = Experiment::new(&kernel, cfg)
         .label("reference")
         .x(cores)
         .reference()
         .run()?;
-    eprintln!(
-        "perf_smoke: reference:    {} cycles in {:.3}s ({:.2} Mcycles/s)",
-        reference.cycles,
-        reference.host_seconds,
-        reference.sim_cycles_per_sec() / 1e6
-    );
+    report("reference   ", &reference);
 
     check_claim(
         fast.cycles == reference.cycles && fast.stats == reference.stats,
         "event-driven and reference runs must be bit-identical",
     )?;
 
-    let speedup = if fast.host_seconds > 0.0 {
-        reference.host_seconds / fast.host_seconds
-    } else {
-        0.0
-    };
+    let event_speedup = speedup(&reference, &fast);
     println!(
-        "perf_smoke: event-driven vs reference on mostly-sleeping {cores} cores: {speedup:.1}x"
+        "perf_smoke: event-driven vs reference on mostly-sleeping {cores} cores: \
+         {event_speedup:.1}x"
+    );
+
+    // 2. Sharded worker pool on the same mostly-sleeping scenario:
+    // bit-identity is the hard requirement, throughput is informational
+    // (a mostly-asleep machine has little per-cycle work to parallelize).
+    let sharded_cfg = SimConfig::builder()
+        .mempool()
+        .arch(SyncArch::Colibri { queues: 4 })
+        .max_cycles(100_000_000)
+        .shards(SHARDS)
+        .build()?;
+    let sharded = Experiment::new(&kernel, sharded_cfg)
+        .label("sharded")
+        .x(cores)
+        .run()?;
+    report("sharded     ", &sharded);
+    check_claim(
+        fast.cycles == sharded.cycles && fast.stats == sharded.stats,
+        "sharded and single-sharded runs must be bit-identical",
+    )?;
+    let queue_sharded_speedup = speedup(&fast, &sharded);
+    println!(
+        "perf_smoke: {SHARDS}-shard vs 1-shard on mostly-sleeping {cores} cores: \
+         {queue_sharded_speedup:.2}x (host has {parallelism} CPUs)"
+    );
+
+    // 3. Sharded worker pool on the busy histogram: per-cycle bank
+    // service and core stepping dominate — the work sharding targets.
+    let busy_iters = if args.quick { 32 } else { 512 };
+    let busy_kernel = HistogramKernel::new(HistImpl::AmoAdd, 1024, busy_iters, cores);
+    let busy_cfg = |shards: usize| {
+        SimConfig::builder()
+            .mempool()
+            .arch(SyncArch::Lrsc)
+            .shards(shards)
+            .build()
+    };
+    eprintln!("perf_smoke: busy scenario: {cores}-core 1024-bin histogram, {busy_iters} iters");
+    let busy_single = Experiment::new(&busy_kernel, busy_cfg(1)?)
+        .label("busy 1-shard")
+        .x(cores)
+        .run()?;
+    report("busy 1-shard", &busy_single);
+    let busy_sharded = Experiment::new(&busy_kernel, busy_cfg(SHARDS)?)
+        .label("busy sharded")
+        .x(cores)
+        .run()?;
+    report("busy sharded", &busy_sharded);
+    check_claim(
+        busy_single.cycles == busy_sharded.cycles && busy_single.stats == busy_sharded.stats,
+        "busy sharded and single-sharded runs must be bit-identical",
+    )?;
+    let busy_sharded_speedup = speedup(&busy_single, &busy_sharded);
+    println!(
+        "perf_smoke: {SHARDS}-shard vs 1-shard on busy {cores} cores: \
+         {busy_sharded_speedup:.2}x (host has {parallelism} CPUs)"
     );
 
     let summary = PerfSummary::from_measurements("perf_smoke", std::slice::from_ref(&fast))
@@ -79,7 +155,14 @@ fn run() -> Result<(), BenchError> {
             "reference_sim_cycles_per_sec",
             reference.sim_cycles_per_sec(),
         )
-        .with("speedup_vs_reference", speedup);
+        .with("speedup_vs_reference", event_speedup)
+        .with("host_parallelism", parallelism as f64)
+        .with("sharded_queue_speedup", queue_sharded_speedup)
+        .with("sharded_busy_speedup", busy_sharded_speedup)
+        .with(
+            "sharded_busy_sim_cycles_per_sec",
+            busy_sharded.sim_cycles_per_sec(),
+        );
     summary.log();
     write_bench_json(&args.out, &summary)?;
 
@@ -88,9 +171,26 @@ fn run() -> Result<(), BenchError> {
         // 5x faster on the mostly-sleeping large-geometry scenario.
         // (--quick skips this: tiny runs are wall-clock-noise-dominated.)
         check_claim(
-            speedup >= 5.0,
-            format!("event-driven speedup {speedup:.1}x below the 5x acceptance bar"),
+            event_speedup >= 5.0,
+            format!("event-driven speedup {event_speedup:.1}x below the 5x acceptance bar"),
         )?;
+        // The sharded bar is only meaningful when the host can actually
+        // run the shards in parallel; a speedup below 1x there would mean
+        // the pool's dispatch overhead swamps the parallel work.
+        if parallelism >= SHARDS {
+            check_claim(
+                busy_sharded_speedup >= 1.0,
+                format!(
+                    "sharded busy speedup {busy_sharded_speedup:.2}x below 1x on a \
+                     {parallelism}-CPU host: pool overhead dominates"
+                ),
+            )?;
+        } else {
+            eprintln!(
+                "perf_smoke: skipping sharded speedup bar (host has {parallelism} CPUs, \
+                 need >= {SHARDS})"
+            );
+        }
     }
 
     args.guard_baseline(&summary)

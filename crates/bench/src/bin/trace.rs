@@ -23,11 +23,13 @@ use lrscwait_kernels::{
     HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl, QueueKernel, Workload,
 };
 use lrscwait_sim::SimConfig;
-use lrscwait_trace::{json, AnalysisSink, FanoutSink, PerfettoSink, SharedSink};
+use lrscwait_trace::{
+    json, AnalysisSink, FanoutSink, PerfettoSink, SharedSink, StreamingPerfettoSink,
+};
 
 const USAGE: &str = "\
 usage: trace [--kernel K] [--impl I] [--arch A] [--cores N] [--iters N]
-             [--max-cycles N] [--out DIR]
+             [--max-cycles N] [--out DIR] [--stream]
   --kernel K      histogram (default) | queue | matmul
   --impl I        histogram: amoadd | lrsc | lrscwait (default) | ticket | tas
                              | colibri-lock | mcs
@@ -40,6 +42,9 @@ usage: trace [--kernel K] [--impl I] [--arch A] [--cores N] [--iters N]
   --max-cycles N  watchdog limit (default 2000000; traced runs buffer
                   events in memory, so keep this proportionate)
   --out DIR       output directory for the Perfetto JSON (default results)
+  --stream        write the Perfetto JSON incrementally to disk instead of
+                  buffering it (constant memory, no event cap — for
+                  full-scale runs)
   -h, --help      show this help";
 
 /// Cap on buffered Perfetto events: a retry-storming kernel × arch pair
@@ -71,6 +76,7 @@ struct TraceArgs {
     iters: u32,
     max_cycles: u64,
     out: PathBuf,
+    stream: bool,
 }
 
 fn usage_err(msg: impl std::fmt::Display) -> BenchError {
@@ -115,6 +121,7 @@ fn parse_args() -> Result<TraceArgs, BenchError> {
         iters: 16,
         max_cycles: 2_000_000,
         out: PathBuf::from("results"),
+        stream: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -142,6 +149,7 @@ fn parse_args() -> Result<TraceArgs, BenchError> {
                     .map_err(|_| usage_err("--max-cycles: not a count"))?;
             }
             "--out" => parsed.out = PathBuf::from(value("--out")?),
+            "--stream" => parsed.stream = true,
             "-h" | "--help" => return Err(BenchError::Help),
             other => return Err(usage_err(format!("unknown flag `{other}`"))),
         }
@@ -211,30 +219,74 @@ fn run() -> Result<(), BenchError> {
         .max_cycles(args.max_cycles)
         .build()?;
 
+    // Every flag that changes the simulation is in the filename, so runs
+    // that differ only in impl/cores/iters never overwrite each other.
+    let name = format!(
+        "trace_{}_{}_{}_c{}_i{}",
+        args.kernel,
+        impl_name,
+        args.arch.to_string().to_lowercase(),
+        args.cores,
+        args.iters
+    );
+    let path = args.out.join(format!("{name}.json"));
+
     // One simulation, two artifacts: tee the event stream into the
-    // Perfetto exporter and the analysis sink.
-    let perfetto = SharedSink::new(PerfettoSink::new().with_event_limit(PERFETTO_EVENT_LIMIT));
+    // Perfetto exporter — buffered with a cap by default, streamed to
+    // disk with --stream — and the analysis sink.
     let analysis = SharedSink::new(AnalysisSink::new());
-    let fanout = FanoutSink::new()
-        .with(Box::new(perfetto.clone()))
-        .with(Box::new(analysis.clone()));
-
-    let measurement = Experiment::new(kernel.as_ref(), cfg)
-        .sink(Box::new(fanout))
-        .run()?;
+    let (measurement, trace_json, truncated, event_count) = if args.stream {
+        let streaming = StreamingPerfettoSink::create(&path).map_err(|source| BenchError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let perfetto = SharedSink::new(streaming);
+        let fanout = FanoutSink::new()
+            .with(Box::new(perfetto.clone()))
+            .with(Box::new(analysis.clone()));
+        let measurement = Experiment::new(kernel.as_ref(), cfg)
+            .sink(Box::new(fanout))
+            .run()?;
+        let written = perfetto
+            .with(StreamingPerfettoSink::close)
+            .map_err(|source| BenchError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
+        // No read-back: loading a full-scale streamed trace into memory
+        // would defeat the sink's constant-memory purpose. Streamed and
+        // buffered output are proven byte-identical by unit test, so the
+        // buffered path's JSON self-check covers this one.
+        (measurement, None, 0, written as usize)
+    } else {
+        let perfetto = SharedSink::new(PerfettoSink::new().with_event_limit(PERFETTO_EVENT_LIMIT));
+        let fanout = FanoutSink::new()
+            .with(Box::new(perfetto.clone()))
+            .with(Box::new(analysis.clone()));
+        let measurement = Experiment::new(kernel.as_ref(), cfg)
+            .sink(Box::new(fanout))
+            .run()?;
+        let exporter = perfetto.take();
+        let count = exporter.len();
+        (
+            measurement,
+            Some(exporter.finish()),
+            exporter.truncated(),
+            count,
+        )
+    };
     let report = analysis.take().finish();
-    let exporter = perfetto.take();
-    let truncated = exporter.truncated();
-    let trace_json = exporter.finish();
 
-    // Self-check 1: the exported document must be valid JSON with a
-    // traceEvents array.
-    let doc = json::parse(&trace_json)
-        .map_err(|e| BenchError::ClaimFailed(format!("exported trace is not valid JSON: {e}")))?;
-    let events = doc
-        .get("traceEvents")
-        .and_then(json::Json::as_arr)
-        .ok_or_else(|| BenchError::ClaimFailed("trace has no traceEvents array".to_string()))?;
+    // Self-check 1 (buffered mode): the exported document must be valid
+    // JSON with a traceEvents array.
+    if let Some(trace_json) = &trace_json {
+        let doc = json::parse(trace_json).map_err(|e| {
+            BenchError::ClaimFailed(format!("exported trace is not valid JSON: {e}"))
+        })?;
+        doc.get("traceEvents")
+            .and_then(json::Json::as_arr)
+            .ok_or_else(|| BenchError::ClaimFailed("trace has no traceEvents array".to_string()))?;
+    }
 
     // Self-check 2: event counts must reconcile with the aggregate
     // statistics of the very same run.
@@ -253,25 +305,16 @@ fn run() -> Result<(), BenchError> {
         format!("trace counters diverge from SimStats: {c:?} vs {adapters:?}"),
     )?;
 
-    // Every flag that changes the simulation is in the filename, so runs
-    // that differ only in impl/cores/iters never overwrite each other.
-    let name = format!(
-        "trace_{}_{}_{}_c{}_i{}",
-        args.kernel,
-        impl_name,
-        args.arch.to_string().to_lowercase(),
-        args.cores,
-        args.iters
-    );
-    let path = args.out.join(format!("{name}.json"));
-    std::fs::create_dir_all(&args.out).map_err(|source| BenchError::Io {
-        path: args.out.display().to_string(),
-        source,
-    })?;
-    std::fs::write(&path, &trace_json).map_err(|source| BenchError::Io {
-        path: path.display().to_string(),
-        source,
-    })?;
+    if let Some(trace_json) = &trace_json {
+        std::fs::create_dir_all(&args.out).map_err(|source| BenchError::Io {
+            path: args.out.display().to_string(),
+            source,
+        })?;
+        std::fs::write(&path, trace_json).map_err(|source| BenchError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+    }
 
     println!(
         "## trace — {} on {} ({} cores, {} cycles)\n",
@@ -289,9 +332,14 @@ fn run() -> Result<(), BenchError> {
         );
     }
     println!(
-        "\nwrote {} ({} trace events, validated) — open at https://ui.perfetto.dev",
+        "\nwrote {} ({} trace events, {}) — open at https://ui.perfetto.dev",
         path.display(),
-        events.len()
+        event_count,
+        if args.stream {
+            "streamed; byte-format covered by unit test"
+        } else {
+            "validated"
+        }
     );
     Ok(())
 }

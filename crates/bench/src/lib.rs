@@ -66,7 +66,10 @@ use lrscwait_sim::{
     ConfigError, DecodedProgram, ExecMode, ExitReason, Machine, SimConfig, SimError, SimStats,
     NUM_ARGS,
 };
-use lrscwait_trace::{AnalysisSink, FanoutSink, PerfettoSink, SharedSink, SyncAnalysis, TraceSink};
+use lrscwait_trace::{
+    AnalysisSink, FanoutSink, PerfettoSink, SharedSink, StreamingPerfettoSink, SyncAnalysis,
+    TraceSink,
+};
 
 /// Everything that can go wrong while producing a benchmark number.
 ///
@@ -397,6 +400,35 @@ impl<'w> Experiment<'w> {
             path: path.display().to_string(),
             source,
         })?;
+        Ok(measurement)
+    }
+
+    /// Runs the experiment with a [`StreamingPerfettoSink`] attached:
+    /// the Chrome-trace/Perfetto JSON is written *incrementally* to
+    /// `path` through a buffered writer, so host memory stays constant
+    /// for full-scale traces (the buffered
+    /// [`perfetto`](Experiment::perfetto) convenience holds every event
+    /// in memory until the run ends). Output bytes are identical to the
+    /// buffered sink fed the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Experiment::run), plus [`BenchError::Io`] when the
+    /// trace file cannot be created or written.
+    pub fn perfetto_streaming(self, path: &Path) -> Result<Measurement, BenchError> {
+        let sink = StreamingPerfettoSink::create(path).map_err(|source| BenchError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let shared = SharedSink::new(sink);
+        let handle = shared.clone();
+        let measurement = self.sink(Box::new(handle)).run()?;
+        shared
+            .with(lrscwait_trace::StreamingPerfettoSink::close)
+            .map_err(|source| BenchError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
         Ok(measurement)
     }
 
@@ -808,12 +840,15 @@ pub fn arch_for(impl_: HistImpl, colibri_queues: usize) -> SyncArch {
 
 /// Usage text shared by every figure binary.
 pub const USAGE: &str = "\
-usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE]
+usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE] [--trace]
   --quick          reduced sweep for CI / smoke testing
   --threads N      sweep worker threads (default: all cores, min 2)
   --out DIR        results directory (default: results)
   --baseline FILE  committed BENCH_sim.json to guard simulator throughput
                    against (fails when more than 2x slower; perf_smoke)
+  --trace          also attach an analysis sink per sweep point and write
+                   <fig>.trace.csv (handoff latency p50/p99/max per point;
+                   fig3 and fig6)
   -h, --help       show this help";
 
 /// Parsed harness CLI flags.
@@ -827,6 +862,9 @@ pub struct BenchArgs {
     pub out: PathBuf,
     /// Committed baseline `BENCH_sim.json` to compare against.
     pub baseline: Option<PathBuf>,
+    /// Attach an [`AnalysisSink`] per sweep point and emit the
+    /// figure-level `<fig>.trace.csv` artifact (fig3/fig6).
+    pub trace: bool,
 }
 
 impl Default for BenchArgs {
@@ -836,6 +874,7 @@ impl Default for BenchArgs {
             threads: None,
             out: PathBuf::from("results"),
             baseline: None,
+            trace: false,
         }
     }
 }
@@ -882,6 +921,7 @@ impl BenchArgs {
                     })?;
                     parsed.baseline = Some(PathBuf::from(value));
                 }
+                "--trace" => parsed.trace = true,
                 "-h" | "--help" => return Err(BenchError::Help),
                 other => {
                     return Err(BenchError::Usage(format!(
@@ -941,6 +981,77 @@ impl BenchArgs {
             ),
         )
     }
+}
+
+/// One sweep point's trace-derived synchronization metrics — the raw
+/// material of the figure-level `<fig>.trace.csv` artifact.
+#[derive(Clone, Debug)]
+pub struct TracePoint {
+    /// Series label (legend entry).
+    pub label: String,
+    /// X value (bins, cores, …).
+    pub x: u32,
+    /// The per-point synchronization analysis.
+    pub analysis: SyncAnalysis,
+}
+
+impl TracePoint {
+    /// Bundles one measured point's analysis.
+    #[must_use]
+    pub fn new(label: impl Into<String>, x: u32, analysis: SyncAnalysis) -> TracePoint {
+        TracePoint {
+            label: label.into(),
+            x,
+            analysis,
+        }
+    }
+}
+
+/// Writes the figure-level trace artifact `<dir>/<fig>.trace.csv`: one
+/// row per sweep point with the lock-handoff latency distribution
+/// (count, p50, p99, max) and wait-queue occupancy (max, mean) derived
+/// from the point's event stream — per-handoff evidence to sit next to
+/// the throughput figure CSV.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the directory or file cannot be
+/// written.
+pub fn write_trace_csv(
+    dir: &Path,
+    fig: &str,
+    points: &[TracePoint],
+) -> Result<PathBuf, BenchError> {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.x.to_string(),
+                p.analysis.handoff.count.to_string(),
+                p.analysis.handoff.p50.to_string(),
+                p.analysis.handoff.p99.to_string(),
+                p.analysis.handoff.max.to_string(),
+                p.analysis.occupancy.max.to_string(),
+                format!("{:.4}", p.analysis.occupancy.mean),
+            ]
+        })
+        .collect();
+    write_csv(
+        dir,
+        &format!("{fig}.trace"),
+        &[
+            "series",
+            "x",
+            "handoffs",
+            "handoff_p50",
+            "handoff_p99",
+            "handoff_max",
+            "occupancy_max",
+            "occupancy_mean",
+        ],
+        &rows,
+    )
 }
 
 /// Writes rows as `<dir>/<name>.csv`, creating the directory.
@@ -1166,6 +1277,7 @@ mod tests {
                 "outdir",
                 "--baseline",
                 "b.json",
+                "--trace",
             ]
             .map(String::from),
         )
@@ -1174,6 +1286,36 @@ mod tests {
         assert_eq!(args.threads, Some(3));
         assert_eq!(args.out, PathBuf::from("outdir"));
         assert_eq!(args.baseline, Some(PathBuf::from("b.json")));
+        assert!(args.trace);
+        assert!(!BenchArgs::default().trace, "trace artifacts are opt-in");
+    }
+
+    #[test]
+    fn trace_csv_has_handoff_percentiles_per_point() {
+        let arch = SyncArch::Colibri { queues: 4 };
+        let cfg = SimConfig::builder().cores(4).arch(arch).build().unwrap();
+        let kernel = HistogramKernel::new(HistImpl::LrscWait, 1, 8, 4);
+        let (m, analysis) = Experiment::new(&kernel, cfg).x(1).analyzed().unwrap();
+        assert!(analysis.handoff.count > 0, "contended run must hand off");
+        let dir = std::env::temp_dir().join(format!("lrscwait-tracecsv-{}", std::process::id()));
+        let points = vec![TracePoint::new(m.label.clone(), m.x, analysis.clone())];
+        let path = write_trace_csv(&dir, "figX", &points).unwrap();
+        assert!(path.ends_with("figX.trace.csv"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next(),
+            Some(
+                "series,x,handoffs,handoff_p50,handoff_p99,handoff_max,\
+                 occupancy_max,occupancy_mean"
+            )
+        );
+        let row = lines.next().expect("one data row");
+        assert!(
+            row.starts_with(&format!("{},1,{}", m.label, analysis.handoff.count)),
+            "{row}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! * an MMIO harness device provides barriers, op counters, measured-region
 //!   markers and arguments — standing in for MemPool's runtime.
 //!
+//! Simulation itself scales across host threads: `SimConfig::builder()
+//! .shards(n)` services banks and steps cores on a persistent worker
+//! pool with bit-identical results for any shard count (see the
+//! [`Machine`] docs for the phase structure and determinism contract).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -43,6 +48,8 @@
 pub mod config;
 pub mod cpu;
 mod machine;
+mod phases;
+mod shard;
 mod stats;
 
 pub use config::{

@@ -3,18 +3,53 @@
 //!
 //! # Cycle order
 //!
-//! 1. Advance the request network; every delivered request is processed by
-//!    its bank's [`SyncAdapter`] (one per cycle per bank, enforced by the
-//!    bank node's rate), responses land in the bank's outbox.
-//! 2. Flush bank outboxes into the response network (FIFO per bank, so the
-//!    (bank → core) ordering Colibri relies on holds).
+//! 1. Advance the request network; delivered requests are grouped by
+//!    destination bank and serviced **in bank-id order** (and, within one
+//!    bank, in delivery order) by the bank's [`SyncAdapter`]; responses
+//!    land in the bank's outbox. This is the first parallel phase: with
+//!    `shards > 1` each worker services a contiguous range of banks.
+//! 2. Flush bank outboxes into the response network in **bank-id order**
+//!    (FIFO per bank, so the (bank → core) ordering Colibri relies on
+//!    holds).
 //! 3. Advance the response network; deliveries pass through the core's
-//!    [`Qnode`] (which may swallow `SuccessorUpdate`s or emit `WakeUp`s) and
-//!    complete the core's in-flight operation.
-//! 4. Step every runnable core by one instruction; memory intents are
-//!    resolved against MMIO (instant), ROM (instant) or the SPM (queued).
+//!    [`Qnode`] (which may swallow `SuccessorUpdate`s or emit `WakeUp`s)
+//!    and complete the core's in-flight operation.
+//! 4. Step the cores by one instruction in **core-id order** — the second
+//!    parallel phase (contiguous core ranges per shard). Barrier arrivals
+//!    and halts are only *recorded* here; the barrier-release check runs
+//!    once, single-threaded, after the walk, so its accounting never
+//!    depends on visit order.
 //! 5. Flush core outboxes into the request network (backpressure stalls
-//!    the core).
+//!    the core), with the per-cycle rotated round-robin start.
+//!
+//! # Bank-sharded parallel execution
+//!
+//! [`SimConfig::shards`]` = n > 1` runs phases 1 and 4 on a persistent
+//! pool of `n − 1` worker threads plus the caller (no per-cycle spawn; the
+//! pool parks between phases). Sharding exploits state that is already
+//! independent within a cycle: a bank adapter touches only its own words,
+//! queue registers and outbox; a stepping core touches only its own
+//! registers, Qnode and request outbox. Phases are separated by barriers,
+//! and everything ordering-sensitive — network advancement, outbox
+//! flushing, response delivery, barrier release, statistics aggregation —
+//! stays on the coordinating thread.
+//!
+//! **Determinism contract:** results are bit-identical for *any* shard
+//! count (and both [`ExecMode`]s — the differential and tracing suites
+//! enforce `shards=1` ≡ `shards=N` ≡ `Reference` on summaries, statistics,
+//! CSV bytes and trace streams). Three rules make this hold:
+//!
+//! * every cross-shard merge (dirty banks, dirty cores, runnable set,
+//!   debug prints, trace events) is performed in bank-id / core-id order —
+//!   shards own contiguous, ordered ranges and accumulate in ascending
+//!   order, so concatenation in shard order *is* the global order;
+//! * the barrier release (the one genuinely order-sensitive accounting
+//!   site) is deferred to a single-threaded sub-phase after stepping and
+//!   charges every released core the same `now − parked_at` delta,
+//!   independent of visit order;
+//! * shard-local scratch is reused each cycle, so sharded steady-state
+//!   cycles stay allocation-free (enforced by the counting-allocator
+//!   suite).
 //!
 //! # Event-driven scheduling
 //!
@@ -40,8 +75,8 @@
 //!   deadlock jumps directly to the watchdog.
 //! * **Allocation-free hot loops.** Every per-cycle scratch buffer
 //!   (message buffers, dirty-bank/dirty-core lists, the runnable set and
-//!   its merge scratch, the networks' scan sets) is reused; steady-state
-//!   cycles perform zero heap allocations.
+//!   its merge scratch, the networks' scan sets, the per-shard scratches)
+//!   is reused; steady-state cycles perform zero heap allocations.
 //!
 //! # Equivalence guarantee
 //!
@@ -50,14 +85,13 @@
 //! identical to the naive reference stepper ([`ExecMode::Reference`]),
 //! which visits all cores every cycle with eager per-cycle accounting.
 //! The differential test suite (`crates/sim/tests/differential.rs` and the
-//! workspace-level `tests/differential.rs`) runs both modes across the
-//! kernel × architecture matrix and asserts bit-identical
-//! [`RunSummary`]/[`SimStats`] and byte-identical sweep CSVs. The one
-//! subtlety is barrier release order: within the releasing cycle the
-//! reference charges a barrier cycle to parked cores the Phase 4 scan
-//! visits *before* the releasing core and a stall cycle to those *after*
-//! it; the event-driven path reproduces this positionally by comparing
-//! core indices at release time.
+//! workspace-level `tests/differential.rs`) runs both modes — and multiple
+//! shard counts — across the kernel × architecture matrix and asserts
+//! bit-identical [`RunSummary`]/[`SimStats`] and byte-identical sweep
+//! CSVs. Barrier-release accounting is visit-order-free by construction:
+//! the release happens in a sequential sub-phase after stepping, charging
+//! each released core `now − parked_at` barrier cycles (which is exactly
+//! what the reference's eager one-per-visit counting adds up to).
 //!
 //! # Tracing
 //!
@@ -67,10 +101,12 @@
 //! bank adapters' synchronization events and the networks' transport
 //! events. Tracing is an *observer, never a steering input*: results are
 //! bit-identical with and without a sink, and the event stream itself is
-//! identical across execution modes (enforced by
-//! `crates/sim/tests/tracing.rs`). With no sink attached — the default —
-//! each emit site is a single predictable branch and the event is never
-//! constructed, so the alloc-free, O(events) hot path is unchanged.
+//! identical across execution modes *and shard counts* (enforced by
+//! `crates/sim/tests/tracing.rs`) — parallel phases buffer their events
+//! per shard and the coordinator drains the buffers in shard (= id)
+//! order. With no sink attached — the default — the phase bodies are
+//! monomorphized over a no-op trace context, so untraced runs pay no
+//! per-step tracing branch at all.
 
 use std::collections::VecDeque;
 use std::error::Error;
@@ -78,21 +114,15 @@ use std::fmt;
 use std::sync::Arc;
 
 use lrscwait_asm::Program;
-use lrscwait_core::{
-    AdapterStats, MemRequest, MemResponse, Qnode, RmwOp, SyncAdapter, WordStorage,
-};
-use lrscwait_isa::AmoOp;
+use lrscwait_core::{AdapterStats, MemResponse, Qnode, SyncAdapter};
 use lrscwait_noc::{MempoolTopology, Network};
 
 use lrscwait_trace::{NetDir, OpKind, TraceEvent, TraceSink, Tracer, WakeCause};
 
-use crate::config::{
-    mmio_reg, ConfigError, ExecMode, SimConfig, MMIO_BASE, MMIO_SIZE, NUM_ARGS, ROM_BASE,
-};
-use crate::cpu::{
-    amo_op_kind, extract, store_lanes, Action, Core, CoreState, DecodedProgram, ExecError,
-    MemIntent, PendingKind, PendingMem,
-};
+use crate::config::{ConfigError, ExecMode, SimConfig, ROM_BASE};
+use crate::cpu::{Core, CoreState, DecodedProgram};
+use crate::phases::{self, CorePhase, ReqMsg, RespMsg, ShardScratch};
+use crate::shard::{Job, WorkerPool};
 use crate::stats::{ExitReason, RunSummary, SimStats};
 
 /// Fatal simulation error (software bug in a kernel or harness misuse).
@@ -196,50 +226,6 @@ impl From<ConfigError> for SimError {
     }
 }
 
-/// Request-network payload.
-#[derive(Clone, Copy, Debug)]
-struct ReqMsg {
-    src: u32,
-    bank: u32,
-    req: MemRequest,
-}
-
-/// Response-network payload.
-#[derive(Clone, Copy, Debug)]
-struct RespMsg {
-    core: u32,
-    resp: MemResponse,
-}
-
-/// Adapter-facing view of one bank's storage with global addressing.
-struct BankView<'a> {
-    words: &'a mut [u32],
-    num_banks: u32,
-    bank: u32,
-}
-
-impl WordStorage for BankView<'_> {
-    fn read_word(&self, addr: u32) -> u32 {
-        let w = addr / 4;
-        debug_assert_eq!(
-            w % self.num_banks,
-            self.bank,
-            "address routed to wrong bank"
-        );
-        self.words[(w / self.num_banks) as usize]
-    }
-
-    fn write_word(&mut self, addr: u32, value: u32) {
-        let w = addr / 4;
-        debug_assert_eq!(
-            w % self.num_banks,
-            self.bank,
-            "address routed to wrong bank"
-        );
-        self.words[(w / self.num_banks) as usize] = value;
-    }
-}
-
 /// The simulated manycore system.
 pub struct Machine {
     cfg: SimConfig,
@@ -253,15 +239,16 @@ pub struct Machine {
     resp_net: Network<RespMsg>,
     core_outbox: Vec<VecDeque<ReqMsg>>,
     bank_outbox: Vec<VecDeque<RespMsg>>,
+    /// Banks with a non-empty response outbox, sorted ascending.
     dirty_banks: Vec<u32>,
     cycle: u64,
     halted: usize,
     barrier_waiting: usize,
     debug_log: Vec<(u64, u32, u32)>,
-    /// Tracing switch: [`Tracer::Off`] by default, in which case every
-    /// emit site is a single predictable branch and results are
-    /// bit-identical to a sink-attached run (tracing observes, it never
-    /// steers).
+    /// Tracing switch: [`Tracer::Off`] by default. Parallel phases buffer
+    /// events per shard; the coordinator drains the buffers in shard
+    /// order, so the stream is identical for any shard count (tracing
+    /// observes, it never steers).
     tracer: Tracer,
     /// Per-core blocking-operation kind (only maintained while tracing;
     /// gives [`TraceEvent::Wake`] its cause).
@@ -274,10 +261,16 @@ pub struct Machine {
     /// Cores with a non-empty request outbox, sorted ascending
     /// (event-driven Phase 5).
     dirty_cores: Vec<u32>,
+    /// Worker pool for `cfg.shards > 1`; `None` runs phases inline.
+    pool: Option<WorkerPool>,
+    /// The single shard's scratch when no pool exists.
+    seq_scratch: ShardScratch,
     // Scratch buffers (allocation-free steady state).
     req_buf: Vec<ReqMsg>,
     resp_buf: Vec<RespMsg>,
-    adapter_out: Vec<(u32, MemResponse)>,
+    /// Delivered requests of this cycle as (bank, delivery index), sorted —
+    /// the bank-id-ordered service schedule shared by all shard counts.
+    req_order: Vec<(u32, u32)>,
     bank_scratch: Vec<u32>,
     core_scratch: Vec<u32>,
     merge_scratch: Vec<u32>,
@@ -288,6 +281,7 @@ impl fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("cores", &self.cores.len())
             .field("banks", &self.banks.len())
+            .field("shards", &self.cfg.shards)
             .field("cycle", &self.cycle)
             .field("halted", &self.halted)
             .finish()
@@ -336,7 +330,8 @@ impl Machine {
     }
 
     /// Builds a machine around an already-decoded (possibly shared)
-    /// program image.
+    /// program image. With [`SimConfig::shards`]` > 1` this also spawns
+    /// the persistent worker pool (joined again when the machine drops).
     ///
     /// # Errors
     ///
@@ -390,9 +385,11 @@ impl Machine {
             runnable: (0..num_cores as u32).collect(),
             pending_wake: Vec::with_capacity(num_cores),
             dirty_cores: Vec::with_capacity(num_cores),
+            pool: (cfg.shards > 1).then(|| WorkerPool::new(cfg.shards, num_banks, num_cores)),
+            seq_scratch: ShardScratch::default(),
             req_buf: Vec::new(),
             resp_buf: Vec::new(),
-            adapter_out: Vec::new(),
+            req_order: Vec::new(),
             bank_scratch: Vec::with_capacity(num_banks),
             core_scratch: Vec::with_capacity(num_cores),
             merge_scratch: Vec::with_capacity(num_cores),
@@ -416,16 +413,26 @@ impl Machine {
         self.cfg.exec_mode
     }
 
+    /// Number of simulation shards (1 = fully inline), fixed at
+    /// construction by [`SimConfig::shards`] (select it through
+    /// [`crate::SimConfigBuilder::shards`]).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
     /// Attaches a trace sink. Must be called before the first cycle so
     /// the sink observes a complete run. Emits
     /// [`TraceEvent::Start`] immediately with the machine geometry.
     ///
     /// Tracing never perturbs simulation: cycle counts, statistics and
     /// memory contents are bit-identical with and without a sink (the
-    /// sink only observes). With no sink attached (the default) every
-    /// emit site reduces to one predictable branch and the event is
-    /// never constructed — the differential and counting-allocator
-    /// suites run untraced and prove the hot path unchanged.
+    /// sink only observes), and the event stream itself is identical for
+    /// every shard count (parallel phases buffer per shard; the
+    /// coordinator drains in shard order). With no sink attached (the
+    /// default) the phase bodies are monomorphized over a no-op context —
+    /// the differential and counting-allocator suites run untraced and
+    /// prove the hot path unchanged.
     ///
     /// To read results back after [`Machine::run`], hand in a
     /// [`lrscwait_trace::SharedSink`] clone and keep the other handle.
@@ -626,21 +633,25 @@ impl Machine {
         self.cycle = target;
     }
 
-    /// Advances the machine by exactly one cycle.
+    /// Advances the machine by exactly one cycle (see the module docs for
+    /// the phase structure and the determinism contract).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on kernel bugs.
+    /// Returns [`SimError`] on kernel bugs. On an error the faulting
+    /// core's shard stops stepping at the fault while other shards finish
+    /// their cycle; the reported error is the one on the lowest core id,
+    /// matching the single-sharded walk.
     pub fn step_cycle(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         let now = self.cycle;
+        let tracing = !self.tracer.is_off();
+        let num_banks = self.banks.len() as u32;
 
-        // Phase 1: requests reach banks.
+        // Phase 1a: advance the request network (sequential).
         let mut req_buf = std::mem::take(&mut self.req_buf);
         req_buf.clear();
-        if self.tracer.is_off() {
-            self.req_net.advance(now, &mut req_buf);
-        } else {
+        if tracing {
             let tracer = &mut self.tracer;
             self.req_net
                 .advance_traced(now, &mut req_buf, &mut |event| {
@@ -649,45 +660,51 @@ impl Machine {
                         event,
                     });
                 });
+        } else {
+            self.req_net.advance(now, &mut req_buf);
         }
-        for msg in &req_buf {
-            let bank = msg.bank as usize;
-            let mut view = BankView {
-                words: &mut self.banks[bank],
-                num_banks: self.cfg.topology.num_banks() as u32,
-                bank: msg.bank,
-            };
-            let mut out = std::mem::take(&mut self.adapter_out);
-            out.clear();
-            if self.tracer.is_off() {
-                self.adapters[bank].handle(msg.src, &msg.req, &mut view, &mut out);
-            } else {
-                let tracer = &mut self.tracer;
-                let bank_id = msg.bank;
-                self.adapters[bank].handle_traced(
-                    msg.src,
-                    &msg.req,
-                    &mut view,
-                    &mut out,
-                    &mut |event| {
-                        tracer.emit(now, || TraceEvent::Sync {
-                            bank: bank_id,
-                            event,
-                        });
-                    },
-                );
-            }
-            if self.bank_outbox[bank].is_empty() && !out.is_empty() {
-                self.dirty_banks.push(msg.bank);
-            }
-            for (core, resp) in out.drain(..) {
-                self.bank_outbox[bank].push_back(RespMsg { core, resp });
-            }
-            self.adapter_out = out;
+
+        // Phase 1b: service the delivered requests, grouped by destination
+        // bank and processed in (bank id, delivery index) order — the one
+        // schedule every shard count shares. Within a bank, delivery order
+        // is preserved (the per-(core, bank) FIFO Colibri relies on).
+        self.req_order.clear();
+        self.req_order
+            .extend(req_buf.iter().enumerate().map(|(i, m)| (m.bank, i as u32)));
+        self.req_order.sort_unstable();
+        self.reset_scratch();
+        let bank_job = Job::Banks {
+            reqs: req_buf.as_ptr(),
+            reqs_len: req_buf.len(),
+            order: self.req_order.as_ptr(),
+            order_len: self.req_order.len(),
+            banks: self.banks.as_mut_ptr(),
+            adapters: self.adapters.as_mut_ptr(),
+            bank_outbox: self.bank_outbox.as_mut_ptr(),
+            num_banks,
+            tracing,
+        };
+        if let Some(pool) = &mut self.pool {
+            pool.dispatch(bank_job);
+        } else {
+            phases::service_banks(
+                0,
+                &mut self.banks,
+                &mut self.adapters,
+                &mut self.bank_outbox,
+                num_banks,
+                &req_buf,
+                &self.req_order,
+                &mut self.seq_scratch,
+                tracing,
+            );
         }
         self.req_buf = req_buf;
+        self.drain_shard_traces(now);
+        self.merge_new_dirty_banks();
 
-        // Phase 2: flush bank outboxes into the response network.
+        // Phase 2: flush bank outboxes into the response network, in bank
+        // id order (deterministic for every shard count).
         if !self.dirty_banks.is_empty() {
             let mut still_dirty = std::mem::take(&mut self.bank_scratch);
             still_dirty.clear();
@@ -713,9 +730,7 @@ impl Machine {
         // Phase 3: responses reach cores (through their Qnodes).
         let mut resp_buf = std::mem::take(&mut self.resp_buf);
         resp_buf.clear();
-        if self.tracer.is_off() {
-            self.resp_net.advance(now, &mut resp_buf);
-        } else {
+        if tracing {
             let tracer = &mut self.tracer;
             self.resp_net
                 .advance_traced(now, &mut resp_buf, &mut |event| {
@@ -724,6 +739,8 @@ impl Machine {
                         event,
                     });
                 });
+        } else {
+            self.resp_net.advance(now, &mut resp_buf);
         }
         for msg in &resp_buf {
             let c = msg.core as usize;
@@ -750,15 +767,67 @@ impl Machine {
         }
         self.resp_buf = resp_buf;
 
+        // Phase 4: step the cores (event-driven: runnable set only;
+        // reference: every core with eager parked accounting).
+        if self.cfg.exec_mode == ExecMode::EventDriven {
+            self.merge_pending_wakes();
+        }
+        self.reset_scratch();
+        let core_job = Job::Cores {
+            cores: self.cores.as_mut_ptr(),
+            qnodes: self.qnodes.as_mut_ptr(),
+            core_outbox: self.core_outbox.as_mut_ptr(),
+            park_kind: self.park_kind.as_mut_ptr(),
+            runnable: self.runnable.as_ptr(),
+            runnable_len: self.runnable.len(),
+            program: Arc::as_ptr(&self.program),
+            cfg: &self.cfg,
+            num_banks,
+            now,
+            mode: self.cfg.exec_mode,
+            tracing,
+        };
+        if let Some(pool) = &mut self.pool {
+            pool.dispatch(core_job);
+        } else {
+            let mut ctx = CorePhase {
+                core_lo: 0,
+                cores: &mut self.cores,
+                qnodes: &mut self.qnodes,
+                core_outbox: &mut self.core_outbox,
+                park_kind: &mut self.park_kind,
+                program: &self.program,
+                cfg: &self.cfg,
+                num_banks,
+            };
+            match self.cfg.exec_mode {
+                ExecMode::EventDriven => phases::step_runnable_cores(
+                    &mut ctx,
+                    &self.runnable,
+                    now,
+                    &mut self.seq_scratch,
+                    tracing,
+                ),
+                ExecMode::Reference => {
+                    phases::step_all_cores(&mut ctx, now, &mut self.seq_scratch, tracing);
+                }
+            }
+        }
+        let step_error = self.merge_core_phase(now);
+        if let Some(err) = step_error {
+            return Err(err);
+        }
+
+        // Sequential sub-phase: barrier release. Deferred here so the
+        // accounting is independent of the stepping order (and therefore
+        // of the shard count).
+        self.release_barrier_if_ready(now);
+
+        // Phase 5: flush core outboxes into the request network. The start
+        // index rotates each cycle so no core gets static injection
+        // priority (round-robin arbitration, as in the real fabric).
         match self.cfg.exec_mode {
             ExecMode::EventDriven => {
-                // Phase 4: step the runnable cores only.
-                self.merge_pending_wakes();
-                self.step_runnable_cores(now)?;
-
-                // Phase 5: flush the non-empty core outboxes into the
-                // request network, in the same rotated order the reference
-                // uses over all cores (empty outboxes are no-ops there).
                 if !self.dirty_cores.is_empty() {
                     let n = self.cores.len();
                     let start = (now % n as u64) as u32;
@@ -779,21 +848,11 @@ impl Machine {
                     self.core_scratch = dirty;
                 }
 
-                // Barrier releases during Phase 4 become runnable next
-                // cycle; merge now so `fast_forward` sees their
-                // `ready_at`.
+                // Barrier releases become runnable next cycle; merge now
+                // so `fast_forward` sees their `ready_at`.
                 self.merge_pending_wakes();
             }
             ExecMode::Reference => {
-                // Phase 4: visit every core, eager accounting.
-                for c in 0..self.cores.len() {
-                    self.step_core_reference(c, now)?;
-                }
-
-                // Phase 5: flush core outboxes into the request network.
-                // The start index rotates each cycle so no core gets
-                // static injection priority (round-robin arbitration, as
-                // in the real fabric).
                 let n = self.cores.len();
                 let start = (now as usize) % n;
                 for i in 0..n {
@@ -803,6 +862,106 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// Number of shards the phases run across.
+    fn shard_count(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::shards)
+    }
+
+    /// Clears every shard scratch for the next parallel phase.
+    fn reset_scratch(&mut self) {
+        match &mut self.pool {
+            Some(pool) => pool.reset_scratch(),
+            None => self.seq_scratch.reset(),
+        }
+    }
+
+    /// Mutable access to shard `s`'s scratch (coordinator, between
+    /// phases).
+    fn scratch_at(&mut self, s: usize) -> &mut ShardScratch {
+        match &mut self.pool {
+            Some(pool) => pool.scratch_mut(s),
+            None => &mut self.seq_scratch,
+        }
+    }
+
+    /// Emits the parallel phase's buffered trace events in shard (= id)
+    /// order — identical to the order a single-sharded walk emits in.
+    fn drain_shard_traces(&mut self, now: u64) {
+        if self.tracer.is_off() {
+            return;
+        }
+        for s in 0..self.shard_count() {
+            let mut buf = std::mem::take(&mut self.scratch_at(s).trace);
+            for event in buf.drain(..) {
+                self.tracer.emit(now, || event);
+            }
+            self.scratch_at(s).trace = buf;
+        }
+    }
+
+    /// Merges the bank phase's empty → non-empty outbox transitions into
+    /// the sorted dirty-bank list.
+    fn merge_new_dirty_banks(&mut self) {
+        for s in 0..self.shard_count() {
+            let add = std::mem::take(&mut self.scratch_at(s).new_dirty_banks);
+            let mut scratch = std::mem::take(&mut self.bank_scratch);
+            merge_sorted(&mut self.dirty_banks, &add, &mut scratch);
+            self.bank_scratch = scratch;
+            self.scratch_at(s).new_dirty_banks = add;
+        }
+    }
+
+    /// Folds the core phase's per-shard outputs into the machine, in shard
+    /// (= core id) order: trace events, debug prints, halt/barrier counts,
+    /// the rebuilt runnable set and the dirty-core merge. Returns the
+    /// lowest-core fatal error, if any shard faulted.
+    fn merge_core_phase(&mut self, now: u64) -> Option<SimError> {
+        self.drain_shard_traces(now);
+        let shards = self.shard_count();
+        let event_driven = self.cfg.exec_mode == ExecMode::EventDriven;
+        let mut error: Option<(u32, SimError)> = None;
+        if event_driven {
+            self.merge_scratch.clear();
+        }
+        for s in 0..shards {
+            // Prints → debug log (ascending core order by construction).
+            let mut prints = std::mem::take(&mut self.scratch_at(s).prints);
+            for &(core, value) in &prints {
+                self.debug_log.push((now, core, value));
+            }
+            prints.clear();
+            self.scratch_at(s).prints = prints;
+
+            let (newly_halted, newly_barrier, shard_error) = {
+                let sc = self.scratch_at(s);
+                let err = sc.error.take().map(|e| (sc.error_core, e));
+                (sc.newly_halted, sc.newly_barrier, err)
+            };
+            self.halted += newly_halted as usize;
+            self.barrier_waiting += newly_barrier as usize;
+            if let Some((core, err)) = shard_error {
+                if error.as_ref().is_none_or(|(c, _)| core < *c) {
+                    error = Some((core, err));
+                }
+            }
+            if event_driven {
+                let kept = std::mem::take(&mut self.scratch_at(s).kept_runnable);
+                self.merge_scratch.extend_from_slice(&kept);
+                self.scratch_at(s).kept_runnable = kept;
+
+                let add = std::mem::take(&mut self.scratch_at(s).new_dirty_cores);
+                let mut scratch = std::mem::take(&mut self.bank_scratch);
+                merge_sorted(&mut self.dirty_cores, &add, &mut scratch);
+                self.bank_scratch = scratch;
+                self.scratch_at(s).new_dirty_cores = add;
+            }
+        }
+        if event_driven {
+            std::mem::swap(&mut self.runnable, &mut self.merge_scratch);
+        }
+        error.map(|(_, err)| err)
     }
 
     /// Injects a core's queued requests until the network backpressures.
@@ -861,8 +1020,8 @@ impl Machine {
         }
     }
 
-    /// Queues a request on a core's outbox, tracking outbox dirtiness for
-    /// the event-driven Phase 5.
+    /// Queues a request on a core's outbox (sequential Phase 3 path),
+    /// tracking outbox dirtiness for the event-driven Phase 5.
     fn push_outbox(&mut self, c: usize, msg: ReqMsg) {
         self.core_outbox[c].push_back(msg);
         let id = c as u32;
@@ -896,33 +1055,6 @@ impl Machine {
         merged.extend_from_slice(&b[j..]);
         self.pending_wake.clear();
         self.merge_scratch = std::mem::replace(&mut self.runnable, merged);
-    }
-
-    /// Walks the runnable set in ascending core order (the order the
-    /// reference stepper visits cores in), compacting out cores that
-    /// leave the `Running` state.
-    fn step_runnable_cores(&mut self, now: u64) -> Result<(), SimError> {
-        let mut runnable = std::mem::take(&mut self.runnable);
-        let mut keep = 0;
-        let mut result = Ok(());
-        for i in 0..runnable.len() {
-            let c = runnable[i] as usize;
-            result = self.step_running_core(c, now);
-            if self.cores[c].state == CoreState::Running {
-                runnable[keep] = runnable[i];
-                keep += 1;
-            }
-            if result.is_err() {
-                // Fatal error: preserve the unstepped tail so the machine
-                // state stays consistent for post-mortem inspection.
-                runnable.copy_within(i + 1.., keep);
-                keep += runnable.len() - i - 1;
-                break;
-            }
-        }
-        runnable.truncate(keep);
-        self.runnable = runnable;
-        result
     }
 
     fn complete_response(&mut self, c: usize, resp: MemResponse, now: u64) {
@@ -974,94 +1106,15 @@ impl Machine {
         }
     }
 
-    fn line_of(&self, pc: u32) -> Option<u32> {
-        self.program
-            .index_of(pc)
-            .and_then(|i| self.program.source_lines.get(i).copied())
-    }
-
-    /// Reference-mode per-core visit: eager accounting for parked states,
-    /// then the shared running-core step.
-    fn step_core_reference(&mut self, c: usize, now: u64) -> Result<(), SimError> {
-        match self.cores[c].state {
-            CoreState::Halted => return Ok(()),
-            CoreState::Barrier => {
-                self.cores[c].stats.barrier_cycles += 1;
-                return Ok(());
-            }
-            CoreState::WaitingMem => {
-                self.cores[c].stats.sleep_cycles += 1;
-                return Ok(());
-            }
-            CoreState::Running => {}
-        }
-        self.step_running_core(c, now)
-    }
-
-    /// Steps one core known to be in [`CoreState::Running`].
-    fn step_running_core(&mut self, c: usize, now: u64) -> Result<(), SimError> {
-        if now < self.cores[c].ready_at || self.core_outbox[c].len() >= 4 {
-            self.cores[c].stats.stall_cycles += 1;
-            return Ok(());
-        }
-        self.cores[c].stats.active_cycles += 1;
-        let action = {
-            let program = &self.program;
-            let timing = self.cfg.timing;
-            self.cores[c].execute(program, now, &timing)
-        };
-        let action = match action {
-            Ok(a) => a,
-            Err(ExecError::IllegalPc(pc)) => {
-                return Err(SimError::IllegalPc { core: c as u32, pc })
-            }
-            Err(ExecError::Breakpoint(pc)) => {
-                return Err(SimError::Breakpoint {
-                    core: c as u32,
-                    pc,
-                    line: self.line_of(pc),
-                })
-            }
-            Err(ExecError::Misaligned { pc, addr }) => {
-                return Err(SimError::Misaligned {
-                    core: c as u32,
-                    pc,
-                    addr,
-                    line: self.line_of(pc),
-                })
-            }
-        };
-        match action {
-            Action::Done => Ok(()),
-            Action::Halt => {
-                self.halt_core(c, now);
-                Ok(())
-            }
-            Action::Mem(intent) => self.apply_intent(c, intent, now),
-        }
-    }
-
-    fn halt_core(&mut self, c: usize, now: u64) {
-        if self.cores[c].state != CoreState::Halted {
-            self.cores[c].state = CoreState::Halted;
-            self.halted += 1;
-            self.tracer
-                .emit(now, || TraceEvent::Halt { core: c as u32 });
-            self.release_barrier_if_ready(now, c);
-        }
-    }
-
     /// Releases the barrier when every still-running core has arrived.
     ///
-    /// `releaser` is the core whose Phase 4 step triggered the check (the
-    /// last arriver, or a halting core). Event-driven mode settles each
-    /// parked core's lazily-deferred `barrier_cycles` here and reproduces
-    /// the reference's positional within-cycle accounting: the reference
-    /// visits cores in ascending order, so cores *after* the releaser are
-    /// seen as `Running` but not yet `ready_at`-eligible (one stall
-    /// cycle), while cores *before* it were still parked when visited
-    /// (one more barrier cycle).
-    fn release_barrier_if_ready(&mut self, now: u64, releaser: usize) {
+    /// Runs once per cycle, single-threaded, *after* the stepping phase —
+    /// never inside it — so the accounting is independent of the order
+    /// cores were visited in (and therefore of the shard count): every
+    /// released core is charged `now − parked_at` barrier cycles, exactly
+    /// what the reference's eager one-per-Phase-4-visit counting adds up
+    /// to, and re-enters the runnable set with `ready_at = now + 1`.
+    fn release_barrier_if_ready(&mut self, now: u64) {
         let running = self.cores.len() - self.halted;
         if running > 0 && self.barrier_waiting == running {
             let event_driven = self.cfg.exec_mode == ExecMode::EventDriven;
@@ -1077,280 +1130,40 @@ impl Machine {
                         cause: WakeCause::Barrier,
                     });
                     if event_driven {
-                        if x > releaser {
-                            core.stats.barrier_cycles += now - 1 - core.parked_at;
-                            core.stats.stall_cycles += 1;
-                        } else {
-                            core.stats.barrier_cycles += now - core.parked_at;
-                        }
-                        if x != releaser {
-                            // The releaser is mid-step in the runnable
-                            // walk and stays in the set via compaction.
-                            self.pending_wake.push(x as u32);
-                        }
+                        core.stats.barrier_cycles += now - core.parked_at;
+                        self.pending_wake.push(x as u32);
                     }
                 }
             }
             self.barrier_waiting = 0;
         }
     }
-
-    fn apply_intent(&mut self, c: usize, intent: MemIntent, now: u64) -> Result<(), SimError> {
-        match intent {
-            MemIntent::Fence => {
-                if self.cores[c].outstanding_stores == 0 && self.core_outbox[c].is_empty() {
-                    self.cores[c].pc += 4;
-                }
-                // Otherwise: retry next cycle (fence stalls the pipeline).
-                Ok(())
-            }
-            MemIntent::Load {
-                addr,
-                rd,
-                width,
-                signed,
-            } => {
-                if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
-                    let value = self.mmio_read(c, addr - MMIO_BASE);
-                    self.cores[c].set_reg(rd, extract(value, addr, width, signed));
-                    self.cores[c].pc += 4;
-                    return Ok(());
-                }
-                if addr >= ROM_BASE {
-                    let idx = ((addr - ROM_BASE) / 4) as usize;
-                    let Some(&word) = self.program.raw.get(idx) else {
-                        return Err(SimError::Fault {
-                            core: c as u32,
-                            addr,
-                            what: "load beyond ROM",
-                        });
-                    };
-                    self.cores[c].set_reg(rd, extract(word, addr, width, signed));
-                    self.cores[c].pc += 4;
-                    return Ok(());
-                }
-                if addr >= self.cfg.spm_bytes {
-                    return Err(SimError::Fault {
-                        core: c as u32,
-                        addr,
-                        what: "load outside SPM",
-                    });
-                }
-                self.cores[c].pending = Some(PendingMem {
-                    rd,
-                    addr,
-                    kind: PendingKind::Load { width, signed },
-                });
-                self.cores[c].state = CoreState::WaitingMem;
-                self.cores[c].parked_at = now;
-                self.cores[c].pc += 4;
-                self.emit_park(c, OpKind::Load, now);
-                self.push_request(c, MemRequest::Load { addr: addr & !3 }, now);
-                Ok(())
-            }
-            MemIntent::Store { addr, value, width } => {
-                if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
-                    self.cores[c].pc += 4;
-                    self.mmio_write(c, addr - MMIO_BASE, value, now);
-                    return Ok(());
-                }
-                if addr >= self.cfg.spm_bytes {
-                    return Err(SimError::Fault {
-                        core: c as u32,
-                        addr,
-                        what: "store outside SPM (ROM is read-only)",
-                    });
-                }
-                if self.cores[c].outstanding_stores >= self.cfg.timing.store_buffer {
-                    return Ok(()); // buffer full: stall, retry next cycle
-                }
-                let (aligned, lane_value, mask) = store_lanes(addr, value, width);
-                self.cores[c].outstanding_stores += 1;
-                self.cores[c].pc += 4;
-                self.push_request(
-                    c,
-                    MemRequest::Store {
-                        addr: aligned,
-                        value: lane_value,
-                        mask,
-                    },
-                    now,
-                );
-                Ok(())
-            }
-            MemIntent::Atomic {
-                addr,
-                rd,
-                op,
-                operand,
-            } => {
-                if addr >= self.cfg.spm_bytes {
-                    return Err(SimError::Fault {
-                        core: c as u32,
-                        addr,
-                        what: "atomic outside SPM",
-                    });
-                }
-                let (req, kind) = match op {
-                    AmoOp::Lr => (MemRequest::Lr { addr }, PendingKind::Value),
-                    AmoOp::Sc => (
-                        MemRequest::Sc {
-                            addr,
-                            value: operand,
-                        },
-                        PendingKind::Flag,
-                    ),
-                    AmoOp::LrWait => (MemRequest::LrWait { addr }, PendingKind::Value),
-                    AmoOp::ScWait => (
-                        MemRequest::ScWait {
-                            addr,
-                            value: operand,
-                        },
-                        PendingKind::Flag,
-                    ),
-                    AmoOp::MWait => (
-                        MemRequest::MWait {
-                            addr,
-                            expected: operand,
-                        },
-                        PendingKind::Value,
-                    ),
-                    rmw => (
-                        MemRequest::Amo {
-                            addr,
-                            op: map_rmw(rmw),
-                            operand,
-                        },
-                        PendingKind::Value,
-                    ),
-                };
-                self.cores[c].pending = Some(PendingMem { rd, addr, kind });
-                self.cores[c].state = CoreState::WaitingMem;
-                self.cores[c].parked_at = now;
-                self.cores[c].pc += 4;
-                self.emit_park(c, amo_op_kind(op), now);
-                self.push_request(c, req, now);
-                Ok(())
-            }
-        }
-    }
-
-    /// Marks a core parked on a blocking operation, remembering the
-    /// cause for the later [`TraceEvent::Wake`] (tracing only).
-    fn emit_park(&mut self, c: usize, kind: OpKind, now: u64) {
-        if !self.tracer.is_off() {
-            self.park_kind[c] = kind;
-            self.tracer.emit(now, || TraceEvent::Park {
-                core: c as u32,
-                cause: kind,
-            });
-        }
-    }
-
-    fn push_request(&mut self, c: usize, req: MemRequest, now: u64) {
-        let wakeup = self.qnodes[c].on_core_request(&req);
-        let bank = self.bank_of(req.addr());
-        self.tracer.emit(now, || TraceEvent::ReqSent {
-            core: c as u32,
-            bank,
-            kind: req_kind(&req),
-        });
-        self.push_outbox(
-            c,
-            ReqMsg {
-                src: c as u32,
-                bank,
-                req,
-            },
-        );
-        if let Some(wk) = wakeup {
-            let wk_bank = self.bank_of(wk.addr());
-            self.tracer.emit(now, || TraceEvent::ReqSent {
-                core: c as u32,
-                bank: wk_bank,
-                kind: OpKind::WakeUp,
-            });
-            self.push_outbox(
-                c,
-                ReqMsg {
-                    src: c as u32,
-                    bank: wk_bank,
-                    req: wk,
-                },
-            );
-        }
-    }
-
-    fn mmio_read(&self, c: usize, offset: u32) -> u32 {
-        match offset {
-            mmio_reg::HARTID => c as u32,
-            mmio_reg::NUM_CORES => self.cores.len() as u32,
-            o if (mmio_reg::ARG0..mmio_reg::ARG0 + 4 * NUM_ARGS as u32).contains(&o)
-                && o % 4 == 0 =>
-            {
-                self.cfg.args[((o - mmio_reg::ARG0) / 4) as usize]
-            }
-            _ => 0,
-        }
-    }
-
-    fn mmio_write(&mut self, c: usize, offset: u32, value: u32, now: u64) {
-        match offset {
-            mmio_reg::EXIT => self.halt_core(c, now),
-            mmio_reg::OP_COUNT => self.cores[c].stats.ops += u64::from(value),
-            mmio_reg::REGION => {
-                if value != 0 {
-                    if self.cores[c].stats.region_start.is_none() {
-                        self.cores[c].stats.region_start = Some(now);
-                    }
-                    self.tracer
-                        .emit(now, || TraceEvent::RegionEnter { core: c as u32 });
-                } else {
-                    self.cores[c].stats.region_end = Some(now);
-                    self.tracer
-                        .emit(now, || TraceEvent::RegionExit { core: c as u32 });
-                }
-            }
-            mmio_reg::BARRIER => {
-                self.cores[c].state = CoreState::Barrier;
-                self.cores[c].parked_at = now;
-                self.barrier_waiting += 1;
-                self.tracer
-                    .emit(now, || TraceEvent::BarrierArrive { core: c as u32 });
-                self.release_barrier_if_ready(now, c);
-            }
-            mmio_reg::PRINT => self.debug_log.push((now, c as u32, value)),
-            _ => {}
-        }
-    }
 }
 
-/// Trace [`OpKind`] of a request (what a core sent towards memory).
-fn req_kind(req: &MemRequest) -> OpKind {
-    match req {
-        MemRequest::Load { .. } => OpKind::Load,
-        MemRequest::Store { .. } => OpKind::Store,
-        MemRequest::Amo { .. } => OpKind::Amo,
-        MemRequest::Lr { .. } => OpKind::Lr,
-        MemRequest::Sc { .. } => OpKind::Sc,
-        MemRequest::LrWait { .. } => OpKind::LrWait,
-        MemRequest::ScWait { .. } => OpKind::ScWait,
-        MemRequest::MWait { .. } => OpKind::MWait,
-        MemRequest::WakeUp { .. } => OpKind::WakeUp,
+/// Merges the sorted, disjoint `add` list into the sorted `dst` list,
+/// using `scratch` as the reusable merge buffer (allocation-free once
+/// capacities are warm).
+fn merge_sorted(dst: &mut Vec<u32>, add: &[u32], scratch: &mut Vec<u32>) {
+    if add.is_empty() {
+        return;
     }
-}
-
-fn map_rmw(op: AmoOp) -> RmwOp {
-    match op {
-        AmoOp::Swap => RmwOp::Swap,
-        AmoOp::Add => RmwOp::Add,
-        AmoOp::Xor => RmwOp::Xor,
-        AmoOp::And => RmwOp::And,
-        AmoOp::Or => RmwOp::Or,
-        AmoOp::Min => RmwOp::Min,
-        AmoOp::Max => RmwOp::Max,
-        AmoOp::Minu => RmwOp::Minu,
-        AmoOp::Maxu => RmwOp::Maxu,
-        other => unreachable!("{other:?} is not an RMW AMO"),
+    if dst.is_empty() {
+        dst.extend_from_slice(add);
+        return;
     }
+    scratch.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < add.len() {
+        if dst[i] <= add[j] {
+            debug_assert_ne!(dst[i], add[j], "merge lists must be disjoint");
+            scratch.push(dst[i]);
+            i += 1;
+        } else {
+            scratch.push(add[j]);
+            j += 1;
+        }
+    }
+    scratch.extend_from_slice(&dst[i..]);
+    scratch.extend_from_slice(&add[j..]);
+    std::mem::swap(dst, scratch);
 }

@@ -26,12 +26,13 @@ const KERNEL: &str = r#"
     counter: .word 0
 "#;
 
-fn record_run(arch: SyncArch, mode: ExecMode) -> (Vec<(u64, TraceEvent)>, u64) {
+fn record_run(arch: SyncArch, mode: ExecMode, shards: usize) -> (Vec<(u64, TraceEvent)>, u64) {
     let program = Assembler::new().assemble(KERNEL).expect("assembles");
     let cfg = SimConfig::builder()
         .cores(4)
         .arch(arch)
         .exec_mode(mode)
+        .shards(shards)
         .build()
         .expect("valid config");
     let mut machine = Machine::new(cfg, &program).expect("loads");
@@ -43,28 +44,39 @@ fn record_run(arch: SyncArch, mode: ExecMode) -> (Vec<(u64, TraceEvent)>, u64) {
 }
 
 #[test]
-fn trace_stream_is_identical_across_exec_modes() {
-    // Events happen in stepped cycles only, and the two modes are
-    // bit-identical in everything observable — so even the *trace
-    // streams* must match event-for-event, cycle-for-cycle.
+fn trace_stream_is_identical_across_exec_modes_and_shards() {
+    // Events happen in stepped cycles only, and every (mode, shard count)
+    // combination is bit-identical in everything observable — so even the
+    // *trace streams* must match event-for-event, cycle-for-cycle:
+    // parallel phases buffer per shard and drain in shard order, which
+    // reproduces the single-sharded emission order exactly.
     for arch in [SyncArch::LrscWaitIdeal, SyncArch::Colibri { queues: 2 }] {
-        let (fast, fast_cycles) = record_run(arch, ExecMode::EventDriven);
-        let (reference, ref_cycles) = record_run(arch, ExecMode::Reference);
-        assert_eq!(fast_cycles, ref_cycles);
-        assert_eq!(
-            fast.len(),
-            reference.len(),
-            "{arch}: event counts diverge between modes"
-        );
-        for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
-            assert_eq!(f, r, "{arch}: event {i} diverges");
+        let (fast, fast_cycles) = record_run(arch, ExecMode::EventDriven, 1);
+        for (mode, shards) in [
+            (ExecMode::Reference, 1),
+            (ExecMode::EventDriven, 3),
+            (ExecMode::Reference, 2),
+        ] {
+            let (other, other_cycles) = record_run(arch, mode, shards);
+            assert_eq!(fast_cycles, other_cycles);
+            assert_eq!(
+                fast.len(),
+                other.len(),
+                "{arch}: event counts diverge ({mode:?}, {shards} shards)"
+            );
+            for (i, (f, r)) in fast.iter().zip(&other).enumerate() {
+                assert_eq!(
+                    f, r,
+                    "{arch}: event {i} diverges ({mode:?}, {shards} shards)"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn stream_starts_with_geometry_and_balances_parks() {
-    let (events, _) = record_run(SyncArch::Colibri { queues: 2 }, ExecMode::EventDriven);
+    let (events, _) = record_run(SyncArch::Colibri { queues: 2 }, ExecMode::EventDriven, 2);
     assert!(
         matches!(
             events.first(),

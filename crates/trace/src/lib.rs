@@ -25,6 +25,9 @@
 //!   with one track per core (sleep, barrier and measured-region spans,
 //!   SC-failure instants) plus counter tracks for wait-queue depth and
 //!   runnable-core count.
+//! * [`StreamingPerfettoSink`] — the same exporter writing incrementally
+//!   to a `BufWriter`-backed file (constant memory for full-scale runs;
+//!   byte-identical output to the buffered sink).
 //! * [`AnalysisSink`] — in-memory derived metrics: lock handoff latency
 //!   distribution (p50/p99/max), wait-queue occupancy over time, and
 //!   SC-failure / retry-abort causes.
@@ -41,7 +44,7 @@ use std::sync::{Arc, Mutex};
 pub use analysis::{AnalysisSink, HandoffStats, OccupancyStats, SyncAnalysis, SyncCounters};
 pub use lrscwait_core::SyncEvent;
 pub use lrscwait_noc::NocEvent;
-pub use perfetto::PerfettoSink;
+pub use perfetto::{PerfettoSink, StreamingPerfettoSink};
 
 /// Which virtual network a [`TraceEvent::Noc`] event came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -8,6 +8,20 @@
 //! many cores are waiting inside a hardware queue (`wait_queue_depth`)
 //! and how many are runnable (`runnable_cores`).
 //!
+//! Two sinks share the same event → JSON translation
+//! (so their output is byte-identical for the same stream):
+//!
+//! * [`PerfettoSink`] buffers every serialized event in memory and
+//!   renders the full document with [`finish`](PerfettoSink::finish);
+//!   an optional [event cap](PerfettoSink::with_event_limit) freezes the
+//!   trace and reports the truncation. This is the default, suited to
+//!   tests and small-to-medium runs.
+//! * [`StreamingPerfettoSink`] writes each event straight to a
+//!   `BufWriter`-backed file, so memory stays constant no matter how
+//!   long the run: the full-scale 256-core × multi-million-cycle traces
+//!   never accumulate in the host heap. Finish it with
+//!   [`close`](StreamingPerfettoSink::close).
+//!
 //! Timestamps are simulated cycles, written to the `ts` field one
 //! microsecond per cycle (the viewer's time ruler then reads directly in
 //! cycles).
@@ -15,6 +29,9 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
 
 use lrscwait_core::SyncEvent;
 
@@ -23,21 +40,203 @@ use crate::{OpKind, TraceEvent, TraceSink};
 /// The single simulated process all tracks live under.
 const PID: u32 = 1;
 
-/// Streaming Perfetto JSON builder (see the module docs).
+/// The shared event → trace-object translation: span bookkeeping, counter
+/// state, and the JSON rendering both sinks use.
 #[derive(Debug, Default)]
-pub struct PerfettoSink {
-    /// Serialized trace-event objects, in emission order.
-    events: Vec<String>,
+struct PerfettoModel {
     /// Per-core stack of open duration spans (names of pending `"B"`s).
     open: Vec<Vec<&'static str>>,
     /// Cores runnable right now (seeded from [`TraceEvent::Start`]).
     runnable: i64,
     /// Cores currently enqueued in some reservation queue.
     wait_depth: i64,
-    /// Latest cycle seen (dangling spans close here in [`finish`]).
-    ///
-    /// [`finish`]: PerfettoSink::finish
+    /// Latest cycle seen (dangling spans close here on finish).
     last_cycle: u64,
+}
+
+impl PerfettoModel {
+    /// Translates one simulator event into zero or more serialized trace
+    /// objects, handed to `out` in order.
+    fn record(&mut self, cycle: u64, event: TraceEvent, out: &mut dyn FnMut(String)) {
+        match event {
+            TraceEvent::Start { cores, .. } => {
+                self.open = vec![Vec::new(); cores as usize];
+                self.runnable = i64::from(cores);
+                out(meta_json(0, "process_name", "lrscwait machine"));
+                for core in 0..cores {
+                    let name = format!("core {core}");
+                    out(meta_json(core, "thread_name", &name));
+                }
+                out(counter_json(
+                    cycle,
+                    "runnable_cores",
+                    "runnable",
+                    i64::from(cores),
+                ));
+                out(counter_json(cycle, "wait_queue_depth", "waiting", 0));
+            }
+            TraceEvent::Park { core, cause } => {
+                self.span_begin(cycle, core, "sleep", cause.label(), out);
+                self.runnable_delta(cycle, -1, out);
+            }
+            TraceEvent::Wake { core, .. } => {
+                self.span_end(cycle, core, out);
+                self.runnable_delta(cycle, 1, out);
+            }
+            TraceEvent::BarrierArrive { core } => {
+                self.span_begin(cycle, core, "barrier", "", out);
+                self.runnable_delta(cycle, -1, out);
+            }
+            TraceEvent::BarrierRelease { .. } => {}
+            TraceEvent::RegionEnter { core } => {
+                self.span_begin(cycle, core, "region", "", out);
+            }
+            TraceEvent::RegionExit { core } => {
+                self.span_end(cycle, core, out);
+            }
+            TraceEvent::Halt { core } => {
+                while self
+                    .open
+                    .get(core as usize)
+                    .is_some_and(|stack| !stack.is_empty())
+                {
+                    self.span_end(cycle, core, out);
+                }
+                out(instant_json(cycle, core, "halt"));
+                self.runnable_delta(cycle, -1, out);
+            }
+            TraceEvent::Sync { event, .. } => match event {
+                SyncEvent::WaitEnqueued { .. } => self.depth_delta(cycle, 1, out),
+                SyncEvent::WaitServed { .. } => self.depth_delta(cycle, -1, out),
+                SyncEvent::WaitFailFast { core, .. } => {
+                    out(instant_json(cycle, core, "wait.failfast"));
+                }
+                SyncEvent::ScResult {
+                    core,
+                    success: false,
+                    wait,
+                    ..
+                } => {
+                    out(instant_json(
+                        cycle,
+                        core,
+                        if wait { "scwait.fail" } else { "sc.fail" },
+                    ));
+                }
+                SyncEvent::ScResult { .. } => {}
+                SyncEvent::SuccessorUpdate { predecessor, .. } => {
+                    out(instant_json(cycle, predecessor, "succ.update"));
+                }
+                SyncEvent::WakeupPromoted { successor, .. } => {
+                    out(instant_json(cycle, successor, "promoted"));
+                }
+                SyncEvent::ReservationBroken { .. } => {}
+            },
+            TraceEvent::ReqSent { core, kind, .. } => {
+                if kind == OpKind::WakeUp {
+                    out(instant_json(cycle, core, "wakeup.sent"));
+                }
+            }
+            TraceEvent::Noc { .. } => {}
+        }
+    }
+
+    fn span_begin(
+        &mut self,
+        cycle: u64,
+        core: u32,
+        name: &'static str,
+        arg: &str,
+        out: &mut dyn FnMut(String),
+    ) {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            r#"{{"ph":"B","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}""#
+        );
+        if !arg.is_empty() {
+            let _ = write!(s, r#","args":{{"what":"{arg}"}}"#);
+        }
+        s.push('}');
+        out(s);
+        if let Some(stack) = self.open.get_mut(core as usize) {
+            stack.push(name);
+        }
+    }
+
+    fn span_end(&mut self, cycle: u64, core: u32, out: &mut dyn FnMut(String)) {
+        if let Some(name) = self
+            .open
+            .get_mut(core as usize)
+            .and_then(std::vec::Vec::pop)
+        {
+            out(format!(
+                r#"{{"ph":"E","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}"}}"#
+            ));
+        }
+    }
+
+    fn runnable_delta(&mut self, cycle: u64, delta: i64, out: &mut dyn FnMut(String)) {
+        self.runnable += delta;
+        out(counter_json(
+            cycle,
+            "runnable_cores",
+            "runnable",
+            self.runnable,
+        ));
+    }
+
+    fn depth_delta(&mut self, cycle: u64, delta: i64, out: &mut dyn FnMut(String)) {
+        self.wait_depth += delta;
+        out(counter_json(
+            cycle,
+            "wait_queue_depth",
+            "waiting",
+            self.wait_depth,
+        ));
+    }
+
+    /// Serialized closers for spans still open at the end of the run
+    /// (cores still parked), so every `"B"` has its `"E"`.
+    fn closers(&self, out: &mut dyn FnMut(String)) {
+        for (core, stack) in self.open.iter().enumerate() {
+            for name in stack.iter().rev() {
+                out(format!(
+                    r#"{{"ph":"E","pid":{PID},"tid":{core},"ts":{},"name":"{name}"}}"#,
+                    self.last_cycle
+                ));
+            }
+        }
+    }
+}
+
+fn meta_json(tid: u32, what: &str, name: &str) -> String {
+    format!(r#"{{"ph":"M","pid":{PID},"tid":{tid},"name":"{what}","args":{{"name":"{name}"}}}}"#)
+}
+
+fn instant_json(cycle: u64, core: u32, name: &str) -> String {
+    format!(r#"{{"ph":"i","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}","s":"t"}}"#)
+}
+
+fn counter_json(cycle: u64, name: &str, key: &str, value: i64) -> String {
+    format!(r#"{{"ph":"C","pid":{PID},"ts":{cycle},"name":"{name}","args":{{"{key}":{value}}}}}"#)
+}
+
+fn truncation_json(last_cycle: u64, dropped: u64) -> String {
+    format!(
+        r#"{{"ph":"i","pid":{PID},"tid":0,"ts":{last_cycle},"name":"trace.truncated","s":"g","args":{{"dropped_events":{dropped}}}}}"#
+    )
+}
+
+const HEADER: &str = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+const FOOTER: &str = "\n]}\n";
+
+/// In-memory Perfetto JSON builder (see the module docs).
+#[derive(Debug, Default)]
+pub struct PerfettoSink {
+    model: PerfettoModel,
+    /// Serialized trace-event objects, in emission order.
+    events: Vec<String>,
     /// Optional cap on buffered trace events (see
     /// [`with_event_limit`](PerfettoSink::with_event_limit)).
     event_limit: Option<usize>,
@@ -60,7 +259,9 @@ impl PerfettoSink {
     /// [`finish`](PerfettoSink::finish)), and the truncation is reported
     /// through [`truncated`](PerfettoSink::truncated) and as a
     /// `trace.truncated` instant in the document. Never truncate
-    /// silently: callers should surface the count to the user.
+    /// silently: callers should surface the count to the user. For
+    /// unbounded runs prefer [`StreamingPerfettoSink`], which needs no
+    /// cap at all.
     #[must_use]
     pub fn with_event_limit(mut self, limit: usize) -> PerfettoSink {
         self.event_limit = Some(limit);
@@ -85,71 +286,13 @@ impl PerfettoSink {
         self.events.is_empty()
     }
 
-    fn push_meta(&mut self, tid: u32, what: &str, name: &str) {
-        self.events.push(format!(
-            r#"{{"ph":"M","pid":{PID},"tid":{tid},"name":"{what}","args":{{"name":"{name}"}}}}"#
-        ));
-    }
-
-    fn push_span_begin(&mut self, cycle: u64, core: u32, name: &'static str, arg: &str) {
-        let mut s = String::with_capacity(96);
-        let _ = write!(
-            s,
-            r#"{{"ph":"B","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}""#
-        );
-        if !arg.is_empty() {
-            let _ = write!(s, r#","args":{{"what":"{arg}"}}"#);
-        }
-        s.push('}');
-        self.events.push(s);
-        if let Some(stack) = self.open.get_mut(core as usize) {
-            stack.push(name);
-        }
-    }
-
-    fn push_span_end(&mut self, cycle: u64, core: u32) {
-        if let Some(name) = self
-            .open
-            .get_mut(core as usize)
-            .and_then(std::vec::Vec::pop)
-        {
-            self.events.push(format!(
-                r#"{{"ph":"E","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}"}}"#
-            ));
-        }
-    }
-
-    fn push_instant(&mut self, cycle: u64, core: u32, name: &str) {
-        self.events.push(format!(
-            r#"{{"ph":"i","pid":{PID},"tid":{core},"ts":{cycle},"name":"{name}","s":"t"}}"#
-        ));
-    }
-
-    fn push_counter(&mut self, cycle: u64, name: &str, key: &str, value: i64) {
-        self.events.push(format!(
-            r#"{{"ph":"C","pid":{PID},"ts":{cycle},"name":"{name}","args":{{"{key}":{value}}}}}"#
-        ));
-    }
-
-    fn runnable_delta(&mut self, cycle: u64, delta: i64) {
-        self.runnable += delta;
-        let value = self.runnable;
-        self.push_counter(cycle, "runnable_cores", "runnable", value);
-    }
-
-    fn depth_delta(&mut self, cycle: u64, delta: i64) {
-        self.wait_depth += delta;
-        let value = self.wait_depth;
-        self.push_counter(cycle, "wait_queue_depth", "waiting", value);
-    }
-
     /// Renders the complete JSON document. Dangling duration spans (cores
     /// still parked when the run ended) are closed at the last recorded
     /// cycle so every `"B"` has its `"E"`.
     #[must_use]
     pub fn finish(&self) -> String {
         let mut out = String::with_capacity(64 + self.events.len() * 80);
-        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        out.push_str(HEADER);
         let mut first = true;
         let mut push = |s: &str, out: &mut String| {
             if !first {
@@ -162,34 +305,25 @@ impl PerfettoSink {
         for event in &self.events {
             push(event, &mut out);
         }
-        for (core, stack) in self.open.iter().enumerate() {
-            for name in stack.iter().rev() {
-                push(
-                    &format!(
-                        r#"{{"ph":"E","pid":{PID},"tid":{core},"ts":{},"name":"{name}"}}"#,
-                        self.last_cycle
-                    ),
-                    &mut out,
-                );
-            }
+        let mut closers = Vec::new();
+        self.model.closers(&mut |s| closers.push(s));
+        for closer in &closers {
+            push(closer, &mut out);
         }
         if self.truncated > 0 {
             push(
-                &format!(
-                    r#"{{"ph":"i","pid":{PID},"tid":0,"ts":{},"name":"trace.truncated","s":"g","args":{{"dropped_events":{}}}}}"#,
-                    self.last_cycle, self.truncated
-                ),
+                &truncation_json(self.model.last_cycle, self.truncated),
                 &mut out,
             );
         }
-        out.push_str("\n]}\n");
+        out.push_str(FOOTER);
         out
     }
 }
 
 impl TraceSink for PerfettoSink {
     fn record(&mut self, cycle: u64, event: TraceEvent) {
-        self.last_cycle = self.last_cycle.max(cycle);
+        self.model.last_cycle = self.model.last_cycle.max(cycle);
         if self
             .event_limit
             .is_some_and(|limit| self.events.len() >= limit)
@@ -197,78 +331,148 @@ impl TraceSink for PerfettoSink {
             self.truncated += 1;
             return;
         }
-        match event {
-            TraceEvent::Start { cores, .. } => {
-                self.open = vec![Vec::new(); cores as usize];
-                self.runnable = i64::from(cores);
-                self.push_meta(0, "process_name", "lrscwait machine");
-                for core in 0..cores {
-                    let name = format!("core {core}");
-                    self.push_meta(core, "thread_name", &name);
-                }
-                self.push_counter(cycle, "runnable_cores", "runnable", i64::from(cores));
-                self.push_counter(cycle, "wait_queue_depth", "waiting", 0);
+        let events = &mut self.events;
+        self.model.record(cycle, event, &mut |s| events.push(s));
+    }
+}
+
+/// Streaming Perfetto JSON exporter: every event is serialized and handed
+/// to a [`BufWriter`] over the output file immediately, so host memory
+/// stays constant regardless of run length — the right sink for
+/// full-scale (256-core × millions-of-cycles) traces. Produces the exact
+/// same bytes as [`PerfettoSink::finish`] fed the same event stream.
+///
+/// I/O errors during recording are *deferred*: the sink goes quiet and
+/// [`close`](StreamingPerfettoSink::close) reports the first error, so
+/// the simulation itself is never perturbed mid-run (tracing observes, it
+/// never steers — not even on a full disk).
+///
+/// ```no_run
+/// use lrscwait_trace::{StreamingPerfettoSink, TraceEvent, TraceSink};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut sink = StreamingPerfettoSink::create("results/run.perfetto.json")?;
+/// sink.record(0, TraceEvent::Start { cores: 4, banks: 16 });
+/// sink.record(9, TraceEvent::Halt { core: 0 });
+/// let events_written = sink.close()?;
+/// assert!(events_written > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingPerfettoSink {
+    model: PerfettoModel,
+    out: BufWriter<File>,
+    first: bool,
+    written: u64,
+    closed: bool,
+    error: Option<io::Error>,
+    /// Reusable staging buffer for one event's serialized objects (the
+    /// model's callback cannot borrow the writer while the model is
+    /// borrowed); capacity is retained across events.
+    pending: Vec<String>,
+}
+
+impl StreamingPerfettoSink {
+    /// Creates (truncating) the output file — parent directories included
+    /// — and writes the document header.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory or file cannot
+    /// be created or the header cannot be written.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<StreamingPerfettoSink> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
             }
-            TraceEvent::Park { core, cause } => {
-                self.push_span_begin(cycle, core, "sleep", cause.label());
-                self.runnable_delta(cycle, -1);
-            }
-            TraceEvent::Wake { core, .. } => {
-                self.push_span_end(cycle, core);
-                self.runnable_delta(cycle, 1);
-            }
-            TraceEvent::BarrierArrive { core } => {
-                self.push_span_begin(cycle, core, "barrier", "");
-                self.runnable_delta(cycle, -1);
-            }
-            TraceEvent::BarrierRelease { .. } => {}
-            TraceEvent::RegionEnter { core } => {
-                self.push_span_begin(cycle, core, "region", "");
-            }
-            TraceEvent::RegionExit { core } => {
-                self.push_span_end(cycle, core);
-            }
-            TraceEvent::Halt { core } => {
-                while self
-                    .open
-                    .get(core as usize)
-                    .is_some_and(|stack| !stack.is_empty())
-                {
-                    self.push_span_end(cycle, core);
-                }
-                self.push_instant(cycle, core, "halt");
-                self.runnable_delta(cycle, -1);
-            }
-            TraceEvent::Sync { event, .. } => match event {
-                SyncEvent::WaitEnqueued { .. } => self.depth_delta(cycle, 1),
-                SyncEvent::WaitServed { .. } => self.depth_delta(cycle, -1),
-                SyncEvent::WaitFailFast { core, .. } => {
-                    self.push_instant(cycle, core, "wait.failfast");
-                }
-                SyncEvent::ScResult {
-                    core,
-                    success: false,
-                    wait,
-                    ..
-                } => {
-                    self.push_instant(cycle, core, if wait { "scwait.fail" } else { "sc.fail" });
-                }
-                SyncEvent::ScResult { .. } => {}
-                SyncEvent::SuccessorUpdate { predecessor, .. } => {
-                    self.push_instant(cycle, predecessor, "succ.update");
-                }
-                SyncEvent::WakeupPromoted { successor, .. } => {
-                    self.push_instant(cycle, successor, "promoted");
-                }
-                SyncEvent::ReservationBroken { .. } => {}
-            },
-            TraceEvent::ReqSent { core, kind, .. } => {
-                if kind == OpKind::WakeUp {
-                    self.push_instant(cycle, core, "wakeup.sent");
-                }
-            }
-            TraceEvent::Noc { .. } => {}
         }
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(HEADER.as_bytes())?;
+        Ok(StreamingPerfettoSink {
+            model: PerfettoModel::default(),
+            out,
+            first: true,
+            written: 0,
+            closed: false,
+            error: None,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Number of trace-event objects written so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+
+    fn write_one(&mut self, s: &str) {
+        if self.error.is_some() || self.closed {
+            return;
+        }
+        let sep: &[u8] = if self.first { b"\n" } else { b",\n" };
+        let result = self
+            .out
+            .write_all(sep)
+            .and_then(|()| self.out.write_all(s.as_bytes()));
+        match result {
+            Ok(()) => {
+                self.first = false;
+                self.written += 1;
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Closes dangling spans, writes the document footer and flushes,
+    /// returning the number of event objects written. Idempotent: later
+    /// calls (and later `record`s) are no-ops, so the sink can live
+    /// inside a shared handle whose other clone already closed it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered — during recording or
+    /// while closing.
+    pub fn close(&mut self) -> io::Result<u64> {
+        if self.closed {
+            return Ok(self.written);
+        }
+        let mut closers = Vec::new();
+        self.model.closers(&mut |s| closers.push(s));
+        for closer in &closers {
+            self.write_one(closer);
+        }
+        self.closed = true;
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.write_all(FOOTER.as_bytes())?;
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl TraceSink for StreamingPerfettoSink {
+    fn record(&mut self, cycle: u64, event: TraceEvent) {
+        self.model.last_cycle = self.model.last_cycle.max(cycle);
+        // Stage through the reusable buffer (the model's callback cannot
+        // borrow the writer while the model is borrowed); events produce
+        // at most a handful of objects and the buffer's capacity is
+        // retained, so this adds no per-event allocation.
+        let mut pending = std::mem::take(&mut self.pending);
+        self.model.record(cycle, event, &mut |s| pending.push(s));
+        for s in &pending {
+            self.write_one(s);
+        }
+        pending.clear();
+        self.pending = pending;
     }
 }
 
@@ -277,38 +481,39 @@ mod tests {
     use super::*;
     use crate::{json, WakeCause};
 
-    fn feed(sink: &mut PerfettoSink, stream: &[(u64, TraceEvent)]) {
+    fn feed(sink: &mut dyn TraceSink, stream: &[(u64, TraceEvent)]) {
         for &(cycle, event) in stream {
             sink.record(cycle, event);
         }
     }
 
+    fn sample_stream() -> Vec<(u64, TraceEvent)> {
+        vec![
+            (0, TraceEvent::Start { cores: 2, banks: 4 }),
+            (
+                3,
+                TraceEvent::Park {
+                    core: 0,
+                    cause: OpKind::LrWait,
+                },
+            ),
+            (
+                9,
+                TraceEvent::Wake {
+                    core: 0,
+                    cause: WakeCause::Response(OpKind::LrWait),
+                },
+            ),
+            (11, TraceEvent::BarrierArrive { core: 1 }),
+            (12, TraceEvent::Halt { core: 0 }),
+            (12, TraceEvent::Halt { core: 1 }),
+        ]
+    }
+
     #[test]
     fn produces_valid_json_with_per_core_tracks() {
         let mut sink = PerfettoSink::new();
-        feed(
-            &mut sink,
-            &[
-                (0, TraceEvent::Start { cores: 2, banks: 4 }),
-                (
-                    3,
-                    TraceEvent::Park {
-                        core: 0,
-                        cause: OpKind::LrWait,
-                    },
-                ),
-                (
-                    9,
-                    TraceEvent::Wake {
-                        core: 0,
-                        cause: WakeCause::Response(OpKind::LrWait),
-                    },
-                ),
-                (11, TraceEvent::BarrierArrive { core: 1 }),
-                (12, TraceEvent::Halt { core: 0 }),
-                (12, TraceEvent::Halt { core: 1 }),
-            ],
-        );
+        feed(&mut sink, &sample_stream());
         let text = sink.finish();
         let doc = json::parse(&text).expect("exported trace must parse");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
@@ -434,5 +639,61 @@ mod tests {
                 .any(|e| e.get("ph").and_then(json::Json::as_str) == Some("E")),
             "finish must close the open sleep span"
         );
+    }
+
+    #[test]
+    fn streaming_sink_matches_buffered_output_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("lrscwait-perfetto-{}", std::process::id()));
+        let path = dir.join("stream.json");
+        let stream = sample_stream();
+
+        let mut buffered = PerfettoSink::new();
+        feed(&mut buffered, &stream);
+
+        let mut streaming = StreamingPerfettoSink::create(&path).expect("create stream");
+        feed(&mut streaming, &stream);
+        let written = streaming.close().expect("close stream");
+
+        let text = std::fs::read_to_string(&path).expect("read stream file");
+        assert_eq!(
+            text,
+            buffered.finish(),
+            "same stream must render identically"
+        );
+        assert_eq!(written as usize, buffered.len());
+        json::parse(&text).expect("streamed trace must parse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_sink_closes_dangling_spans() {
+        let dir = std::env::temp_dir().join(format!("lrscwait-perfetto-d-{}", std::process::id()));
+        let path = dir.join("dangling.json");
+        let mut streaming = StreamingPerfettoSink::create(&path).expect("create stream");
+        feed(
+            &mut streaming,
+            &[
+                (0, TraceEvent::Start { cores: 1, banks: 1 }),
+                (
+                    4,
+                    TraceEvent::Park {
+                        core: 0,
+                        cause: OpKind::MWait,
+                    },
+                ),
+            ],
+        );
+        assert!(!streaming.is_empty());
+        streaming.close().expect("close stream");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).expect("parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("ph").and_then(json::Json::as_str) == Some("E")),
+            "close must end the open sleep span"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

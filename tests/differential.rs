@@ -88,9 +88,63 @@ fn matmul_interference_is_equivalent() {
 }
 
 #[test]
-fn sweep_csv_bytes_are_identical_across_modes() {
+fn sharded_kernel_matrix_is_equivalent() {
+    // Bank-sharded parallel simulation must be observationally identical
+    // to the single-threaded walk for real kernels: the full measurement
+    // (cycles, statistics, CSV row) from shards=1, shards=4, and the
+    // sharded *reference* stepper must agree byte-for-byte.
+    for (impl_, arch) in [
+        (HistImpl::AmoAdd, SyncArch::Lrsc),
+        (HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }),
+        (HistImpl::LrscWait, SyncArch::LrscWait { slots: 2 }),
+    ] {
+        let kernel = HistogramKernel::new(impl_, 2, 8, 8);
+        let build = |shards: usize| {
+            SimConfig::builder()
+                .cores(8)
+                .arch(arch)
+                .shards(shards)
+                .max_cycles(50_000_000)
+                .build()
+                .unwrap()
+        };
+        let what = format!("sharded histogram {impl_:?} on {arch}");
+        let base = Experiment::new(&kernel, build(1)).x(1).run().expect(&what);
+        let sharded = Experiment::new(&kernel, build(4)).x(1).run().expect(&what);
+        let sharded_ref = Experiment::new(&kernel, build(4))
+            .x(1)
+            .reference()
+            .run()
+            .expect(&what);
+        for (m, label) in [(&sharded, "shards=4"), (&sharded_ref, "shards=4 ref")] {
+            assert_eq!(base.cycles, m.cycles, "{what}: {label} cycle count");
+            assert_eq!(base.stats, m.stats, "{what}: {label} statistics");
+            assert_eq!(base.csv_row(), m.csv_row(), "{what}: {label} CSV row");
+        }
+    }
+
+    // The queue kernel exercises the Colibri Qnode bounce path.
+    let kernel = QueueKernel::new(QueueImpl::LrscWaitDirect, 6, 8);
+    let build = |shards: usize| {
+        SimConfig::builder()
+            .cores(8)
+            .arch(SyncArch::Colibri { queues: 4 })
+            .shards(shards)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap()
+    };
+    let base = Experiment::new(&kernel, build(1)).x(1).run().unwrap();
+    let sharded = Experiment::new(&kernel, build(3)).x(1).run().unwrap();
+    assert_eq!(base.cycles, sharded.cycles, "sharded queue cycle count");
+    assert_eq!(base.stats, sharded.stats, "sharded queue statistics");
+}
+
+#[test]
+fn sweep_csv_bytes_are_identical_across_modes_and_shards() {
     // A whole (impl × bins) sweep rendered to CSV text must come out
-    // byte-for-byte the same from both schedulers.
+    // byte-for-byte the same from both schedulers — and from the
+    // bank-sharded parallel machine.
     let points: Vec<(HistImpl, SyncArch, u32)> = [
         (HistImpl::AmoAdd, SyncArch::Lrsc),
         (HistImpl::LrscWait, SyncArch::Colibri { queues: 4 }),
@@ -100,7 +154,7 @@ fn sweep_csv_bytes_are_identical_across_modes() {
     .flat_map(|(impl_, arch)| [1u32, 4, 16].map(move |bins| (impl_, arch, bins)))
     .collect();
 
-    let render = |reference: bool| -> String {
+    let render = |reference: bool, shards: usize| -> String {
         let measurements = Sweep::new("diff-csv")
             .threads(4)
             .quiet()
@@ -108,6 +162,7 @@ fn sweep_csv_bytes_are_identical_across_modes() {
                 let cfg = SimConfig::builder()
                     .cores(8)
                     .arch(arch)
+                    .shards(shards)
                     .max_cycles(50_000_000)
                     .build()?;
                 let kernel = HistogramKernel::new(impl_, bins, 8, 8);
@@ -124,5 +179,7 @@ fn sweep_csv_bytes_are_identical_across_modes() {
         text
     };
 
-    assert_eq!(render(false), render(true), "sweep CSV bytes diverge");
+    let baseline = render(false, 1);
+    assert_eq!(baseline, render(true, 1), "reference CSV bytes diverge");
+    assert_eq!(baseline, render(false, 4), "sharded CSV bytes diverge");
 }
