@@ -15,9 +15,21 @@
 //! 3. **Sharded vs single-sharded** on a busy scenario (all 256 cores
 //!    hammering a 1024-bin histogram, heavy per-cycle bank service):
 //!    the configuration sharding is *for*. The speedup is printed and
-//!    recorded in `BENCH_sim.json`; it is only enforced when the host
-//!    actually has `>= shards` CPUs (a single-CPU container cannot
-//!    demonstrate parallel speedup, and CI hosts vary).
+//!    recorded in `BENCH_sim.json`; by default it is only enforced when
+//!    the host actually has `>= shards` CPUs (a single-CPU container
+//!    cannot demonstrate parallel speedup, and dev hosts vary).
+//!
+//! Every speedup bar prints the detected host CPU count and an explicit
+//! `ENFORCED`/`SKIPPED`/`informational` decision, so a CI log always
+//! says *why* a bar did or did not gate the run. With
+//! `--enforce-sharded` (the CI bench-smoke job on 4-vCPU hosted
+//! runners), skipping is turned into failure: the host must have
+//! `>= shards` CPUs and the busy speedup must clear the **2x** bar —
+//! the scaled-up claim the sharded machine was built for. The
+//! mostly-sleeping queue speedup stays informational under every flag:
+//! an almost-entirely-parked machine has too little per-cycle work to
+//! parallelize, so a bar there would measure the pool's overhead, not
+//! its benefit.
 //!
 //! With `--baseline FILE` (CI), the measured `sim_cycles_per_sec` is
 //! compared against the committed baseline and the run fails when
@@ -113,13 +125,22 @@ fn run() -> Result<(), BenchError> {
     )?;
     let queue_sharded_speedup = speedup(&fast, &sharded);
     println!(
-        "perf_smoke: {SHARDS}-shard vs 1-shard on mostly-sleeping {cores} cores: \
-         {queue_sharded_speedup:.2}x (host has {parallelism} CPUs)"
+        "perf_smoke: sharded_queue_speedup bar: informational (host has {parallelism} CPUs): \
+         {SHARDS}-shard vs 1-shard on mostly-sleeping {cores} cores = \
+         {queue_sharded_speedup:.2}x — this scenario exists to prove bit-identity, \
+         not parallel speedup"
     );
 
     // 3. Sharded worker pool on the busy histogram: per-cycle bank
     // service and core stepping dominate — the work sharding targets.
-    let busy_iters = if args.quick { 32 } else { 512 };
+    // Under --enforce-sharded the measurement gates CI, so always use the
+    // full-length run there: tiny --quick runs are wall-clock-noise
+    // dominated and would make the 2x bar flaky.
+    let busy_iters = if args.quick && !args.enforce_sharded {
+        32
+    } else {
+        512
+    };
     let busy_kernel = HistogramKernel::new(HistImpl::AmoAdd, 1024, busy_iters, cores);
     let busy_cfg = |shards: usize| {
         SimConfig::builder()
@@ -149,6 +170,12 @@ fn run() -> Result<(), BenchError> {
          {busy_sharded_speedup:.2}x (host has {parallelism} CPUs)"
     );
 
+    // Decide the busy-speedup bar *before* writing the JSON, so the
+    // decision itself is part of the uploaded artifact.
+    let host_capable = parallelism >= SHARDS;
+    let busy_bar = if args.enforce_sharded { 2.0 } else { 1.0 };
+    let busy_bar_active = args.enforce_sharded || (!args.quick && host_capable);
+
     let summary = PerfSummary::from_measurements("perf_smoke", std::slice::from_ref(&fast))
         .with("reference_host_seconds", reference.host_seconds)
         .with(
@@ -162,6 +189,15 @@ fn run() -> Result<(), BenchError> {
         .with(
             "sharded_busy_sim_cycles_per_sec",
             busy_sharded.sim_cycles_per_sec(),
+        )
+        .with("sharded_busy_bar", busy_bar)
+        .with(
+            "sharded_busy_bar_enforced",
+            if busy_bar_active && host_capable {
+                1.0
+            } else {
+                0.0
+            },
         );
     summary.log();
     write_bench_json(&args.out, &summary)?;
@@ -174,23 +210,45 @@ fn run() -> Result<(), BenchError> {
             event_speedup >= 5.0,
             format!("event-driven speedup {event_speedup:.1}x below the 5x acceptance bar"),
         )?;
-        // The sharded bar is only meaningful when the host can actually
-        // run the shards in parallel; a speedup below 1x there would mean
-        // the pool's dispatch overhead swamps the parallel work.
-        if parallelism >= SHARDS {
-            check_claim(
-                busy_sharded_speedup >= 1.0,
-                format!(
-                    "sharded busy speedup {busy_sharded_speedup:.2}x below 1x on a \
-                     {parallelism}-CPU host: pool overhead dominates"
-                ),
-            )?;
+    }
+
+    // The busy sharded bar. Three outcomes, each spelled out in the log:
+    // ENFORCED (the measurement gates the run), SKIPPED (the host cannot
+    // demonstrate parallel speedup), or failure when --enforce-sharded
+    // forbids skipping.
+    if args.enforce_sharded && !host_capable {
+        println!(
+            "perf_smoke: sharded_busy_speedup bar (>= {busy_bar}x): would be SKIPPED \
+             (host has {parallelism} CPUs < {SHARDS} shards) but --enforce-sharded forbids it"
+        );
+        return Err(BenchError::ClaimFailed(format!(
+            "--enforce-sharded: host has {parallelism} CPUs but the {SHARDS}-shard \
+             speedup bar needs >= {SHARDS}; run on a multi-core host"
+        )));
+    }
+    if busy_bar_active {
+        println!(
+            "perf_smoke: sharded_busy_speedup bar (>= {busy_bar}x): ENFORCED \
+             (host has {parallelism} CPUs >= {SHARDS} shards): measured \
+             {busy_sharded_speedup:.2}x"
+        );
+        check_claim(
+            busy_sharded_speedup >= busy_bar,
+            format!(
+                "sharded busy speedup {busy_sharded_speedup:.2}x below the {busy_bar}x bar \
+                 on a {parallelism}-CPU host"
+            ),
+        )?;
+    } else {
+        let reason = if !host_capable {
+            format!("host has {parallelism} CPUs < {SHARDS} shards")
         } else {
-            eprintln!(
-                "perf_smoke: skipping sharded speedup bar (host has {parallelism} CPUs, \
-                 need >= {SHARDS})"
-            );
-        }
+            "quick mode is wall-clock-noise dominated".to_string()
+        };
+        println!(
+            "perf_smoke: sharded_busy_speedup bar (>= {busy_bar}x): SKIPPED ({reason}): \
+             measured {busy_sharded_speedup:.2}x is informational"
+        );
     }
 
     args.guard_baseline(&summary)

@@ -20,7 +20,8 @@ use std::process::ExitCode;
 use lrscwait_bench::{check_claim, BenchError, Experiment};
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{
-    HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl, QueueKernel, Workload,
+    BarrierImpl, BarrierKernel, HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl,
+    QueueKernel, Workload,
 };
 use lrscwait_sim::SimConfig;
 use lrscwait_trace::{
@@ -30,10 +31,13 @@ use lrscwait_trace::{
 const USAGE: &str = "\
 usage: trace [--kernel K] [--impl I] [--arch A] [--cores N] [--iters N]
              [--max-cycles N] [--out DIR] [--stream]
-  --kernel K      histogram (default) | queue | matmul
+  --kernel K      histogram (default) | queue | matmul | barrier
   --impl I        histogram: amoadd | lrsc | lrscwait (default) | ticket | tas
                              | colibri-lock | mcs
                   queue:     direct (default) | ms | ring
+                  barrier:   central-lrsc | central-lrscwait (default) | tree
+                             | hw  (--iters = barrier episodes; --cores must
+                             be a power of two)
                   (matmul takes no --impl)
   --arch A        lrsc | lrscwait:<slots> | ideal | colibri:<queues>
                   (default colibri:4)
@@ -191,6 +195,33 @@ fn build_kernel(args: &TraceArgs) -> Result<(Box<dyn Workload>, String), BenchEr
             };
             Ok((
                 Box::new(QueueKernel::new(impl_, args.iters, args.cores)),
+                impl_name,
+            ))
+        }
+        "barrier" => {
+            let impl_name = args
+                .impl_
+                .as_deref()
+                .unwrap_or("central-lrscwait")
+                .to_string();
+            let impl_ = match impl_name.as_str() {
+                "central-lrsc" => BarrierImpl::CentralLrsc,
+                "central-lrscwait" => BarrierImpl::CentralLrscWait,
+                "tree" => BarrierImpl::TreeAmo,
+                "hw" => BarrierImpl::HwMmio,
+                other => return Err(usage_err(format!("unknown barrier impl `{other}`"))),
+            };
+            if !args.cores.is_power_of_two() {
+                return Err(usage_err(format!(
+                    "--kernel barrier needs a power-of-two --cores (got {})",
+                    args.cores
+                )));
+            }
+            if args.iters == 0 {
+                return Err(usage_err("--kernel barrier needs --iters >= 1 episodes"));
+            }
+            Ok((
+                Box::new(BarrierKernel::new(impl_, args.iters, args.cores)),
                 impl_name,
             ))
         }

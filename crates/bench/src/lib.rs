@@ -841,6 +841,7 @@ pub fn arch_for(impl_: HistImpl, colibri_queues: usize) -> SyncArch {
 /// Usage text shared by every figure binary.
 pub const USAGE: &str = "\
 usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE] [--trace]
+                       [--enforce-sharded]
   --quick          reduced sweep for CI / smoke testing
   --threads N      sweep worker threads (default: all cores, min 2)
   --out DIR        results directory (default: results)
@@ -849,6 +850,11 @@ usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE] [--
   --trace          also attach an analysis sink per sweep point and write
                    <fig>.trace.csv (handoff latency p50/p99/max per point;
                    fig3 and fig6)
+  --enforce-sharded  fail instead of skipping the >=2x sharded-speedup bar
+                   when the host has fewer CPUs than shards, and hold the
+                   measured busy speedup to >=2x (perf_smoke; the CI
+                   bench-smoke job passes this on hosted multi-core
+                   runners)
   -h, --help       show this help";
 
 /// Parsed harness CLI flags.
@@ -865,6 +871,10 @@ pub struct BenchArgs {
     /// Attach an [`AnalysisSink`] per sweep point and emit the
     /// figure-level `<fig>.trace.csv` artifact (fig3/fig6).
     pub trace: bool,
+    /// Treat the ≥2x sharded-speedup bar as mandatory (perf_smoke): a
+    /// host with fewer CPUs than shards is an error rather than a skip,
+    /// and the measured busy speedup must clear 2x.
+    pub enforce_sharded: bool,
 }
 
 impl Default for BenchArgs {
@@ -875,6 +885,7 @@ impl Default for BenchArgs {
             out: PathBuf::from("results"),
             baseline: None,
             trace: false,
+            enforce_sharded: false,
         }
     }
 }
@@ -922,6 +933,7 @@ impl BenchArgs {
                     parsed.baseline = Some(PathBuf::from(value));
                 }
                 "--trace" => parsed.trace = true,
+                "--enforce-sharded" => parsed.enforce_sharded = true,
                 "-h" | "--help" => return Err(BenchError::Help),
                 other => {
                     return Err(BenchError::Usage(format!(
@@ -1278,6 +1290,7 @@ mod tests {
                 "--baseline",
                 "b.json",
                 "--trace",
+                "--enforce-sharded",
             ]
             .map(String::from),
         )
@@ -1287,7 +1300,12 @@ mod tests {
         assert_eq!(args.out, PathBuf::from("outdir"));
         assert_eq!(args.baseline, Some(PathBuf::from("b.json")));
         assert!(args.trace);
+        assert!(args.enforce_sharded);
         assert!(!BenchArgs::default().trace, "trace artifacts are opt-in");
+        assert!(
+            !BenchArgs::default().enforce_sharded,
+            "the sharded bar defaults to host-capability gating"
+        );
     }
 
     #[test]

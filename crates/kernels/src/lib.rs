@@ -7,6 +7,7 @@
 //! | Fig. 3 / Fig. 4 / Table II — histogram under contention | [`HistogramKernel`] |
 //! | Fig. 5 — matmul with atomics interference | [`MatmulKernel`] |
 //! | Fig. 6 — concurrent queue throughput | [`QueueKernel`] |
+//! | 1024-core multi-barrier study (Bertuletti et al.) | [`BarrierKernel`] |
 //!
 //! All kernels use the MMIO harness (barrier, op counter, region markers)
 //! so measured regions exclude setup, exactly as bare-metal MemPool
@@ -35,11 +36,13 @@
 //! # }
 //! ```
 
+mod barrier;
 mod histogram;
 mod matmul;
 mod queue;
 mod workload;
 
+pub use barrier::{BarrierImpl, BarrierKernel};
 pub use histogram::{HistImpl, HistogramKernel};
 pub use matmul::{MatmulKernel, PollerKind};
 pub use queue::{QueueImpl, QueueKernel};

@@ -72,6 +72,39 @@ impl TopologyConfig {
         }
     }
 
+    /// A MemPool-style geometry scaled to `num_cores` cores (the
+    /// Bertuletti et al. 1024-core barrier study sweeps 64 → 1024 on this
+    /// shape): tiles of 4 cores and 16 banks, groups of up to 16 tiles,
+    /// and a fully connected group level. `mempool_scaled(256)` is exactly
+    /// [`TopologyConfig::mempool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_cores` is not a positive multiple of 4 (the tile
+    /// size).
+    #[must_use]
+    pub fn mempool_scaled(num_cores: usize) -> TopologyConfig {
+        assert!(
+            num_cores >= 4 && num_cores % 4 == 0,
+            "scaled MemPool geometry needs a positive multiple of 4 cores"
+        );
+        let tiles = num_cores / 4;
+        // Largest group size that divides the tile count while honoring
+        // MemPool's 16-tile ceiling (1 always divides, so this finds).
+        let tiles_per_group = (1..=16.min(tiles))
+            .rev()
+            .find(|d| tiles % d == 0)
+            .unwrap_or(1);
+        TopologyConfig {
+            num_cores,
+            cores_per_tile: 4,
+            banks_per_tile: 16,
+            tiles_per_group,
+            request_links: LinkSpecs::default(),
+            response_links: LinkSpecs::default(),
+        }
+    }
+
     /// A small single-group configuration for tests (`num_cores` cores in
     /// tiles of up to 4, 4 banks per core).
     #[must_use]
@@ -308,6 +341,59 @@ mod tests {
         assert_eq!(cfg.num_tiles(), 64);
         assert_eq!(cfg.num_groups(), 4);
         assert_eq!(cfg.num_banks(), 1024);
+    }
+
+    #[test]
+    fn scaled_mempool_geometry() {
+        // 256 cores reproduces the paper's MemPool shape exactly.
+        assert_eq!(
+            TopologyConfig::mempool_scaled(256),
+            TopologyConfig::mempool()
+        );
+        // 64 cores: one group of 16 tiles.
+        let c64 = TopologyConfig::mempool_scaled(64);
+        assert_eq!(c64.num_tiles(), 16);
+        assert_eq!(c64.num_groups(), 1);
+        assert_eq!(c64.num_banks(), 256);
+        // 1024 cores: 256 tiles, 16 groups, 4096 banks.
+        let c1024 = TopologyConfig::mempool_scaled(1024);
+        assert_eq!(c1024.num_tiles(), 256);
+        assert_eq!(c1024.num_groups(), 16);
+        assert_eq!(c1024.num_banks(), 4096);
+        // Sub-group sizes collapse to a single group.
+        assert_eq!(TopologyConfig::mempool_scaled(16).num_groups(), 1);
+        // Tile counts above 16 that 16 does not divide still honor the
+        // 16-tile group ceiling: 96 cores = 24 tiles -> groups of 12.
+        let c96 = TopologyConfig::mempool_scaled(96);
+        assert_eq!(c96.tiles_per_group, 12);
+        assert_eq!(c96.num_groups(), 2);
+        // Prime tile counts above 16 fall back to per-tile groups.
+        let c68 = TopologyConfig::mempool_scaled(68); // 17 tiles
+        assert_eq!(c68.tiles_per_group, 1);
+        assert_eq!(c68.num_groups(), 17);
+    }
+
+    #[test]
+    fn scaled_mempool_routes_stay_within_network() {
+        let topo = MempoolTopology::new(TopologyConfig::mempool_scaled(1024));
+        let req: Network<u32> = topo.build_request_network();
+        let resp: Network<u32> = topo.build_response_network();
+        for &core in &[0usize, 255, 512, 1023] {
+            for &bank in &[0usize, 63, 64, 2048, 4095] {
+                for &id in topo.request_route(core, bank).hops() {
+                    assert!((id as usize) < req.num_nodes());
+                }
+                for &id in topo.response_route(bank, core).hops() {
+                    assert!((id as usize) < resp.num_nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn scaled_mempool_rejects_non_tile_multiples() {
+        let _ = TopologyConfig::mempool_scaled(6);
     }
 
     #[test]

@@ -430,6 +430,26 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Uses a MemPool-style geometry scaled to `n` cores (tiles of 4
+    /// cores / 16 banks, groups of up to 16 tiles — see
+    /// [`TopologyConfig::mempool_scaled`]), keeping the paper's 1 KiB of
+    /// SPM per bank and the 10 M cycle watchdog. `mempool_cores(256)` is
+    /// exactly [`mempool`](Self::mempool); the 1024-core barrier study
+    /// uses `mempool_cores(1024)`. Like `mempool`, this *sets* the
+    /// watchdog — call [`max_cycles`](Self::max_cycles) afterwards to
+    /// override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a positive multiple of 4 (the tile size).
+    #[must_use]
+    pub fn mempool_cores(mut self, n: usize) -> SimConfigBuilder {
+        self.topology = TopologyConfig::mempool_scaled(n);
+        self.spm_bytes = (self.topology.num_banks() as u32) << 10;
+        self.max_cycles = 10_000_000;
+        self
+    }
+
     /// Uses an explicit topology.
     #[must_use]
     pub fn topology(mut self, topology: TopologyConfig) -> SimConfigBuilder {
@@ -597,6 +617,24 @@ mod tests {
         assert_eq!(built.topology, preset.topology);
         assert_eq!(built.spm_bytes, preset.spm_bytes);
         assert_eq!(built.max_cycles, preset.max_cycles);
+    }
+
+    #[test]
+    fn builder_mempool_cores_scales_the_geometry() {
+        let c256 = SimConfig::builder().mempool_cores(256).build().unwrap();
+        let preset = SimConfig::builder().mempool().build().unwrap();
+        assert_eq!(c256.topology, preset.topology);
+        assert_eq!(c256.spm_bytes, preset.spm_bytes);
+
+        let c1024 = SimConfig::builder().mempool_cores(1024).build().unwrap();
+        assert_eq!(c1024.topology.num_cores, 1024);
+        assert_eq!(c1024.topology.num_banks(), 4096);
+        assert_eq!(c1024.words_per_bank(), 256, "1 KiB per bank preserved");
+        assert!(c1024.max_cycles >= 10_000_000);
+
+        let c64 = SimConfig::builder().mempool_cores(64).build().unwrap();
+        assert_eq!(c64.topology.num_banks(), 256);
+        c64.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Per-node NoC traffic aggregation — the raw material of the Fig. 5-style
+//! interference heatmaps.
+//!
+//! [`NocEvent`]s carry node ids only; the [`NocHeatmapSink`] folds them
+//! into one counter row per `(network, node)` pair: messages injected at
+//! the node, injections refused there (backpressure reached the source),
+//! messages delivered out of it, and head-of-line blocking occurrences at
+//! it. Where the aggregate `NetworkStats` answer *how much* interference a
+//! run suffered, the heatmap answers *where* — which banks, routers and
+//! cross-group links the polling storm actually saturates.
+//!
+//! The sink is bounded by construction: state is one fixed-size counter
+//! struct per touched node, independent of run length, so full-scale
+//! (10 M cycle, 1024-core) runs trace at constant memory.
+
+use lrscwait_noc::NocEvent;
+
+use crate::{NetDir, TraceEvent, TraceSink};
+
+/// Event counters for one network node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Messages that entered the network at this node.
+    pub injected: u64,
+    /// Injection attempts refused because this node's queue was full.
+    pub inject_stalled: u64,
+    /// Messages that left the network at this node.
+    pub delivered: u64,
+    /// Head-of-line blocking occurrences at this node.
+    pub hol_blocked: u64,
+}
+
+impl NodeTraffic {
+    fn is_zero(&self) -> bool {
+        *self == NodeTraffic::default()
+    }
+
+    fn record(&mut self, event: NocEvent) {
+        match event {
+            NocEvent::Injected { .. } => self.injected += 1,
+            NocEvent::InjectStalled { .. } => self.inject_stalled += 1,
+            NocEvent::Delivered { .. } => self.delivered += 1,
+            NocEvent::HolBlocked { .. } => self.hol_blocked += 1,
+        }
+    }
+}
+
+/// The finished per-node traffic aggregation (see
+/// [`NocHeatmapSink::finish`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NocHeatmap {
+    /// Request-network counters, indexed by node id.
+    pub request: Vec<NodeTraffic>,
+    /// Response-network counters, indexed by node id.
+    pub response: Vec<NodeTraffic>,
+}
+
+/// Header of the CSV rendering produced by [`NocHeatmap::csv_rows`].
+pub const HEATMAP_CSV_HEADER: [&str; 6] = [
+    "net",
+    "node",
+    "injected",
+    "inject_stalled",
+    "delivered",
+    "hol_blocked",
+];
+
+impl NocHeatmap {
+    /// Total head-of-line blocking occurrences across both networks.
+    #[must_use]
+    pub fn total_hol_blocks(&self) -> u64 {
+        self.request
+            .iter()
+            .chain(self.response.iter())
+            .map(|n| n.hol_blocked)
+            .sum()
+    }
+
+    /// Total deliveries across both networks.
+    #[must_use]
+    pub fn total_delivered(&self) -> u64 {
+        self.request
+            .iter()
+            .chain(self.response.iter())
+            .map(|n| n.delivered)
+            .sum()
+    }
+
+    /// One CSV row per `(network, node)` with any traffic, in
+    /// `(request-before-response, node id)` order — the body matching
+    /// [`HEATMAP_CSV_HEADER`]. Untouched nodes are omitted so full-scale
+    /// heatmaps stay proportional to the *active* fabric.
+    #[must_use]
+    pub fn csv_rows(&self) -> Vec<Vec<String>> {
+        let render = |net: &str, nodes: &[NodeTraffic]| -> Vec<Vec<String>> {
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.is_zero())
+                .map(|(node, t)| {
+                    vec![
+                        net.to_string(),
+                        node.to_string(),
+                        t.injected.to_string(),
+                        t.inject_stalled.to_string(),
+                        t.delivered.to_string(),
+                        t.hol_blocked.to_string(),
+                    ]
+                })
+                .collect()
+        };
+        let mut rows = render("request", &self.request);
+        rows.extend(render("response", &self.response));
+        rows
+    }
+}
+
+/// Folds [`TraceEvent::Noc`] events into a [`NocHeatmap`]; every other
+/// event is ignored.
+#[derive(Clone, Debug, Default)]
+pub struct NocHeatmapSink {
+    heatmap: NocHeatmap,
+}
+
+impl NocHeatmapSink {
+    /// An empty heatmap sink.
+    #[must_use]
+    pub fn new() -> NocHeatmapSink {
+        NocHeatmapSink::default()
+    }
+
+    /// Produces the aggregated heatmap.
+    #[must_use]
+    pub fn finish(&self) -> NocHeatmap {
+        self.heatmap.clone()
+    }
+}
+
+fn node_of(event: NocEvent) -> usize {
+    match event {
+        NocEvent::Injected { node }
+        | NocEvent::InjectStalled { node }
+        | NocEvent::Delivered { node }
+        | NocEvent::HolBlocked { node } => node as usize,
+    }
+}
+
+impl TraceSink for NocHeatmapSink {
+    fn record(&mut self, _cycle: u64, event: TraceEvent) {
+        let TraceEvent::Noc { net, event } = event else {
+            return;
+        };
+        let nodes = match net {
+            NetDir::Request => &mut self.heatmap.request,
+            NetDir::Response => &mut self.heatmap.response,
+        };
+        let node = node_of(event);
+        if nodes.len() <= node {
+            nodes.resize(node + 1, NodeTraffic::default());
+        }
+        nodes[node].record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc(net: NetDir, event: NocEvent) -> TraceEvent {
+        TraceEvent::Noc { net, event }
+    }
+
+    #[test]
+    fn counts_accumulate_per_net_and_node() {
+        let mut sink = NocHeatmapSink::new();
+        sink.record(1, noc(NetDir::Request, NocEvent::Injected { node: 3 }));
+        sink.record(2, noc(NetDir::Request, NocEvent::HolBlocked { node: 3 }));
+        sink.record(2, noc(NetDir::Request, NocEvent::HolBlocked { node: 3 }));
+        sink.record(3, noc(NetDir::Request, NocEvent::Delivered { node: 3 }));
+        sink.record(3, noc(NetDir::Response, NocEvent::Delivered { node: 0 }));
+        sink.record(
+            4,
+            noc(NetDir::Response, NocEvent::InjectStalled { node: 1 }),
+        );
+        // Non-NoC events are ignored.
+        sink.record(5, TraceEvent::Halt { core: 0 });
+        let map = sink.finish();
+        assert_eq!(map.request[3].injected, 1);
+        assert_eq!(map.request[3].hol_blocked, 2);
+        assert_eq!(map.request[3].delivered, 1);
+        assert_eq!(map.response[0].delivered, 1);
+        assert_eq!(map.response[1].inject_stalled, 1);
+        assert_eq!(map.total_hol_blocks(), 2);
+        assert_eq!(map.total_delivered(), 2);
+    }
+
+    #[test]
+    fn csv_rows_skip_untouched_nodes() {
+        let mut sink = NocHeatmapSink::new();
+        sink.record(1, noc(NetDir::Request, NocEvent::Delivered { node: 5 }));
+        sink.record(2, noc(NetDir::Response, NocEvent::HolBlocked { node: 2 }));
+        let rows = sink.finish().csv_rows();
+        // Nodes 0..5 of the request net were allocated by the resize but
+        // never touched: only the two active rows render.
+        assert_eq!(
+            rows,
+            vec![
+                vec!["request", "5", "0", "0", "1", "0"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect::<Vec<_>>(),
+                vec!["response", "2", "0", "0", "0", "1"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect::<Vec<_>>(),
+            ]
+        );
+        assert_eq!(HEATMAP_CSV_HEADER.len(), rows[0].len());
+    }
+
+    #[test]
+    fn empty_heatmap_renders_no_rows() {
+        assert!(NocHeatmapSink::new().finish().csv_rows().is_empty());
+        assert_eq!(NocHeatmap::default().total_hol_blocks(), 0);
+    }
+}

@@ -30,18 +30,27 @@
 //!   byte-identical output to the buffered sink).
 //! * [`AnalysisSink`] — in-memory derived metrics: lock handoff latency
 //!   distribution (p50/p99/max), wait-queue occupancy over time, and
-//!   SC-failure / retry-abort causes.
+//!   SC-failure / retry-abort causes. Sample vectors are bounded by
+//!   seeded reservoir sampling, so arbitrarily long runs analyze at
+//!   constant memory.
+//! * [`NocHeatmapSink`] — per-node NoC traffic counters (injected /
+//!   refused / delivered / HoL-blocked per network node), the data behind
+//!   the interference heatmap CSVs of the barrier study.
 //! * [`RecordingSink`] (raw event log), [`NullSink`], [`FanoutSink`]
 //!   (tee to several sinks), and [`SharedSink`] (hand a sink to a
 //!   `Machine` and read it back after the run).
 
 mod analysis;
+mod heatmap;
 pub mod json;
 mod perfetto;
 
 use std::sync::{Arc, Mutex};
 
-pub use analysis::{AnalysisSink, HandoffStats, OccupancyStats, SyncAnalysis, SyncCounters};
+pub use analysis::{
+    AnalysisSink, HandoffStats, OccupancyStats, SyncAnalysis, SyncCounters, ANALYSIS_RESERVOIR_CAP,
+};
+pub use heatmap::{NocHeatmap, NocHeatmapSink, NodeTraffic, HEATMAP_CSV_HEADER};
 pub use lrscwait_core::SyncEvent;
 pub use lrscwait_noc::NocEvent;
 pub use perfetto::{PerfettoSink, StreamingPerfettoSink};

@@ -18,14 +18,14 @@
 //!
 //! | Crate | Role |
 //! |---|---|
-//! | [`core`](lrscwait_core) | The protocol: LRSC baseline, centralized LRSCwait queue, Colibri controller + Qnode, Mwait |
-//! | [`isa`](lrscwait_isa) | RV32IMA + Xlrscwait instruction set |
-//! | [`asm`](lrscwait_asm) | Assembler for benchmark kernels |
-//! | [`noc`](lrscwait_noc) | Backpressured hierarchical interconnect |
-//! | [`sim`](lrscwait_sim) | Cycle-accurate MemPool-like manycore simulator |
-//! | [`trace`](lrscwait_trace) | Zero-overhead tracing: structured events, Perfetto export, handoff/occupancy analysis |
-//! | [`kernels`](lrscwait_kernels) | The paper's benchmarks as real assembly, behind the `Workload` trait |
-//! | [`model`](lrscwait_model) | Area (Table I) and energy (Table II) models |
+//! | [`core`] | The protocol: LRSC baseline, centralized LRSCwait queue, Colibri controller + Qnode, Mwait |
+//! | [`isa`] | RV32IMA + Xlrscwait instruction set |
+//! | [`asm`] | Assembler for benchmark kernels |
+//! | [`noc`] | Backpressured hierarchical interconnect |
+//! | [`sim`] | Cycle-accurate MemPool-like manycore simulator |
+//! | [`trace`] | Zero-overhead tracing: structured events, Perfetto export, handoff/occupancy analysis |
+//! | [`kernels`] | The paper's benchmarks as real assembly, behind the `Workload` trait |
+//! | [`model`] | Area (Table I) and energy (Table II) models |
 //! | `lrscwait-bench` | `Experiment`/`Sweep` runners regenerating every figure and table |
 //!
 //! # Quickstart

@@ -6,9 +6,11 @@
 
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{
-    HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl, QueueKernel, Workload,
+    BarrierImpl, BarrierKernel, HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl,
+    QueueKernel, Workload,
 };
-use lrscwait::sim::SimConfig;
+use lrscwait::sim::{ExecMode, SimConfig};
+use lrscwait::trace::{RecordingSink, SharedSink};
 use lrscwait_bench::{Experiment, Measurement, Sweep};
 
 fn assert_equivalent(kernel: &dyn Workload, cfg: SimConfig, what: &str) -> Measurement {
@@ -84,6 +86,122 @@ fn matmul_interference_is_equivalent() {
             .unwrap();
         let m = assert_equivalent(&kernel, cfg, &format!("matmul {kind:?} on {arch}"));
         assert!(m.max_region_cycles(0..2).is_some());
+    }
+}
+
+/// The (barrier algorithm, architecture) pairs the differential and
+/// tracing suites cover: every algorithm on its native architecture plus
+/// the degenerate fail-fast path of the wait-based barrier on plain LRSC.
+const BARRIER_MATRIX: [(BarrierImpl, SyncArch); 6] = [
+    (BarrierImpl::CentralLrsc, SyncArch::Lrsc),
+    (
+        BarrierImpl::CentralLrscWait,
+        SyncArch::Colibri { queues: 4 },
+    ),
+    (BarrierImpl::CentralLrscWait, SyncArch::Lrsc),
+    (BarrierImpl::TreeAmo, SyncArch::Lrsc),
+    (BarrierImpl::TreeAmo, SyncArch::LrscWaitIdeal),
+    (BarrierImpl::HwMmio, SyncArch::Lrsc),
+];
+
+#[test]
+fn barrier_matrix_is_equivalent() {
+    for (impl_, arch) in BARRIER_MATRIX {
+        let kernel = BarrierKernel::new(impl_, 3, 8);
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        assert_equivalent(&kernel, cfg, &format!("barrier {impl_:?} on {arch}"));
+    }
+}
+
+#[test]
+fn sharded_barrier_matrix_is_equivalent() {
+    // The barrier kernels stress exactly the phase the sharded machine
+    // serializes (the barrier-release sub-phase) — shards=1, shards=4 and
+    // the sharded reference stepper must agree byte-for-byte.
+    for (impl_, arch) in BARRIER_MATRIX {
+        let kernel = BarrierKernel::new(impl_, 3, 8);
+        let build = |shards: usize| {
+            SimConfig::builder()
+                .cores(8)
+                .arch(arch)
+                .shards(shards)
+                .max_cycles(50_000_000)
+                .build()
+                .unwrap()
+        };
+        let what = format!("sharded barrier {impl_:?} on {arch}");
+        let base = Experiment::new(&kernel, build(1)).x(1).run().expect(&what);
+        let sharded = Experiment::new(&kernel, build(4)).x(1).run().expect(&what);
+        let sharded_ref = Experiment::new(&kernel, build(4))
+            .x(1)
+            .reference()
+            .run()
+            .expect(&what);
+        for (m, label) in [(&sharded, "shards=4"), (&sharded_ref, "shards=4 ref")] {
+            assert_eq!(base.cycles, m.cycles, "{what}: {label} cycle count");
+            assert_eq!(base.stats, m.stats, "{what}: {label} statistics");
+            assert_eq!(base.csv_row(), m.csv_row(), "{what}: {label} CSV row");
+        }
+    }
+}
+
+#[test]
+fn barrier_trace_streams_are_identical_across_modes_and_shards() {
+    // Not just the aggregates: the full structured event stream of a
+    // barrier run — park/wake, barrier arrive/release, adapter and NoC
+    // events, cycle-stamped — must be identical for every (exec mode,
+    // shard count) combination.
+    let record = |impl_: BarrierImpl, arch: SyncArch, mode: ExecMode, shards: usize| {
+        let kernel = BarrierKernel::new(impl_, 3, 8);
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .arch(arch)
+            .exec_mode(mode)
+            .shards(shards)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        let sink = SharedSink::new(RecordingSink::new());
+        let m = Experiment::new(&kernel, cfg)
+            .x(1)
+            .sink(Box::new(sink.clone()))
+            .run()
+            .expect("traced barrier run");
+        (sink.take().events, m)
+    };
+    for (impl_, arch) in [
+        (
+            BarrierImpl::CentralLrscWait,
+            SyncArch::Colibri { queues: 4 },
+        ),
+        (BarrierImpl::TreeAmo, SyncArch::Lrsc),
+        (BarrierImpl::HwMmio, SyncArch::Lrsc),
+    ] {
+        let (base_events, base_m) = record(impl_, arch, ExecMode::EventDriven, 1);
+        assert!(
+            !base_events.is_empty(),
+            "{impl_:?}: stream must be non-empty"
+        );
+        for (mode, shards) in [
+            (ExecMode::Reference, 1),
+            (ExecMode::EventDriven, 4),
+            (ExecMode::Reference, 2),
+        ] {
+            let (events, m) = record(impl_, arch, mode, shards);
+            assert_eq!(
+                base_m.cycles, m.cycles,
+                "{impl_:?} {mode:?} shards={shards}"
+            );
+            assert_eq!(
+                base_events, events,
+                "{impl_:?} on {arch}: trace stream diverges for {mode:?} shards={shards}"
+            );
+        }
     }
 }
 
