@@ -1,0 +1,368 @@
+//! `fig_latency` — open-loop tail latency vs offered load for a service
+//! fleet on LRSC vs Colibri wait hardware.
+//!
+//! The paper's throughput figures drive closed loops, which hide latency:
+//! a core that polls slower simply issues slower. This figure drives the
+//! opposite regime — an **open-loop** arrival process (`lrscwait-traffic`)
+//! injects items on its own schedule whether or not the fleet keeps up —
+//! and reports the end-to-end latency distribution (p50/p99/p99.9) as the
+//! offered load climbs toward and past saturation.
+//!
+//! Sweep: offered load ρ (percent of the fleet's *measured* capacity) ×
+//! synchronization architecture × arrival model (Poisson, and a bursty
+//! two-state MMPP in the full sweep). Per-item service time is fixed, so
+//! the x-axis is calibrated first: a low-load run on wait hardware
+//! measures the effective per-item service time (mailbox overhead
+//! included), and the sweep's inter-arrival means are derived from it.
+//! The same means are then used for both architectures, so the LRSC
+//! series shows what the paper predicts: the polling doorbell path
+//! saturates earlier and its tail grows faster.
+//!
+//! A deliberately unserviceable overload point (ρ = 800 %) is part of the
+//! sweep: it must **DNF** (run out of cycle budget with items still
+//! queued) on every architecture — fig_barriers' DNF policy applied to
+//! open-loop saturation. DNF points stay in the CSV flagged `dnf=1`
+//! (their percentiles cover the items that did complete) because the
+//! saturation knee *is* the figure; claims only use completed points.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lrscwait_bench::{
+    check_claim, markdown_table, write_bench_json, write_csv, BenchArgs, BenchError, PerfSummary,
+};
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::ServiceKernel;
+use lrscwait_sim::SimConfig;
+use lrscwait_traffic::{
+    ArrivalProcess, HarnessError, ServiceHarness, TrafficConfig, TrafficSummary,
+};
+
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("fig_latency", run)
+}
+
+/// Servers in the fleet (active cores).
+const SERVERS: u32 = 8;
+/// Nominal per-item service loop parameter (see [`ServiceKernel`]).
+const SERVICE: u32 = 100;
+/// The guaranteed-saturated load point (percent of measured capacity).
+const OVERLOAD: u32 = 800;
+
+const CSV_HEADER: [&str; 16] = [
+    "series",
+    "model",
+    "load_pct",
+    "interarrival",
+    "items",
+    "completed",
+    "dnf",
+    "p50",
+    "p99",
+    "p999",
+    "max_latency",
+    "mean_latency",
+    "throughput_kcycle",
+    "qdepth_mean",
+    "qdepth_max",
+    "cycles",
+];
+
+struct Point {
+    series: &'static str,
+    model: &'static str,
+    load_pct: u32,
+    summary: TrafficSummary,
+    host_seconds: f64,
+}
+
+/// Maps a harness failure onto the bench error vocabulary. A DNF is *not*
+/// an error (the harness reports it in the summary); these are genuine
+/// failures — machine faults, fleet checksum mismatches, protocol bugs.
+fn bench_err(label: &str, err: HarnessError) -> BenchError {
+    match err {
+        HarnessError::Sim(e) => BenchError::Run(e),
+        HarnessError::Verify(source) => BenchError::Verify {
+            label: label.to_string(),
+            source,
+        },
+        other => BenchError::ClaimFailed(format!("{label}: {other}")),
+    }
+}
+
+/// One traffic run: fleet of [`SERVERS`] on `arch`, open-loop arrivals
+/// with the given mean inter-arrival time, `items` items, cycle budget
+/// sized so saturated points run out (DNF) instead of running forever.
+fn drive(
+    arch: SyncArch,
+    label: &str,
+    mean: f64,
+    items: u64,
+    seed: u64,
+    bursty: bool,
+) -> Result<TrafficSummary, BenchError> {
+    let warmup = TrafficConfig::new(items).warmup;
+    let budget = warmup + (items as f64 * mean * 1.25) as u64 + 4 * u64::from(SERVICE);
+    let cfg = SimConfig::builder()
+        .cores(SERVERS as usize)
+        .arch(arch)
+        .max_cycles(budget)
+        .build()?;
+    let arrivals = if bursty {
+        // Two-state MMPP with the same long-run mean as the Poisson
+        // series: dwell alternates between 2x and 2/3x the mean rate.
+        ArrivalProcess::mmpp(seed, 2.0 * mean, 2.0 * mean / 3.0, 40.0 * mean)
+    } else {
+        ArrivalProcess::poisson(seed, mean)
+    };
+    let kernel = ServiceKernel::new(SERVERS, SERVICE);
+    let mut harness = ServiceHarness::new(cfg, kernel, TrafficConfig::new(items), arrivals)
+        .map_err(|e| bench_err(label, e))?;
+    harness.run().map_err(|e| bench_err(label, e))
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
+    let loads: Vec<u32> = if args.quick {
+        vec![25, 70, 100, OVERLOAD]
+    } else {
+        vec![10, 25, 40, 55, 70, 85, 100, 120, 140, OVERLOAD]
+    };
+    let items: u64 = if args.quick { 150 } else { 1500 };
+    let archs: [(&'static str, SyncArch); 2] = [
+        ("LRSC", SyncArch::Lrsc),
+        ("Colibri", SyncArch::Colibri { queues: 4 }),
+    ];
+    let models: &[&'static str] = if args.quick {
+        &["poisson"]
+    } else {
+        &["poisson", "bursty"]
+    };
+
+    // Calibrate the fleet's effective per-item service time (service loop
+    // + mailbox/dispatch overhead) with a near-idle run on wait hardware,
+    // then express every sweep point as a fraction of that capacity. The
+    // nominal SERVICE constant alone would put the knee at an unknown
+    // multiple of ρ = 1.
+    let cal = drive(
+        SyncArch::Colibri { queues: 4 },
+        "calibration",
+        f64::from(SERVICE) * 8.0,
+        128,
+        0x5EED,
+        false,
+    )?;
+    check_claim(
+        !cal.dnf && cal.latency.p50 >= u64::from(SERVICE),
+        "calibration run must complete with at least the nominal service time",
+    )?;
+    let service_eff = cal.latency.p50 as f64;
+    eprintln!(
+        "fig_latency calibration: effective service time {service_eff:.0} cycles \
+         (nominal {SERVICE}); fleet capacity 1 item per {:.1} cycles",
+        service_eff / f64::from(SERVERS)
+    );
+
+    let mut points: Vec<(usize, &'static str, u32)> = Vec::new();
+    for (ai, _) in archs.iter().enumerate() {
+        for &model in models {
+            for &load in &loads {
+                points.push((ai, model, load));
+            }
+        }
+    }
+
+    let results: Vec<Point> = args.sweep("fig_latency").run(points, |(ai, model, load)| {
+        let (series, arch) = archs[ai];
+        let label = format!("{series}/{model} load={load}%");
+        let mean = service_eff / (f64::from(SERVERS) * f64::from(load) / 100.0);
+        let seed = 0xACE1
+            + u64::from(load) * 31
+            + ai as u64 * 7919
+            + if model == "bursty" { 104_729 } else { 0 };
+        let started = Instant::now();
+        let summary = drive(arch, &label, mean, items, seed, model == "bursty")?;
+        let host_seconds = started.elapsed().as_secs_f64();
+        if summary.dnf {
+            eprintln!(
+                "fig_latency {label}: DNF — {}/{} items within {} cycles \
+                     (saturated, queue peaked at {})",
+                summary.completed, summary.items, summary.cycles, summary.queue_depth_max
+            );
+        } else {
+            eprintln!(
+                "fig_latency {label}: p50 {} p99 {} p99.9 {} cycles \
+                     (mean inter-arrival {:.1})",
+                summary.latency.p50, summary.latency.p99, summary.latency.p999, mean
+            );
+        }
+        Ok(Point {
+            series,
+            model,
+            load_pct: load,
+            summary,
+            host_seconds,
+        })
+    })?;
+
+    let perf = PerfSummary {
+        name: "fig_latency".to_string(),
+        experiments: results.len(),
+        total_sim_cycles: results.iter().map(|p| p.summary.cycles).sum(),
+        total_host_seconds: results.iter().map(|p| p.host_seconds).sum(),
+        extra: Vec::new(),
+    };
+    perf.log();
+    write_bench_json(&args.out, &perf)?;
+    args.guard_baseline(&perf)?;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|p| {
+            let s = &p.summary;
+            vec![
+                p.series.to_string(),
+                p.model.to_string(),
+                p.load_pct.to_string(),
+                format!("{:.2}", s.mean_interarrival),
+                s.items.to_string(),
+                s.completed.to_string(),
+                u32::from(s.dnf).to_string(),
+                s.latency.p50.to_string(),
+                s.latency.p99.to_string(),
+                s.latency.p999.to_string(),
+                s.latency.max.to_string(),
+                format!("{:.1}", s.latency.mean),
+                format!("{:.3}", s.throughput_per_kcycle),
+                format!("{:.2}", s.queue_depth_mean),
+                s.queue_depth_max.to_string(),
+                s.cycles.to_string(),
+            ]
+        })
+        .collect();
+    let csv_path = write_csv(&args.out, "fig_latency", &CSV_HEADER, &rows)?;
+
+    // Self-check, CI style: the artifact round-trips with the declared
+    // header and exactly one row per sweep point.
+    let text = std::fs::read_to_string(&csv_path).map_err(|source| BenchError::Io {
+        path: csv_path.display().to_string(),
+        source,
+    })?;
+    let mut lines = text.lines();
+    check_claim(
+        lines.next() == Some(CSV_HEADER.join(",").as_str()),
+        "fig_latency.csv header mismatch",
+    )?;
+    check_claim(
+        lines.count() == results.len(),
+        format!("fig_latency.csv must hold {} data rows", results.len()),
+    )?;
+
+    println!("\n## Open-loop tail latency vs offered load\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["series", "model", "load %", "p50", "p99", "p99.9", "q max", "dnf"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r[0].clone(),
+                        r[1].clone(),
+                        r[2].clone(),
+                        r[7].clone(),
+                        r[8].clone(),
+                        r[9].clone(),
+                        r[14].clone(),
+                        r[6].clone(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    // Quantitative claims, on the Poisson series only (the bursty series
+    // is reported, not claimed — its tails depend on dwell phasing).
+    let point = |series: &str, load: u32| -> Result<&TrafficSummary, BenchError> {
+        results
+            .iter()
+            .find(|p| p.series == series && p.model == "poisson" && p.load_pct == load)
+            .map(|p| &p.summary)
+            .ok_or(BenchError::MissingPoint {
+                series: series.to_string(),
+                x: load,
+            })
+    };
+    let low = loads[0];
+    for (series, _) in archs {
+        let base = point(series, low)?;
+        check_claim(
+            !base.dnf,
+            format!("{series}: the {low}% load point must complete"),
+        )?;
+        check_claim(
+            base.latency.p50 >= u64::from(SERVICE),
+            format!(
+                "{series}: p50 at {low}% load must include the {SERVICE}-cycle service floor \
+                 (got {})",
+                base.latency.p50
+            ),
+        )?;
+        // The saturation knee: the highest load this series still
+        // completed must show clear queueing delay over the idle fleet.
+        let knee = loads
+            .iter()
+            .rev()
+            .find_map(|&l| point(series, l).ok().filter(|s| !s.dnf).map(|s| (l, s)))
+            .ok_or(BenchError::MissingPoint {
+                series: series.to_string(),
+                x: 0,
+            })?;
+        eprintln!(
+            "fig_latency {series}: knee at {}% load — p99 {} vs {} at {low}%",
+            knee.0, knee.1.latency.p99, base.latency.p99
+        );
+        check_claim(
+            knee.0 > low && knee.1.latency.p99 >= base.latency.p99 * 3 / 2,
+            format!(
+                "{series}: p99 must grow at least 1.5x toward saturation \
+                 ({} at {}% vs {} at {low}%)",
+                knee.1.latency.p99, knee.0, base.latency.p99
+            ),
+        )?;
+        // The unserviceable point must DNF — the budget is sized so that
+        // 8x the fleet's measured capacity cannot drain in time.
+        let over = point(series, OVERLOAD)?;
+        check_claim(
+            over.dnf && over.completed < over.items,
+            format!("{series}: the {OVERLOAD}% overload point must DNF"),
+        )?;
+    }
+
+    // The paper's headline for this figure: at the highest load both
+    // architectures still complete, the parked (Colibri) fleet's tail is
+    // shorter than the polling (LRSC) fleet's — doorbell polling burns
+    // bank bandwidth the service path needs.
+    let common = loads
+        .iter()
+        .rev()
+        .find(|&&l| {
+            archs
+                .iter()
+                .all(|&(s, _)| point(s, l).map(|p| !p.dnf).unwrap_or(false))
+        })
+        .ok_or(BenchError::MissingPoint {
+            series: "latency comparison".to_string(),
+            x: 0,
+        })?;
+    let lrsc = point("LRSC", *common)?.latency.p99;
+    let colibri = point("Colibri", *common)?.latency.p99;
+    println!("at {common}% load: p99 LRSC {lrsc} vs Colibri {colibri} cycles");
+    check_claim(
+        colibri < lrsc,
+        format!(
+            "wait-hardware parking must shorten the p99 tail at {common}% load \
+             (Colibri {colibri} vs LRSC {lrsc} cycles)"
+        ),
+    )
+}

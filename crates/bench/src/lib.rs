@@ -305,6 +305,8 @@ pub struct Experiment<'w> {
     label: Option<String>,
     x: u32,
     sink: Option<Box<dyn TraceSink>>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 impl<'w> Experiment<'w> {
@@ -317,6 +319,8 @@ impl<'w> Experiment<'w> {
             label: None,
             x: 0,
             sink: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -341,6 +345,27 @@ impl<'w> Experiment<'w> {
     #[must_use]
     pub fn reference(mut self) -> Experiment<'w> {
         self.cfg.exec_mode = ExecMode::Reference;
+        self
+    }
+
+    /// Writes a machine snapshot (`Machine::snapshot`) to `path` when the
+    /// run ends. The snapshot is written *even when the watchdog fires*,
+    /// so a run that exhausted its cycle budget can be resumed with a
+    /// larger one via [`resume`](Experiment::resume).
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Experiment<'w> {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Restores the machine from a snapshot file before running, instead
+    /// of starting from reset. The snapshot must match this experiment's
+    /// architecture and geometry (`Machine::restore` checks and rejects
+    /// mismatches). The workload's `init` still runs first, so restored
+    /// state wins over any host-side initialization.
+    #[must_use]
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Experiment<'w> {
+        self.resume = Some(path.into());
         self
     }
 
@@ -442,7 +467,12 @@ impl<'w> Experiment<'w> {
     /// * [`BenchError::Run`] — the simulation faulted;
     /// * [`BenchError::Watchdog`] — not every core halted in time;
     /// * [`BenchError::Verify`] — the computation produced wrong results,
-    ///   including a mismatched MMIO op count.
+    ///   including a mismatched MMIO op count;
+    /// * [`BenchError::Io`] — a [`resume`](Experiment::resume) snapshot
+    ///   could not be read or a [`checkpoint`](Experiment::checkpoint)
+    ///   snapshot could not be written;
+    /// * [`BenchError::Load`] — a resume snapshot was malformed or does
+    ///   not match this experiment's architecture/geometry.
     pub fn run(self) -> Result<Measurement, BenchError> {
         let label = self.label.unwrap_or_else(|| self.workload.label());
         let mut cfg = self.cfg;
@@ -461,9 +491,30 @@ impl<'w> Experiment<'w> {
             machine.set_tracer(sink);
         }
         self.workload.init(&mut machine);
+        if let Some(path) = &self.resume {
+            let bytes = std::fs::read(path).map_err(|source| BenchError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
+            machine.restore(&bytes).map_err(BenchError::Load)?;
+        }
         let started = Instant::now();
         let summary = machine.run().map_err(BenchError::Run)?;
         let host_seconds = started.elapsed().as_secs_f64();
+        if let Some(path) = &self.checkpoint {
+            // Deliberately before the watchdog check: a saturated run's
+            // snapshot is exactly the one worth resuming with more budget.
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).map_err(|source| BenchError::Io {
+                    path: dir.display().to_string(),
+                    source,
+                })?;
+            }
+            std::fs::write(path, machine.snapshot()).map_err(|source| BenchError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
+        }
         if summary.exit != ExitReason::AllHalted {
             return Err(BenchError::Watchdog {
                 label,
@@ -855,6 +906,11 @@ usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE] [--
                    measured busy speedup to >=2x (perf_smoke; the CI
                    bench-smoke job passes this on hosted multi-core
                    runners)
+  --checkpoint FILE  write a machine snapshot to FILE when the run ends
+                   (written even when the watchdog fired, so a saturated
+                   run can be resumed with a larger cycle budget)
+  --resume FILE    restore the machine from a snapshot written by
+                   --checkpoint instead of starting from reset
   -h, --help       show this help";
 
 /// Parsed harness CLI flags.
@@ -875,6 +931,12 @@ pub struct BenchArgs {
     /// host with fewer CPUs than shards is an error rather than a skip,
     /// and the measured busy speedup must clear 2x.
     pub enforce_sharded: bool,
+    /// Write a machine snapshot here when the run ends (even on
+    /// watchdog), for later `--resume`.
+    pub checkpoint: Option<PathBuf>,
+    /// Restore the machine from this snapshot instead of starting from
+    /// reset.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -886,6 +948,8 @@ impl Default for BenchArgs {
             baseline: None,
             trace: false,
             enforce_sharded: false,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -934,6 +998,18 @@ impl BenchArgs {
                 }
                 "--trace" => parsed.trace = true,
                 "--enforce-sharded" => parsed.enforce_sharded = true,
+                "--checkpoint" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--checkpoint needs a file\n{USAGE}"))
+                    })?;
+                    parsed.checkpoint = Some(PathBuf::from(value));
+                }
+                "--resume" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--resume needs a file\n{USAGE}"))
+                    })?;
+                    parsed.resume = Some(PathBuf::from(value));
+                }
                 "-h" | "--help" => return Err(BenchError::Help),
                 other => {
                     return Err(BenchError::Usage(format!(
@@ -1291,6 +1367,10 @@ mod tests {
                 "b.json",
                 "--trace",
                 "--enforce-sharded",
+                "--checkpoint",
+                "ckpt.snap",
+                "--resume",
+                "prev.snap",
             ]
             .map(String::from),
         )
@@ -1301,6 +1381,10 @@ mod tests {
         assert_eq!(args.baseline, Some(PathBuf::from("b.json")));
         assert!(args.trace);
         assert!(args.enforce_sharded);
+        assert_eq!(args.checkpoint, Some(PathBuf::from("ckpt.snap")));
+        assert_eq!(args.resume, Some(PathBuf::from("prev.snap")));
+        assert!(BenchArgs::parse(["--checkpoint".to_string()]).is_err());
+        assert!(BenchArgs::parse(["--resume".to_string()]).is_err());
         assert!(!BenchArgs::default().trace, "trace artifacts are opt-in");
         assert!(
             !BenchArgs::default().enforce_sharded,
@@ -1353,6 +1437,49 @@ mod tests {
         assert_eq!(fast.cycles, reference.cycles);
         assert_eq!(fast.stats, reference.stats);
         assert_eq!(fast.csv_row(), reference.csv_row());
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_matches_uninterrupted() {
+        let dir = std::env::temp_dir().join(format!("lrscwait-ckpt-{}", std::process::id()));
+        let ckpt = dir.join("mid.snap");
+        let kernel = HistogramKernel::new(HistImpl::AmoAdd, 4, 8, 4);
+        let full = SimConfig::builder().cores(4).build().unwrap();
+        let base = Experiment::new(&kernel, full).run().unwrap();
+
+        // A budget-starved run still writes its snapshot before erroring.
+        let starved = SimConfig::builder()
+            .cores(4)
+            .max_cycles(base.cycles / 2)
+            .build()
+            .unwrap();
+        let err = Experiment::new(&kernel, starved)
+            .checkpoint(&ckpt)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BenchError::Watchdog { .. }), "{err}");
+        assert!(ckpt.exists(), "checkpoint must be written on watchdog");
+
+        // Resuming with the full budget lands exactly where the
+        // uninterrupted run did.
+        let resumed = Experiment::new(&kernel, full).resume(&ckpt).run().unwrap();
+        assert_eq!(resumed.cycles, base.cycles);
+        assert_eq!(resumed.stats, base.stats);
+
+        // Unreadable and malformed snapshots produce typed errors.
+        let missing = Experiment::new(&kernel, full)
+            .resume(dir.join("no-such.snap"))
+            .run()
+            .unwrap_err();
+        assert!(matches!(missing, BenchError::Io { .. }), "{missing}");
+        let garbage = dir.join("garbage.snap");
+        std::fs::write(&garbage, b"not a snapshot").unwrap();
+        let bad = Experiment::new(&kernel, full)
+            .resume(&garbage)
+            .run()
+            .unwrap_err();
+        assert!(matches!(bad, BenchError::Load(_)), "{bad}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode};
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::storage::WordStorage;
 
 /// A structured synchronization event observed inside a bank adapter.
@@ -137,6 +138,52 @@ pub struct AdapterStats {
     pub reservations_broken: u64,
 }
 
+impl AdapterStats {
+    /// Encodes every counter (checkpoint/restore).
+    pub fn save(&self, out: &mut StateWriter) {
+        for v in [
+            self.requests,
+            self.loads,
+            self.stores,
+            self.amos,
+            self.sc_success,
+            self.sc_failure,
+            self.wait_enqueued,
+            self.wait_failfast,
+            self.scwait_success,
+            self.scwait_failure,
+            self.successor_updates,
+            self.wakeups,
+            self.reservations_broken,
+        ] {
+            out.put_u64(v);
+        }
+    }
+
+    /// Decodes counters written by [`save`](AdapterStats::save).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::UnexpectedEof`] on a truncated buffer.
+    pub fn load(src: &mut StateReader<'_>) -> Result<AdapterStats, StateError> {
+        Ok(AdapterStats {
+            requests: src.take_u64()?,
+            loads: src.take_u64()?,
+            stores: src.take_u64()?,
+            amos: src.take_u64()?,
+            sc_success: src.take_u64()?,
+            sc_failure: src.take_u64()?,
+            wait_enqueued: src.take_u64()?,
+            wait_failfast: src.take_u64()?,
+            scwait_success: src.take_u64()?,
+            scwait_failure: src.take_u64()?,
+            successor_updates: src.take_u64()?,
+            wakeups: src.take_u64()?,
+            reservations_broken: src.take_u64()?,
+        })
+    }
+}
+
 /// A synchronization adapter in front of one SPM bank.
 ///
 /// The adapter observes **all** traffic reaching the bank (it must see plain
@@ -194,6 +241,25 @@ pub trait SyncAdapter: fmt::Debug + Send {
     /// True when the adapter holds no queued/waiting state (used by tests
     /// and by the simulator's quiescence check).
     fn is_quiescent(&self) -> bool;
+
+    /// Serializes the adapter's complete mutable state — reservation
+    /// slots, wait queues, statistics — for a machine checkpoint.
+    ///
+    /// Structural configuration (queue capacity, number of tracked
+    /// addresses) is *not* written: a snapshot is restored into an adapter
+    /// built from the same [`SyncArch`](crate::SyncArch), and
+    /// [`load_state`](SyncAdapter::load_state) validates the shapes match.
+    fn save_state(&self, out: &mut StateWriter);
+
+    /// Restores state written by [`save_state`](SyncAdapter::save_state)
+    /// into an adapter of identical structure.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] when the buffer is truncated, a discriminant is
+    /// unknown, or the recorded structure (queue capacity, slot count)
+    /// does not match this adapter.
+    fn load_state(&mut self, src: &mut StateReader<'_>) -> Result<(), StateError>;
 }
 
 /// Classic MemPool-style single reservation slot (one per bank).
@@ -244,6 +310,32 @@ impl SingleSlotLrsc {
     #[must_use]
     pub fn reservation(&self) -> Option<(CoreId, Addr)> {
         self.reservation
+    }
+
+    /// Encodes the slot (checkpoint/restore).
+    pub fn save(&self, out: &mut StateWriter) {
+        match self.reservation {
+            Some((core, addr)) => {
+                out.put_bool(true);
+                out.put_u32(core);
+                out.put_u32(addr);
+            }
+            None => out.put_bool(false),
+        }
+    }
+
+    /// Decodes a slot written by [`save`](SingleSlotLrsc::save).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on a truncated or corrupt buffer.
+    pub fn load(src: &mut StateReader<'_>) -> Result<SingleSlotLrsc, StateError> {
+        let reservation = if src.take_bool()? {
+            Some((src.take_u32()?, src.take_u32()?))
+        } else {
+            None
+        };
+        Ok(SingleSlotLrsc { reservation })
     }
 }
 

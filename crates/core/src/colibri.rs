@@ -25,6 +25,7 @@
 
 use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
 use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode};
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::storage::WordStorage;
 
 /// One (head, tail) register pair: the controller-resident part of a queue.
@@ -442,6 +443,41 @@ impl SyncAdapter for ColibriAdapter {
 
     fn is_quiescent(&self) -> bool {
         self.slots.iter().all(|s| !s.occupied)
+    }
+
+    fn save_state(&self, out: &mut StateWriter) {
+        out.put_u32(self.slots.len() as u32);
+        for s in &self.slots {
+            out.put_bool(s.occupied);
+            out.put_u32(s.addr);
+            out.put_u32(s.head);
+            out.put_u32(s.tail);
+            out.put_bool(s.head_valid);
+            out.put_bool(s.waiting_wakeup);
+            out.put_bool(s.armed_mwait);
+        }
+        self.slot.save(out);
+        self.stats.save(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateReader<'_>) -> Result<(), StateError> {
+        if src.take_u32()? as usize != self.slots.len() {
+            return Err(StateError::Invalid("Colibri queue count"));
+        }
+        for s in &mut self.slots {
+            *s = QueueSlot {
+                occupied: src.take_bool()?,
+                addr: src.take_u32()?,
+                head: src.take_u32()?,
+                tail: src.take_u32()?,
+                head_valid: src.take_bool()?,
+                waiting_wakeup: src.take_bool()?,
+                armed_mwait: src.take_bool()?,
+            };
+        }
+        self.slot = SingleSlotLrsc::load(src)?;
+        self.stats = AdapterStats::load(src)?;
+        Ok(())
     }
 }
 

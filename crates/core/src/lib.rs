@@ -50,6 +50,7 @@ pub mod harness;
 mod lrsc;
 mod msg;
 mod qnode;
+mod state;
 mod storage;
 mod waitq;
 
@@ -59,5 +60,6 @@ pub use colibri::ColibriAdapter;
 pub use lrsc::LrscAdapter;
 pub use msg::{Addr, CoreId, MemRequest, MemResponse, RmwOp, WaitMode, Word};
 pub use qnode::{Qnode, QnodeOutput};
+pub use state::{StateError, StateReader, StateWriter};
 pub use storage::{MapStorage, WordStorage};
 pub use waitq::WaitQueueAdapter;

@@ -7,6 +7,7 @@
 
 use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
 use crate::msg::{CoreId, MemRequest, MemResponse, WaitMode};
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::storage::WordStorage;
 
 /// Bank adapter implementing plain RV32A with a single LR/SC reservation
@@ -138,6 +139,17 @@ impl SyncAdapter for LrscAdapter {
 
     fn is_quiescent(&self) -> bool {
         true // never withholds responses
+    }
+
+    fn save_state(&self, out: &mut StateWriter) {
+        self.slot.save(out);
+        self.stats.save(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.slot = SingleSlotLrsc::load(src)?;
+        self.stats = AdapterStats::load(src)?;
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@
 //! [`WakeUp`]: MemRequest::WakeUp
 
 use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode};
+use crate::state::{StateError, StateReader, StateWriter};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Session {
@@ -89,6 +90,59 @@ impl Qnode {
     #[must_use]
     pub fn updates_received(&self) -> u64 {
         self.updates_received
+    }
+
+    /// Serializes the node — open session and message counters — for a
+    /// machine checkpoint.
+    pub fn save_state(&self, out: &mut StateWriter) {
+        match &self.session {
+            Some(s) => {
+                out.put_bool(true);
+                out.put_u32(s.addr);
+                out.put_u8(s.mode.encode());
+                out.put_bool(s.local_done);
+                match s.successor {
+                    Some((core, mode)) => {
+                        out.put_bool(true);
+                        out.put_u32(core);
+                        out.put_u8(mode.encode());
+                    }
+                    None => out.put_bool(false),
+                }
+            }
+            None => out.put_bool(false),
+        }
+        out.put_u64(self.wakeups_sent);
+        out.put_u64(self.updates_received);
+    }
+
+    /// Restores state written by [`save_state`](Qnode::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on a truncated or corrupt buffer.
+    pub fn load_state(&mut self, src: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.session = if src.take_bool()? {
+            let addr = src.take_u32()?;
+            let mode = WaitMode::decode(src.take_u8()?)?;
+            let local_done = src.take_bool()?;
+            let successor = if src.take_bool()? {
+                Some((src.take_u32()?, WaitMode::decode(src.take_u8()?)?))
+            } else {
+                None
+            };
+            Some(Session {
+                addr,
+                mode,
+                local_done,
+                successor,
+            })
+        } else {
+            None
+        };
+        self.wakeups_sent = src.take_u64()?;
+        self.updates_received = src.take_u64()?;
+        Ok(())
     }
 
     /// Observes a request the core is sending towards memory.

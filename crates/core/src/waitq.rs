@@ -8,6 +8,7 @@
 
 use crate::adapter::{AdapterStats, SingleSlotLrsc, SyncAdapter, SyncEvent};
 use crate::msg::{Addr, CoreId, MemRequest, MemResponse, WaitMode, Word};
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::storage::WordStorage;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -400,6 +401,45 @@ impl SyncAdapter for WaitQueueAdapter {
 
     fn is_quiescent(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    fn save_state(&self, out: &mut StateWriter) {
+        out.put_u32(self.capacity as u32);
+        out.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            out.put_u32(e.core);
+            out.put_u32(e.addr);
+            out.put_u8(e.mode.encode());
+            out.put_u32(e.expected);
+            out.put_bool(e.active);
+            out.put_bool(e.valid);
+        }
+        self.slot.save(out);
+        self.stats.save(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateReader<'_>) -> Result<(), StateError> {
+        if src.take_u32()? as usize != self.capacity {
+            return Err(StateError::Invalid("wait-queue capacity"));
+        }
+        let len = src.take_u32()? as usize;
+        if len > self.capacity {
+            return Err(StateError::Invalid("wait-queue occupancy"));
+        }
+        self.entries.clear();
+        for _ in 0..len {
+            self.entries.push(Entry {
+                core: src.take_u32()?,
+                addr: src.take_u32()?,
+                mode: WaitMode::decode(src.take_u8()?)?,
+                expected: src.take_u32()?,
+                active: src.take_bool()?,
+                valid: src.take_bool()?,
+            });
+        }
+        self.slot = SingleSlotLrsc::load(src)?;
+        self.stats = AdapterStats::load(src)?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! | Fig. 5 — matmul with atomics interference | [`MatmulKernel`] |
 //! | Fig. 6 — concurrent queue throughput | [`QueueKernel`] |
 //! | 1024-core multi-barrier study (Bertuletti et al.) | [`BarrierKernel`] |
+//! | Open-loop tail-latency study (`lrscwait-traffic` harness) | [`ServiceKernel`] |
 //!
 //! All kernels use the MMIO harness (barrier, op counter, region markers)
 //! so measured regions exclude setup, exactly as bare-metal MemPool
@@ -40,10 +41,12 @@ mod barrier;
 mod histogram;
 mod matmul;
 mod queue;
+mod service;
 mod workload;
 
 pub use barrier::{BarrierImpl, BarrierKernel};
 pub use histogram::{HistImpl, HistogramKernel};
 pub use matmul::{MatmulKernel, PollerKind};
 pub use queue::{QueueImpl, QueueKernel};
+pub use service::ServiceKernel;
 pub use workload::{VerifyError, Workload};

@@ -37,6 +37,9 @@ pub mod mmio_reg {
     pub const ARG0: u32 = 0x18;
     /// Write: append `value` to the host-visible debug log.
     pub const PRINT: u32 = 0x38;
+    /// Read: current cycle count, truncated to 32 bits (same value as the
+    /// `rdcycle` CSR; service kernels timestamp completions with it).
+    pub const CYCLE: u32 = 0x3C;
 }
 
 /// Number of MMIO argument registers.

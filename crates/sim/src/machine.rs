@@ -114,13 +114,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use lrscwait_asm::Program;
-use lrscwait_core::{AdapterStats, MemResponse, Qnode, SyncAdapter};
-use lrscwait_noc::{MempoolTopology, Network};
+use lrscwait_core::{
+    AdapterStats, MemRequest, MemResponse, Qnode, StateError, StateReader, StateWriter, SyncAdapter,
+};
+use lrscwait_isa::{MemWidth, Reg};
+use lrscwait_noc::{MempoolTopology, Network, NetworkStats, Route};
 
 use lrscwait_trace::{NetDir, OpKind, TraceEvent, TraceSink, Tracer, WakeCause};
 
 use crate::config::{ConfigError, ExecMode, SimConfig, ROM_BASE};
-use crate::cpu::{Core, CoreState, DecodedProgram};
+use crate::cpu::{Core, CoreState, DecodedProgram, PendingKind, PendingMem};
 use crate::phases::{self, CorePhase, ReqMsg, RespMsg, ShardScratch};
 use crate::shard::{Job, WorkerPool};
 use crate::stats::{ExitReason, RunSummary, SimStats};
@@ -178,6 +181,12 @@ pub enum SimError {
     },
     /// The configuration itself is inconsistent.
     Config(ConfigError),
+    /// A machine checkpoint could not be restored (truncated or corrupt
+    /// buffer, or a snapshot taken on an incompatible machine).
+    BadSnapshot {
+        /// What was wrong with the snapshot.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -214,6 +223,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Config(ref e) => write!(f, "invalid configuration: {e}"),
+            SimError::BadSnapshot { ref what } => {
+                write!(f, "cannot restore snapshot: {what}")
+            }
         }
     }
 }
@@ -250,8 +262,10 @@ pub struct Machine {
     /// order, so the stream is identical for any shard count (tracing
     /// observes, it never steers).
     tracer: Tracer,
-    /// Per-core blocking-operation kind (only maintained while tracing;
-    /// gives [`TraceEvent::Wake`] its cause).
+    /// Per-core blocking-operation kind; gives [`TraceEvent::Wake`] its
+    /// cause. Maintained unconditionally (not just while tracing) so the
+    /// field is part of canonical machine state and survives snapshots
+    /// taken from untraced machines.
     park_kind: Vec<OpKind>,
     /// Cores in `Running` state, sorted ascending (event-driven Phase 4).
     runnable: Vec<u32>,
@@ -497,6 +511,72 @@ impl Machine {
         self.banks[(w % nb) as usize][(w / nb) as usize] = value;
     }
 
+    /// Host-side store injection between cycles — the write primitive
+    /// behind the open-loop traffic harness's guest-visible injection
+    /// mailbox (`lrscwait-traffic`).
+    ///
+    /// Unlike [`Machine::write_word`], the store goes through the owning
+    /// bank's synchronization adapter exactly as a core's store would: it
+    /// fires armed `mwait` monitors, breaks LR reservations and counts in
+    /// the adapter statistics. Wake responses the adapter produces are
+    /// queued on the bank's outbox and travel the response network with
+    /// ordinary latency from the next cycle on. The host itself is not a
+    /// core: its store applies instantly (no request-network round trip)
+    /// and its acknowledgement is discarded.
+    ///
+    /// Injections are machine state like any other event: runs performing
+    /// the same injections at the same cycles stay bit-identical across
+    /// execution modes, shard counts and tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is outside the SPM or not word-aligned.
+    pub fn inject_store(&mut self, addr: u32, value: u32) {
+        assert!(addr < self.cfg.spm_bytes, "host store outside SPM");
+        assert_eq!(addr % 4, 0, "host stores are word-aligned");
+        let now = self.cycle;
+        let bank = self.bank_of(addr);
+        let num_banks = self.banks.len() as u32;
+        self.tracer.emit(now, || TraceEvent::Inject { addr, value });
+        let req = MemRequest::Store {
+            addr,
+            value,
+            mask: !0,
+        };
+        let mut out = Vec::new();
+        {
+            let mut view = phases::BankView {
+                words: &mut self.banks[bank as usize],
+                num_banks,
+                bank,
+            };
+            let adapter = &mut self.adapters[bank as usize];
+            if self.tracer.is_off() {
+                adapter.handle(HOST_CORE, &req, &mut view, &mut out);
+            } else {
+                let tracer = &mut self.tracer;
+                adapter.handle_traced(HOST_CORE, &req, &mut view, &mut out, &mut |event| {
+                    tracer.emit(now, || TraceEvent::Sync { bank, event });
+                });
+            }
+        }
+        let was_empty = self.bank_outbox[bank as usize].is_empty();
+        let mut queued = false;
+        for (core, resp) in out {
+            if core == HOST_CORE {
+                debug_assert_eq!(resp, MemResponse::StoreAck);
+                continue;
+            }
+            self.bank_outbox[bank as usize].push_back(RespMsg { core, resp });
+            queued = true;
+        }
+        if was_empty && queued {
+            if let Err(pos) = self.dirty_banks.binary_search(&bank) {
+                self.dirty_banks.insert(pos, bank);
+            }
+        }
+    }
+
     /// Gathers current statistics.
     #[must_use]
     pub fn stats(&self) -> SimStats {
@@ -561,14 +641,43 @@ impl Machine {
     /// Returns [`SimError`] on kernel bugs (illegal pc, misalignment,
     /// breakpoints, faults).
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        self.run_until(u64::MAX)
+    }
+
+    /// Runs until every core halts, the watchdog fires, or the cycle
+    /// counter reaches `target` — whichever comes first.
+    ///
+    /// Stopping at `target` is *transparent*: continuing afterwards (with
+    /// another `run_until` or [`Machine::run`]) produces exactly the
+    /// machine an uninterrupted run would have — fast-forward jumps are
+    /// clamped at the target and their bulk stall credit splits exactly
+    /// across the stop. This is the hook open-loop harnesses use to
+    /// interleave host work ([`Machine::inject_store`],
+    /// [`Machine::snapshot`]) with simulation at precise cycles.
+    ///
+    /// Returns [`ExitReason::TargetReached`] with `cycles >= target` only
+    /// when the machine is still live at the target; halt and watchdog
+    /// take precedence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on kernel bugs (illegal pc, misalignment,
+    /// breakpoints, faults).
+    pub fn run_until(&mut self, target: u64) -> Result<RunSummary, SimError> {
         while self.halted < self.cores.len() {
             if self.cfg.exec_mode == ExecMode::EventDriven {
-                self.fast_forward();
+                self.fast_forward(self.cfg.max_cycles.min(target));
             }
             if self.cycle >= self.cfg.max_cycles {
                 return Ok(RunSummary {
                     cycles: self.cycle,
                     exit: ExitReason::Watchdog,
+                });
+            }
+            if self.cycle >= target {
+                return Ok(RunSummary {
+                    cycles: self.cycle,
+                    exit: ExitReason::TargetReached,
                 });
             }
             self.step_cycle()?;
@@ -588,7 +697,13 @@ impl Machine {
     /// `ready_at`, and no flit in either network becomes movable. The one
     /// observable effect of such a cycle — a stall tick per runnable core
     /// — is credited in bulk.
-    fn fast_forward(&mut self) {
+    ///
+    /// `limit` clamps the jump (watchdog, or a [`Machine::run_until`]
+    /// target). Clamping is loss-free for the statistics: a jump
+    /// interrupted at `t` credits `t − now` stalls now and the resumed
+    /// jump credits the rest, summing to what the unclamped jump would
+    /// have credited.
+    fn fast_forward(&mut self, limit: u64) {
         if !self.dirty_banks.is_empty() || !self.dirty_cores.is_empty() {
             return;
         }
@@ -620,8 +735,8 @@ impl Machine {
         }
         debug_assert!(next > horizon);
         // `next == u64::MAX` means no event can ever occur (all-parked
-        // deadlock): jump straight to the watchdog.
-        let target = (next - 1).min(self.cfg.max_cycles);
+        // deadlock): jump straight to the limit (normally the watchdog).
+        let target = (next - 1).min(limit);
         if target <= now {
             return;
         }
@@ -1138,6 +1253,521 @@ impl Machine {
             self.barrier_waiting = 0;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+/// Snapshot file magic.
+const SNAP_MAGIC: [u8; 4] = *b"LRSW";
+/// Snapshot format version this build writes and reads.
+const SNAP_VERSION: u32 = 1;
+/// Pseudo core id for host-injected requests ([`Machine::inject_store`]);
+/// responses addressed to it are consumed by the host, never routed.
+const HOST_CORE: u32 = u32::MAX;
+
+impl Machine {
+    /// Serializes the complete machine state — cores (registers, pipeline
+    /// and scheduling state, statistics), Qnodes, bank adapters, memory,
+    /// both networks' in-flight flits and statistics, the outboxes and the
+    /// debug log — into a self-describing buffer (see the `README`'s
+    /// checkpoint section for the format and its versioning caveat).
+    ///
+    /// Restoring the buffer with [`Machine::restore`] and continuing is
+    /// bit-identical to never having stopped: summaries, statistics,
+    /// benchmark CSV bytes and trace-event suffixes all match, across
+    /// execution modes and shard counts (the snapshot holds no mode- or
+    /// shard-dependent state: lazily-accounted parked cycles are settled
+    /// into the statistics at snapshot time, and the runnable/dirty
+    /// worklists are recomputed on restore).
+    ///
+    /// Call between cycles (before [`Machine::run`], or after `run` /
+    /// [`Machine::run_until`] returned), never from inside a stepping
+    /// phase.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        debug_assert!(
+            self.pending_wake.is_empty(),
+            "snapshot must be taken between cycles"
+        );
+        let mut out = StateWriter::new();
+        for b in SNAP_MAGIC {
+            out.put_u8(b);
+        }
+        out.put_u32(SNAP_VERSION);
+        let label = self.adapters[0].label();
+        out.put_u32(label.len() as u32);
+        for b in label.bytes() {
+            out.put_u8(b);
+        }
+        out.put_u32(self.cores.len() as u32);
+        out.put_u32(self.banks.len() as u32);
+        out.put_u32(self.cfg.words_per_bank() as u32);
+        out.put_u64(self.cycle);
+
+        let lazy = self.cfg.exec_mode == ExecMode::EventDriven;
+        for core in &self.cores {
+            for r in core.regs {
+                out.put_u32(r);
+            }
+            out.put_u32(core.pc);
+            out.put_u8(core_state_code(core.state));
+            out.put_u64(core.ready_at);
+            // Canonical park time: parked-cycle deltas up to now are
+            // settled into the statistics below, so the restored core's
+            // charging starts at the snapshot cycle. (For running/halted
+            // cores the field is dead — rewritten on the next park.)
+            out.put_u64(self.cycle);
+            match core.pending {
+                Some(p) => {
+                    out.put_bool(true);
+                    out.put_u8(p.rd.index());
+                    out.put_u32(p.addr);
+                    match p.kind {
+                        PendingKind::Load { width, signed } => {
+                            out.put_u8(0);
+                            out.put_u8(mem_width_code(width));
+                            out.put_bool(signed);
+                        }
+                        PendingKind::Value => out.put_u8(1),
+                        PendingKind::Flag => out.put_u8(2),
+                    }
+                }
+                None => out.put_bool(false),
+            }
+            out.put_u32(core.outstanding_stores);
+            let mut stats = core.stats;
+            if lazy {
+                // Same flush as `Machine::stats`: the reference would have
+                // counted one parked cycle per Phase 4 visit since the
+                // park, so the serialized statistics are identical in both
+                // execution modes.
+                match core.state {
+                    CoreState::WaitingMem => stats.sleep_cycles += self.cycle - core.parked_at,
+                    CoreState::Barrier => stats.barrier_cycles += self.cycle - core.parked_at,
+                    CoreState::Running | CoreState::Halted => {}
+                }
+            }
+            out.put_u64(stats.instret);
+            out.put_u64(stats.active_cycles);
+            out.put_u64(stats.stall_cycles);
+            out.put_u64(stats.sleep_cycles);
+            out.put_u64(stats.barrier_cycles);
+            out.put_u64(stats.ops);
+            out.put_opt_u64(stats.region_start);
+            out.put_opt_u64(stats.region_end);
+        }
+        for q in &self.qnodes {
+            q.save_state(&mut out);
+        }
+        for &k in &self.park_kind {
+            out.put_u8(op_kind_code(k));
+        }
+        for a in &self.adapters {
+            a.save_state(&mut out);
+        }
+        for bank in &self.banks {
+            for &w in bank {
+                out.put_u32(w);
+            }
+        }
+        save_net(&mut out, &self.req_net, save_req);
+        save_net(&mut out, &self.resp_net, save_resp);
+        for q in &self.core_outbox {
+            out.put_u32(q.len() as u32);
+            for m in q {
+                save_req(&mut out, m);
+            }
+        }
+        for q in &self.bank_outbox {
+            out.put_u32(q.len() as u32);
+            for m in q {
+                save_resp(&mut out, m);
+            }
+        }
+        out.put_u32(self.debug_log.len() as u32);
+        for &(cycle, core, value) in &self.debug_log {
+            out.put_u64(cycle);
+            out.put_u32(core);
+            out.put_u32(value);
+        }
+        out.finish()
+    }
+
+    /// Replaces the machine's entire state with a [`Machine::snapshot`].
+    ///
+    /// The machine must have been built with the same geometry (cores,
+    /// banks, SPM size) and synchronization architecture the snapshot was
+    /// taken with; execution mode, shard count and tracing may all differ
+    /// — continuing from the restored state is bit-identical to the
+    /// uninterrupted run in any combination. A tracing machine emits the
+    /// uninterrupted stream's suffix (after its own `Start` event).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadSnapshot`] when the buffer is truncated,
+    /// corrupt, from an incompatible format version, or taken on a
+    /// machine with different geometry or architecture. On error the
+    /// machine state is unspecified — discard it.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        let mut src = StateReader::new(bytes);
+        self.restore_inner(&mut src)
+            .map_err(|RestoreFail(what)| SimError::BadSnapshot { what })
+    }
+
+    fn restore_inner(&mut self, src: &mut StateReader<'_>) -> Result<(), RestoreFail> {
+        for expect in SNAP_MAGIC {
+            if src.take_u8()? != expect {
+                return Err(RestoreFail("not a machine snapshot (bad magic)".into()));
+            }
+        }
+        let version = src.take_u32()?;
+        if version != SNAP_VERSION {
+            return Err(RestoreFail(format!(
+                "unsupported snapshot version {version} (this build reads version {SNAP_VERSION})"
+            )));
+        }
+        let label_len = src.take_u32()? as usize;
+        if label_len > 256 {
+            return Err(RestoreFail("implausible architecture label".into()));
+        }
+        let mut label = Vec::with_capacity(label_len);
+        for _ in 0..label_len {
+            label.push(src.take_u8()?);
+        }
+        let label = String::from_utf8(label)
+            .map_err(|_| RestoreFail("architecture label is not UTF-8".into()))?;
+        let own = self.adapters[0].label();
+        if label != own {
+            return Err(RestoreFail(format!(
+                "snapshot is for architecture {label:?}, this machine is {own:?}"
+            )));
+        }
+        let nc = src.take_u32()?;
+        let nb = src.take_u32()?;
+        let wpb = src.take_u32()?;
+        if nc as usize != self.cores.len()
+            || nb as usize != self.banks.len()
+            || wpb as usize != self.cfg.words_per_bank()
+        {
+            return Err(RestoreFail(format!(
+                "snapshot geometry ({nc} cores, {nb} banks, {wpb} words/bank) does not match \
+                 machine ({} cores, {} banks, {} words/bank)",
+                self.cores.len(),
+                self.banks.len(),
+                self.cfg.words_per_bank()
+            )));
+        }
+        self.cycle = src.take_u64()?;
+        for core in &mut self.cores {
+            load_core(src, core)?;
+        }
+        for q in &mut self.qnodes {
+            q.load_state(src)?;
+        }
+        for k in &mut self.park_kind {
+            *k = op_kind_from(src.take_u8()?)?;
+        }
+        for a in &mut self.adapters {
+            a.load_state(src)?;
+        }
+        for bank in &mut self.banks {
+            for w in bank.iter_mut() {
+                *w = src.take_u32()?;
+            }
+        }
+        let num_cores = self.cores.len() as u32;
+        let num_banks = self.banks.len() as u32;
+        load_net(src, &mut self.req_net, |s| {
+            load_req(s, num_cores, num_banks)
+        })?;
+        load_net(src, &mut self.resp_net, |s| load_resp(s, num_cores))?;
+        for q in &mut self.core_outbox {
+            q.clear();
+            let len = src.take_u32()?;
+            for _ in 0..len {
+                q.push_back(load_req(src, num_cores, num_banks)?);
+            }
+        }
+        for q in &mut self.bank_outbox {
+            q.clear();
+            let len = src.take_u32()?;
+            for _ in 0..len {
+                q.push_back(load_resp(src, num_cores)?);
+            }
+        }
+        self.debug_log.clear();
+        let len = src.take_u32()?;
+        for _ in 0..len {
+            let cycle = src.take_u64()?;
+            let core = src.take_u32()?;
+            let value = src.take_u32()?;
+            self.debug_log.push((cycle, core, value));
+        }
+        if src.remaining() != 0 {
+            return Err(RestoreFail("trailing bytes after snapshot".into()));
+        }
+
+        // Derived state. At a cycle boundary the worklists are functions
+        // of the serialized state: the runnable set is exactly the cores
+        // in `Running` (pending wakes are always merged before the cycle
+        // ends), and a bank/core is dirty iff its outbox is non-empty.
+        self.halted = self
+            .cores
+            .iter()
+            .filter(|c| c.state == CoreState::Halted)
+            .count();
+        self.barrier_waiting = self
+            .cores
+            .iter()
+            .filter(|c| c.state == CoreState::Barrier)
+            .count();
+        self.pending_wake.clear();
+        self.runnable.clear();
+        self.runnable.extend(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.state == CoreState::Running)
+                .map(|(i, _)| i as u32),
+        );
+        self.dirty_banks.clear();
+        self.dirty_banks.extend(
+            self.bank_outbox
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(i, _)| i as u32),
+        );
+        self.dirty_cores.clear();
+        self.dirty_cores.extend(
+            self.core_outbox
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(i, _)| i as u32),
+        );
+        Ok(())
+    }
+}
+
+/// Restore failure message; converted to [`SimError::BadSnapshot`] at the
+/// public boundary.
+struct RestoreFail(String);
+
+impl From<StateError> for RestoreFail {
+    fn from(e: StateError) -> RestoreFail {
+        RestoreFail(e.to_string())
+    }
+}
+
+fn core_state_code(s: CoreState) -> u8 {
+    match s {
+        CoreState::Running => 0,
+        CoreState::WaitingMem => 1,
+        CoreState::Barrier => 2,
+        CoreState::Halted => 3,
+    }
+}
+
+fn core_state_from(code: u8) -> Result<CoreState, StateError> {
+    Ok(match code {
+        0 => CoreState::Running,
+        1 => CoreState::WaitingMem,
+        2 => CoreState::Barrier,
+        3 => CoreState::Halted,
+        _ => return Err(StateError::Invalid("core state")),
+    })
+}
+
+fn op_kind_code(k: OpKind) -> u8 {
+    match k {
+        OpKind::Load => 0,
+        OpKind::Store => 1,
+        OpKind::Amo => 2,
+        OpKind::Lr => 3,
+        OpKind::Sc => 4,
+        OpKind::LrWait => 5,
+        OpKind::ScWait => 6,
+        OpKind::MWait => 7,
+        OpKind::WakeUp => 8,
+    }
+}
+
+fn op_kind_from(code: u8) -> Result<OpKind, StateError> {
+    Ok(match code {
+        0 => OpKind::Load,
+        1 => OpKind::Store,
+        2 => OpKind::Amo,
+        3 => OpKind::Lr,
+        4 => OpKind::Sc,
+        5 => OpKind::LrWait,
+        6 => OpKind::ScWait,
+        7 => OpKind::MWait,
+        8 => OpKind::WakeUp,
+        _ => return Err(StateError::Invalid("park kind")),
+    })
+}
+
+fn mem_width_code(w: MemWidth) -> u8 {
+    match w {
+        MemWidth::Byte => 0,
+        MemWidth::Half => 1,
+        MemWidth::Word => 2,
+    }
+}
+
+fn mem_width_from(code: u8) -> Result<MemWidth, StateError> {
+    Ok(match code {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        2 => MemWidth::Word,
+        _ => return Err(StateError::Invalid("load width")),
+    })
+}
+
+fn load_core(src: &mut StateReader<'_>, core: &mut Core) -> Result<(), StateError> {
+    for r in core.regs.iter_mut() {
+        *r = src.take_u32()?;
+    }
+    core.regs[0] = 0; // x0 is architectural zero whatever the buffer says
+    core.pc = src.take_u32()?;
+    core.state = core_state_from(src.take_u8()?)?;
+    core.ready_at = src.take_u64()?;
+    core.parked_at = src.take_u64()?;
+    core.pending = if src.take_bool()? {
+        let rd = Reg::try_new(u32::from(src.take_u8()?))
+            .ok_or(StateError::Invalid("pending destination register"))?;
+        let addr = src.take_u32()?;
+        let kind = match src.take_u8()? {
+            0 => PendingKind::Load {
+                width: mem_width_from(src.take_u8()?)?,
+                signed: src.take_bool()?,
+            },
+            1 => PendingKind::Value,
+            2 => PendingKind::Flag,
+            _ => return Err(StateError::Invalid("pending operation kind")),
+        };
+        Some(PendingMem { rd, addr, kind })
+    } else {
+        None
+    };
+    core.outstanding_stores = src.take_u32()?;
+    core.stats.instret = src.take_u64()?;
+    core.stats.active_cycles = src.take_u64()?;
+    core.stats.stall_cycles = src.take_u64()?;
+    core.stats.sleep_cycles = src.take_u64()?;
+    core.stats.barrier_cycles = src.take_u64()?;
+    core.stats.ops = src.take_u64()?;
+    core.stats.region_start = src.take_opt_u64()?;
+    core.stats.region_end = src.take_opt_u64()?;
+    Ok(())
+}
+
+fn save_req(out: &mut StateWriter, m: &ReqMsg) {
+    out.put_u32(m.src);
+    out.put_u32(m.bank);
+    m.req.save(out);
+}
+
+fn load_req(
+    src: &mut StateReader<'_>,
+    num_cores: u32,
+    num_banks: u32,
+) -> Result<ReqMsg, StateError> {
+    let src_core = src.take_u32()?;
+    if src_core != HOST_CORE && src_core >= num_cores {
+        return Err(StateError::Invalid("request source core"));
+    }
+    let bank = src.take_u32()?;
+    if bank >= num_banks {
+        return Err(StateError::Invalid("request destination bank"));
+    }
+    Ok(ReqMsg {
+        src: src_core,
+        bank,
+        req: MemRequest::load(src)?,
+    })
+}
+
+fn save_resp(out: &mut StateWriter, m: &RespMsg) {
+    out.put_u32(m.core);
+    m.resp.save(out);
+}
+
+fn load_resp(src: &mut StateReader<'_>, num_cores: u32) -> Result<RespMsg, StateError> {
+    let core = src.take_u32()?;
+    if core >= num_cores {
+        return Err(StateError::Invalid("response destination core"));
+    }
+    Ok(RespMsg {
+        core,
+        resp: MemResponse::load(src)?,
+    })
+}
+
+/// Serializes a network: statistics, then every in-flight flit in the
+/// canonical (node id, queue position) order [`Network::for_each_flit`]
+/// visits in — the same order [`Network::push_flit`] replays them in, so a
+/// restored network is behaviourally identical.
+fn save_net<P>(out: &mut StateWriter, net: &Network<P>, save: fn(&mut StateWriter, &P)) {
+    let stats = net.stats();
+    out.put_u64(stats.injected);
+    out.put_u64(stats.inject_stalls);
+    out.put_u64(stats.hops);
+    out.put_u64(stats.delivered);
+    out.put_u64(stats.hol_blocks);
+    let mut count: u32 = 0;
+    net.for_each_flit(|_, _, _, _| count += 1);
+    out.put_u32(count);
+    net.for_each_flit(|payload, route, hop, ready_at| {
+        out.put_u8(route.len() as u8);
+        for &h in route.hops() {
+            out.put_u32(h);
+        }
+        out.put_u8(hop);
+        out.put_u64(ready_at);
+        save(out, payload);
+    });
+}
+
+fn load_net<P>(
+    src: &mut StateReader<'_>,
+    net: &mut Network<P>,
+    load: impl Fn(&mut StateReader<'_>) -> Result<P, StateError>,
+) -> Result<(), StateError> {
+    let stats = NetworkStats {
+        injected: src.take_u64()?,
+        inject_stalls: src.take_u64()?,
+        hops: src.take_u64()?,
+        delivered: src.take_u64()?,
+        hol_blocks: src.take_u64()?,
+    };
+    net.clear_in_flight();
+    net.set_stats(stats);
+    let count = src.take_u32()?;
+    for _ in 0..count {
+        let len = usize::from(src.take_u8()?);
+        if len == 0 || len > Route::MAX_HOPS {
+            return Err(StateError::Invalid("flit route length"));
+        }
+        let mut hops = [0u32; Route::MAX_HOPS];
+        for h in hops.iter_mut().take(len) {
+            *h = src.take_u32()?;
+            if *h as usize >= net.num_nodes() {
+                return Err(StateError::Invalid("flit node id"));
+            }
+        }
+        let hop = src.take_u8()?;
+        if usize::from(hop) >= len {
+            return Err(StateError::Invalid("flit hop index"));
+        }
+        let ready_at = src.take_u64()?;
+        let payload = load(src)?;
+        net.push_flit(Route::new(&hops[..len]), hop, ready_at, payload);
+    }
+    Ok(())
 }
 
 /// Merges the sorted, disjoint `add` list into the sorted `dst` list,

@@ -544,7 +544,7 @@ impl CorePhase<'_> {
                 signed,
             } => {
                 if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
-                    let value = self.mmio_read(c, addr - MMIO_BASE);
+                    let value = self.mmio_read(c, addr - MMIO_BASE, now);
                     self.cores[i].set_reg(rd, extract(value, addr, width, signed));
                     self.cores[i].pc += 4;
                     return Ok(());
@@ -670,10 +670,12 @@ impl CorePhase<'_> {
     }
 
     /// Marks a core parked on a blocking operation, remembering the cause
-    /// for the later wake event (tracing only).
+    /// for the later wake event. The cause is recorded unconditionally so
+    /// that machine state (and hence snapshots) does not depend on whether
+    /// tracing is enabled; only the event emission is gated.
     fn emit_park<T: TraceCtx>(&mut self, c: u32, kind: OpKind, trace: &mut T) {
+        self.park_kind[self.local(c)] = kind;
         if T::ENABLED {
-            self.park_kind[self.local(c)] = kind;
             trace.emit(|| TraceEvent::Park {
                 core: c,
                 cause: kind,
@@ -725,10 +727,11 @@ impl CorePhase<'_> {
         self.core_outbox[i].push_back(msg);
     }
 
-    fn mmio_read(&self, c: u32, offset: u32) -> u32 {
+    fn mmio_read(&self, c: u32, offset: u32, now: u64) -> u32 {
         match offset {
             mmio_reg::HARTID => c,
             mmio_reg::NUM_CORES => self.cfg.topology.num_cores as u32,
+            mmio_reg::CYCLE => now as u32,
             o if (mmio_reg::ARG0..mmio_reg::ARG0 + 4 * NUM_ARGS as u32).contains(&o)
                 && o % 4 == 0 =>
             {

@@ -45,6 +45,21 @@ use crate::config::{ExecMode, SimConfig};
 use crate::cpu::{Core, DecodedProgram};
 use crate::phases::{self, CorePhase, ReqMsg, RespMsg, ShardScratch};
 
+/// How many times a worker polls the epoch counter before parking on the
+/// condvar. Phases follow each other within a few hundred nanoseconds
+/// while the machine steps, so a short spin catches the common case
+/// without a syscall; once the budget is spent the worker must *park*, so
+/// an idle or fast-forwarding machine burns no host CPU per worker (the
+/// `pool_parks_when_idle` test pins this behaviour down).
+pub(crate) const WORKER_SPIN_LIMIT: u32 = 256;
+
+/// The coordinator's phase barrier yields to the OS scheduler once per
+/// this many spins while waiting for the last shard. The barrier is
+/// always short (workers are mid-phase, never parked), so it spins rather
+/// than parks — but on an oversubscribed host the straggler may need this
+/// thread's CPU, hence the periodic `yield_now`.
+pub(crate) const COORDINATOR_YIELD_INTERVAL: u32 = 64;
+
 /// Splits `0..n` into `shards` contiguous ranges, remainder spread over
 /// the leading ranges (every range non-empty when `shards <= n`, which
 /// config validation guarantees).
@@ -124,6 +139,9 @@ struct Shared {
     /// Park/wake support for idle workers.
     lock: Mutex<()>,
     cv: Condvar,
+    /// Workers currently parked on the condvar (diagnostics/tests only —
+    /// the wake protocol itself never reads it).
+    parked: AtomicUsize,
 }
 
 // SAFETY: the `UnsafeCell`s are coordinated by the epoch/done protocol —
@@ -166,6 +184,7 @@ impl WorkerPool {
             core_ranges: ranges(num_cores, shards),
             lock: Mutex::new(()),
             cv: Condvar::new(),
+            parked: AtomicUsize::new(0),
         });
         let handles = (1..shards)
             .map(|shard| {
@@ -186,6 +205,14 @@ impl WorkerPool {
     /// Number of shards (workers + coordinator).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Number of workers currently parked on the condvar (all of
+    /// `shards − 1` once the pool has been idle past
+    /// [`WORKER_SPIN_LIMIT`]). Diagnostics/tests only.
+    #[allow(dead_code)] // exercised from unit tests; kept for diagnostics
+    pub fn parked_workers(&self) -> usize {
+        self.shared.parked.load(Ordering::Acquire)
     }
 
     /// Mutable access to a shard's scratch — only call between dispatch
@@ -248,7 +275,7 @@ impl WorkerPool {
         let mut spins = 0u32;
         while shared.done.load(Ordering::Acquire) < workers {
             spins += 1;
-            if spins % 64 == 0 {
+            if spins % COORDINATOR_YIELD_INTERVAL == 0 {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -295,7 +322,7 @@ fn worker_loop(shared: &Shared, shard: usize) {
         // sub-phases should not burn a host CPU per worker.
         let mut epoch = shared.epoch.load(Ordering::Acquire);
         let mut spins = 0u32;
-        while epoch == seen && spins < 256 {
+        while epoch == seen && spins < WORKER_SPIN_LIMIT {
             std::hint::spin_loop();
             spins += 1;
             epoch = shared.epoch.load(Ordering::Acquire);
@@ -305,6 +332,7 @@ fn worker_loop(shared: &Shared, shard: usize) {
                 .lock
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shared.parked.fetch_add(1, Ordering::Release);
             loop {
                 epoch = shared.epoch.load(Ordering::Acquire);
                 if epoch != seen {
@@ -315,6 +343,7 @@ fn worker_loop(shared: &Shared, shard: usize) {
                     .wait(guard)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
+            shared.parked.fetch_sub(1, Ordering::Release);
         }
         seen = epoch;
         if shared.shutdown.load(Ordering::Acquire) {
@@ -443,6 +472,26 @@ unsafe fn execute(shared: &Shared, job: &Job, shard: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_parks_when_idle() {
+        // An idle pool must end up with every worker parked on the
+        // condvar — not spinning — once the spin budget is exhausted.
+        let mut pool = WorkerPool::new(4, 8, 8);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.parked_workers() < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers still not parked: {} of 3",
+                pool.parked_workers()
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.parked_workers(), 3);
+        // Shutdown wakes the parked workers; after the join none remain.
+        pool.shutdown();
+        assert_eq!(pool.parked_workers(), 0);
+    }
 
     #[test]
     fn ranges_partition_exactly() {

@@ -189,6 +189,9 @@ pub enum ExitReason {
     AllHalted,
     /// The watchdog cycle limit fired first.
     Watchdog,
+    /// A [`crate::Machine::run_until`] cycle target was reached with the
+    /// machine still live (some cores not halted, watchdog not fired).
+    TargetReached,
 }
 
 /// Result of [`crate::Machine::run`].

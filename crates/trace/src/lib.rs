@@ -191,6 +191,17 @@ pub enum TraceEvent {
         /// Core.
         core: u32,
     },
+    /// The host harness injected a store into scratchpad memory between
+    /// cycles (open-loop traffic generation). The store goes through the
+    /// owning bank's synchronization adapter, so any [`TraceEvent::Sync`]
+    /// events it provokes (monitor fires, broken reservations) follow
+    /// immediately in the stream.
+    Inject {
+        /// Target byte address.
+        addr: u32,
+        /// Word written.
+        value: u32,
+    },
 }
 
 /// A consumer of simulator trace events.

@@ -138,6 +138,9 @@ impl PerfettoModel {
                 }
             }
             TraceEvent::Noc { .. } => {}
+            // Host-injected stores have no core-track home; the Sync events
+            // they provoke are rendered like any other adapter activity.
+            TraceEvent::Inject { .. } => {}
         }
     }
 

@@ -1,0 +1,717 @@
+//! The open-loop service harness: drives a [`Machine`] running the
+//! [`ServiceKernel`] fleet from the host side.
+//!
+//! The harness owns the load generator. Items arrive at cycles drawn from
+//! an [`ArrivalProcess`]; each item waits in a host-side queue until a
+//! server core is idle, is then injected through the core's mailbox
+//! ([`Machine::inject_store`]: payload word, then doorbell bump), and is
+//! considered complete when the core publishes `done == door` alongside a
+//! `CYCLE`-stamped completion time. Per-item latency is
+//! `completion − arrival`, so it includes host-side queue wait — the
+//! quantity whose tail the figure plots.
+//!
+//! The machine advances in bounded [`Machine::run_until`] quanta: to the
+//! next arrival when one is pending, and by `poll_interval` otherwise.
+//! Completion timestamps come from the guest-side stamp (exact), so the
+//! poll quantum only bounds how late a *queued* item can be dispatched —
+//! at high load arrivals are dense and the quantum is rarely the limit.
+//!
+//! The whole harness — machine, arrival process, host queue, in-flight
+//! table, recorded latencies — checkpoints to bytes and restores
+//! bit-identically; see [`ServiceHarness::checkpoint`].
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use lrscwait_core::{StateError, StateReader, StateWriter};
+use lrscwait_kernels::{ServiceKernel, VerifyError, Workload};
+use lrscwait_sim::{ExitReason, Machine, SimConfig, SimError};
+
+use crate::arrival::ArrivalProcess;
+use crate::latency::{LatencyRecorder, LatencyStats};
+
+/// Magic prefix of a harness checkpoint file.
+const CKPT_MAGIC: [u8; 4] = *b"LRTF";
+/// Harness checkpoint format version.
+const CKPT_VERSION: u32 = 1;
+
+/// Everything that can go wrong while driving a traffic run.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The simulator rejected the configuration or faulted.
+    Sim(SimError),
+    /// The run completed but the fleet computed wrong results.
+    Verify(VerifyError),
+    /// A checkpoint could not be decoded or does not match this harness.
+    BadCheckpoint(String),
+    /// The guest fleet violated the mailbox protocol (e.g. halted before
+    /// being stopped).
+    Protocol(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Sim(e) => write!(f, "simulation failed: {e}"),
+            HarnessError::Verify(e) => write!(f, "verification failed: {e}"),
+            HarnessError::BadCheckpoint(what) => {
+                write!(f, "cannot restore checkpoint: {what}")
+            }
+            HarnessError::Protocol(what) => write!(f, "mailbox protocol violation: {what}"),
+        }
+    }
+}
+
+impl Error for HarnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarnessError::Sim(e) => Some(e),
+            HarnessError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for HarnessError {
+    fn from(e: SimError) -> HarnessError {
+        HarnessError::Sim(e)
+    }
+}
+
+impl From<StateError> for HarnessError {
+    fn from(e: StateError) -> HarnessError {
+        HarnessError::BadCheckpoint(e.to_string())
+    }
+}
+
+/// Host-side traffic parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficConfig {
+    /// Total items to inject and serve.
+    pub items: u64,
+    /// Idle poll quantum in cycles (bounds dispatch latency of queued
+    /// items between arrivals).
+    pub poll_interval: u64,
+    /// Cycles before the first arrival (fleet boot and barrier).
+    pub warmup: u64,
+}
+
+impl TrafficConfig {
+    /// `items` with the default poll quantum (64) and warmup (500).
+    #[must_use]
+    pub fn new(items: u64) -> TrafficConfig {
+        TrafficConfig {
+            items,
+            poll_interval: 64,
+            warmup: 500,
+        }
+    }
+}
+
+/// What a [`ServiceHarness::step`] left behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// More work remains.
+    Running,
+    /// Every item completed; call [`ServiceHarness::finish`].
+    Done,
+    /// The cycle budget ran out before all items completed (saturated
+    /// point): the run **did not finish**.
+    Dnf,
+}
+
+/// Summary of one finished traffic run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficSummary {
+    /// Long-run mean inter-arrival time of the load (cycles).
+    pub mean_interarrival: f64,
+    /// Offered load ρ = service_cycles / (servers × mean inter-arrival).
+    /// Nominal — real per-item service time adds mailbox and contention
+    /// overhead, so saturation sets in somewhat below ρ = 1.
+    pub offered_load: f64,
+    /// Items requested.
+    pub items: u64,
+    /// Items actually completed (equals `items` unless `dnf`).
+    pub completed: u64,
+    /// Machine cycles at the end of the run.
+    pub cycles: u64,
+    /// True when the cycle budget ran out first (saturated point).
+    pub dnf: bool,
+    /// End-to-end latency distribution (arrival → completion).
+    pub latency: LatencyStats,
+    /// Completed items per thousand cycles.
+    pub throughput_per_kcycle: f64,
+    /// Mean host-queue depth over the sampled run.
+    pub queue_depth_mean: f64,
+    /// Maximum host-queue depth observed.
+    pub queue_depth_max: u32,
+}
+
+/// One queued or in-service work item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Item {
+    payload: u32,
+    arrive: u64,
+}
+
+/// Deterministic nonzero payload for item `id`, never equal to
+/// [`ServiceKernel::STOP`].
+fn payload_for(id: u64) -> u32 {
+    ((id as u32).wrapping_mul(0x9E37_79B9) & 0x7FFF_FFFF) | 1
+}
+
+/// Drives one machine + service fleet + arrival process to completion.
+pub struct ServiceHarness {
+    kernel: ServiceKernel,
+    traffic: TrafficConfig,
+    machine: Machine,
+    arrivals: ArrivalProcess,
+    recorder: LatencyRecorder,
+    // Guest symbol addresses.
+    door: u32,
+    work: u32,
+    done: u32,
+    stamp: u32,
+    checks: u32,
+    // Host state.
+    queue: VecDeque<Item>,
+    inflight: Vec<Option<Item>>,
+    issued: Vec<u32>,
+    sums: Vec<u32>,
+    next_arrival: u64,
+    generated: u64,
+    completed: u64,
+    outcome: Option<StepStatus>,
+}
+
+impl ServiceHarness {
+    /// Builds the machine, loads the fleet program and arms the first
+    /// arrival. `sim_cfg.topology` must provide at least
+    /// `kernel.num_cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Sim`] when the machine cannot be built.
+    pub fn new(
+        sim_cfg: SimConfig,
+        kernel: ServiceKernel,
+        traffic: TrafficConfig,
+        mut arrivals: ArrivalProcess,
+    ) -> Result<ServiceHarness, HarnessError> {
+        let mut cfg = sim_cfg;
+        for (i, value) in Workload::args(&kernel) {
+            cfg.args[i] = value;
+        }
+        let program = Workload::program(&kernel);
+        let machine = Machine::new(cfg, &program)?;
+        let servers = kernel.num_cores as usize;
+        let next_arrival = traffic.warmup + arrivals.next_arrival();
+        Ok(ServiceHarness {
+            kernel,
+            traffic,
+            door: program.symbol("door"),
+            work: program.symbol("work"),
+            done: program.symbol("done"),
+            stamp: program.symbol("stamp"),
+            checks: program.symbol("checks"),
+            machine,
+            arrivals,
+            recorder: LatencyRecorder::new(),
+            queue: VecDeque::new(),
+            inflight: vec![None; servers],
+            issued: vec![0; servers],
+            sums: vec![0; servers],
+            next_arrival,
+            generated: 0,
+            completed: 0,
+            outcome: None,
+        })
+    }
+
+    /// Current machine cycle.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Items completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Advances the run by one poll quantum: absorb due arrivals, reap
+    /// completions, dispatch queued items to idle servers, then run the
+    /// machine to the next arrival or poll tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Sim`] when the simulation faults and
+    /// [`HarnessError::Protocol`] when the fleet halts before being
+    /// stopped.
+    pub fn step(&mut self) -> Result<StepStatus, HarnessError> {
+        if let Some(outcome) = self.outcome {
+            return Ok(outcome);
+        }
+        let now = self.machine.cycles();
+
+        // 1. Absorb arrivals due by now into the host queue.
+        while self.generated < self.traffic.items && self.next_arrival <= now {
+            self.queue.push_back(Item {
+                payload: payload_for(self.generated),
+                arrive: self.next_arrival,
+            });
+            self.generated += 1;
+            if self.generated < self.traffic.items {
+                self.next_arrival = self.traffic.warmup + self.arrivals.next_arrival();
+            }
+        }
+
+        // 2. Reap completions: a server is done when it acknowledged the
+        //    last doorbell; its stamp slot then holds the completion cycle.
+        for c in 0..self.inflight.len() {
+            let Some(item) = self.inflight[c] else {
+                continue;
+            };
+            let c32 = c as u32;
+            let acked = self.machine.read_word(ServiceKernel::slot(self.done, c32));
+            if acked == self.issued[c] {
+                let stamp = u64::from(self.machine.read_word(ServiceKernel::slot(self.stamp, c32)));
+                self.recorder.record(stamp.saturating_sub(item.arrive));
+                self.completed += 1;
+                self.inflight[c] = None;
+            }
+        }
+
+        // 3. Dispatch queued items to idle servers: payload, then doorbell.
+        for c in 0..self.inflight.len() {
+            if self.inflight[c].is_some() {
+                continue;
+            }
+            let Some(item) = self.queue.pop_front() else {
+                break;
+            };
+            let c32 = c as u32;
+            self.machine
+                .inject_store(ServiceKernel::slot(self.work, c32), item.payload);
+            self.issued[c] += 1;
+            self.machine
+                .inject_store(ServiceKernel::slot(self.door, c32), self.issued[c]);
+            self.sums[c] = self.sums[c].wrapping_add(item.payload);
+            self.inflight[c] = Some(item);
+        }
+
+        // 4. Sample the host-queue depth (waiting items only).
+        self.recorder.sample_depth(now, self.queue.len() as u32);
+
+        if self.completed == self.traffic.items {
+            self.outcome = Some(StepStatus::Done);
+            return Ok(StepStatus::Done);
+        }
+
+        // 5. Advance to the next interesting cycle.
+        let mut target = now + self.traffic.poll_interval;
+        if self.generated < self.traffic.items || self.next_arrival > now {
+            target = target.min(self.next_arrival);
+        }
+        let target = target.max(now + 1);
+        let summary = self.machine.run_until(target)?;
+        match summary.exit {
+            ExitReason::TargetReached => Ok(StepStatus::Running),
+            ExitReason::Watchdog => {
+                self.outcome = Some(StepStatus::Dnf);
+                Ok(StepStatus::Dnf)
+            }
+            ExitReason::AllHalted => Err(HarnessError::Protocol(
+                "service fleet halted before receiving stop".to_string(),
+            )),
+        }
+    }
+
+    /// Stops the fleet (when the run completed), verifies payload
+    /// checksums and kernel conservation, and returns the summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Protocol`] when called before the run
+    /// reached [`StepStatus::Done`] or [`StepStatus::Dnf`], and
+    /// [`HarnessError::Verify`] when the fleet's checksums or histogram
+    /// conservation do not match what the host injected.
+    pub fn finish(&mut self) -> Result<TrafficSummary, HarnessError> {
+        let outcome = self.outcome.ok_or_else(|| {
+            HarnessError::Protocol("finish() called while the run is still going".to_string())
+        })?;
+        let mut dnf = outcome == StepStatus::Dnf;
+        if !dnf {
+            // Shut the fleet down and let it drain to a clean halt.
+            for c in 0..self.kernel.num_cores {
+                self.machine
+                    .inject_store(ServiceKernel::slot(self.work, c), ServiceKernel::STOP);
+                self.issued[c as usize] += 1;
+                self.machine
+                    .inject_store(ServiceKernel::slot(self.door, c), self.issued[c as usize]);
+            }
+            let summary = self.machine.run()?;
+            if summary.exit == ExitReason::AllHalted {
+                for c in 0..self.kernel.num_cores {
+                    let got = self.machine.read_word(self.checks + 4 * c);
+                    let want = self.sums[c as usize];
+                    if got != want {
+                        return Err(HarnessError::Verify(VerifyError::ResultMismatch {
+                            what: "payload checksum",
+                            index: c,
+                            expected: want,
+                            actual: got,
+                        }));
+                    }
+                }
+                self.kernel
+                    .verify(&self.machine)
+                    .map_err(HarnessError::Verify)?;
+            } else {
+                // The budget ran out while draining the stop doorbells.
+                dnf = true;
+            }
+        }
+        let cycles = self.machine.cycles();
+        let mean_interarrival = self.arrivals.mean_interarrival();
+        let servers = f64::from(self.kernel.num_cores);
+        Ok(TrafficSummary {
+            mean_interarrival,
+            offered_load: f64::from(self.kernel.service_cycles) / (servers * mean_interarrival),
+            items: self.traffic.items,
+            completed: self.completed,
+            cycles,
+            dnf,
+            latency: self.recorder.stats(),
+            throughput_per_kcycle: if cycles > 0 {
+                self.completed as f64 * 1000.0 / cycles as f64
+            } else {
+                0.0
+            },
+            queue_depth_mean: self.recorder.mean_depth(),
+            queue_depth_max: self.recorder.max_depth(),
+        })
+    }
+
+    /// Runs to completion (or to the cycle budget) and returns the
+    /// summary. Saturated points come back with `dnf: true` rather than
+    /// as errors, mirroring the DNF policy of the figure binaries.
+    ///
+    /// # Errors
+    ///
+    /// See [`step`](ServiceHarness::step) and
+    /// [`finish`](ServiceHarness::finish).
+    pub fn run(&mut self) -> Result<TrafficSummary, HarnessError> {
+        loop {
+            match self.step()? {
+                StepStatus::Running => {}
+                StepStatus::Done | StepStatus::Dnf => return self.finish(),
+            }
+        }
+    }
+
+    /// Serializes the complete harness — machine snapshot plus arrival
+    /// state, host queue, in-flight table, issue counters and recorded
+    /// samples — so a restored harness continues **bit-identically**.
+    ///
+    /// Only meaningful while the run is in progress (checkpointing a
+    /// finished run is allowed but pointless).
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        let snap = self.machine.snapshot();
+        out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        out.extend_from_slice(&snap);
+
+        let mut w = StateWriter::new();
+        w.put_u32(self.kernel.num_cores);
+        w.put_u32(self.kernel.service_cycles);
+        w.put_u64(self.traffic.items);
+        self.arrivals.save_state(&mut w);
+        self.recorder.save_state(&mut w);
+        w.put_u64(self.queue.len() as u64);
+        for item in &self.queue {
+            w.put_u32(item.payload);
+            w.put_u64(item.arrive);
+        }
+        for slot in &self.inflight {
+            match slot {
+                Some(item) => {
+                    w.put_bool(true);
+                    w.put_u32(item.payload);
+                    w.put_u64(item.arrive);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        for &v in &self.issued {
+            w.put_u32(v);
+        }
+        for &v in &self.sums {
+            w.put_u32(v);
+        }
+        w.put_u64(self.next_arrival);
+        w.put_u64(self.generated);
+        w.put_u64(self.completed);
+        out.extend_from_slice(&w.finish());
+        out
+    }
+
+    /// Restores a checkpoint taken by
+    /// [`checkpoint`](ServiceHarness::checkpoint) into a harness
+    /// constructed with the same kernel, traffic and arrival parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::BadCheckpoint`] when the bytes are
+    /// malformed, were produced by a different format version, or do not
+    /// match this harness's kernel geometry or item budget, and
+    /// [`HarnessError::Sim`] when the embedded machine snapshot is
+    /// rejected.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), HarnessError> {
+        let bad = |what: &str| HarnessError::BadCheckpoint(what.to_string());
+        if bytes.len() < 16 {
+            return Err(bad("truncated header"));
+        }
+        if bytes[0..4] != CKPT_MAGIC {
+            return Err(bad("not a traffic checkpoint (bad magic)"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != CKPT_VERSION {
+            return Err(HarnessError::BadCheckpoint(format!(
+                "unsupported checkpoint version {version} (expected {CKPT_VERSION})"
+            )));
+        }
+        let snap_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let rest = &bytes[16..];
+        if rest.len() < snap_len {
+            return Err(bad("truncated machine snapshot"));
+        }
+        let (snap, tail) = rest.split_at(snap_len);
+
+        let mut src = StateReader::new(tail);
+        let servers = src.take_u32()?;
+        let service_cycles = src.take_u32()?;
+        let items = src.take_u64()?;
+        if servers != self.kernel.num_cores || service_cycles != self.kernel.service_cycles {
+            return Err(HarnessError::BadCheckpoint(format!(
+                "fleet mismatch: checkpoint has {servers} servers × {service_cycles} \
+                 service cycles, harness has {} × {}",
+                self.kernel.num_cores, self.kernel.service_cycles
+            )));
+        }
+        if items != self.traffic.items {
+            return Err(HarnessError::BadCheckpoint(format!(
+                "item budget mismatch: checkpoint has {items}, harness has {}",
+                self.traffic.items
+            )));
+        }
+        let mut arrivals = self.arrivals.clone();
+        arrivals.load_state(&mut src)?;
+        let mut recorder = LatencyRecorder::new();
+        recorder.load_state(&mut src)?;
+        let queue_len = src.take_u64()?;
+        if queue_len > items {
+            return Err(bad("queue length exceeds item budget"));
+        }
+        let mut queue = VecDeque::with_capacity(queue_len as usize);
+        for _ in 0..queue_len {
+            let payload = src.take_u32()?;
+            let arrive = src.take_u64()?;
+            queue.push_back(Item { payload, arrive });
+        }
+        let mut inflight = Vec::with_capacity(servers as usize);
+        for _ in 0..servers {
+            inflight.push(if src.take_bool()? {
+                let payload = src.take_u32()?;
+                let arrive = src.take_u64()?;
+                Some(Item { payload, arrive })
+            } else {
+                None
+            });
+        }
+        let mut issued = Vec::with_capacity(servers as usize);
+        for _ in 0..servers {
+            issued.push(src.take_u32()?);
+        }
+        let mut sums = Vec::with_capacity(servers as usize);
+        for _ in 0..servers {
+            sums.push(src.take_u32()?);
+        }
+        let next_arrival = src.take_u64()?;
+        let generated = src.take_u64()?;
+        let completed = src.take_u64()?;
+        if src.remaining() != 0 {
+            return Err(bad("trailing bytes after checkpoint"));
+        }
+        if generated > items || completed > generated {
+            return Err(bad("inconsistent item counters"));
+        }
+
+        // All host state decoded — now mutate, machine last (its own
+        // restore validates the snapshot before touching state).
+        self.machine.restore(snap)?;
+        self.arrivals = arrivals;
+        self.recorder = recorder;
+        self.queue = queue;
+        self.inflight = inflight;
+        self.issued = issued;
+        self.sums = sums;
+        self.next_arrival = next_arrival;
+        self.generated = generated;
+        self.completed = completed;
+        self.outcome = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrscwait_core::SyncArch;
+
+    fn harness(arch: SyncArch, items: u64, mean: f64, seed: u64) -> ServiceHarness {
+        let kernel = ServiceKernel::new(4, 100);
+        let cfg = SimConfig::small(4, arch);
+        ServiceHarness::new(
+            cfg,
+            kernel,
+            TrafficConfig::new(items),
+            ArrivalProcess::poisson(seed, mean),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn completes_all_items_on_colibri() {
+        let mut h = harness(SyncArch::Colibri { queues: 2 }, 60, 400.0, 9);
+        let summary = h.run().unwrap();
+        assert!(!summary.dnf);
+        assert_eq!(summary.completed, 60);
+        assert_eq!(summary.latency.count, 60);
+        // Latency includes at least the nominal service loop.
+        assert!(summary.latency.p50 >= 100, "p50 {}", summary.latency.p50);
+        assert!(summary.latency.p99 >= summary.latency.p50);
+        assert!(summary.latency.max >= summary.latency.p999);
+        assert!(summary.throughput_per_kcycle > 0.0);
+    }
+
+    #[test]
+    fn completes_on_plain_lrsc_via_polling() {
+        let mut h = harness(SyncArch::Lrsc, 40, 500.0, 5);
+        let summary = h.run().unwrap();
+        assert!(!summary.dnf);
+        assert_eq!(summary.completed, 40);
+    }
+
+    #[test]
+    fn overload_reports_dnf_not_error() {
+        // Mean inter-arrival far below per-item service time on one
+        // server: the queue grows without bound and the budget expires.
+        let kernel = ServiceKernel::new(1, 400);
+        let mut cfg = SimConfig::small(1, SyncArch::Colibri { queues: 2 });
+        cfg.max_cycles = 60_000;
+        let mut h = ServiceHarness::new(
+            cfg,
+            kernel,
+            TrafficConfig::new(100_000),
+            ArrivalProcess::poisson(3, 20.0),
+        )
+        .unwrap();
+        let summary = h.run().unwrap();
+        assert!(summary.dnf);
+        assert!(summary.completed < 100_000);
+        assert!(summary.queue_depth_max > 4, "queue must have built up");
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let make = || harness(SyncArch::Colibri { queues: 2 }, 50, 300.0, 21);
+        let mut base = make();
+        let base_summary = base.run().unwrap();
+
+        // Run a second harness to roughly half the items, checkpoint,
+        // restore into a *fresh* harness, and continue.
+        let mut first = make();
+        while first.completed() < 25 {
+            assert_eq!(first.step().unwrap(), StepStatus::Running);
+        }
+        let bytes = first.checkpoint();
+
+        let mut second = make();
+        second.restore(&bytes).unwrap();
+        assert_eq!(second.completed(), first.completed());
+        let resumed = second.run().unwrap();
+        assert_eq!(base_summary, resumed, "restored run must be bit-identical");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_and_malformed() {
+        let mut h = harness(SyncArch::Colibri { queues: 2 }, 50, 300.0, 21);
+        for _ in 0..10 {
+            h.step().unwrap();
+        }
+        let good = h.checkpoint();
+
+        let mut other_items = {
+            let kernel = ServiceKernel::new(4, 100);
+            let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
+            ServiceHarness::new(
+                cfg,
+                kernel,
+                TrafficConfig::new(51),
+                ArrivalProcess::poisson(21, 300.0),
+            )
+            .unwrap()
+        };
+        assert!(matches!(
+            other_items.restore(&good),
+            Err(HarnessError::BadCheckpoint(_))
+        ));
+
+        let mut other_fleet = {
+            let kernel = ServiceKernel::new(2, 100);
+            let cfg = SimConfig::small(2, SyncArch::Colibri { queues: 2 });
+            ServiceHarness::new(
+                cfg,
+                kernel,
+                TrafficConfig::new(50),
+                ArrivalProcess::poisson(21, 300.0),
+            )
+            .unwrap()
+        };
+        assert!(matches!(
+            other_fleet.restore(&good),
+            Err(HarnessError::BadCheckpoint(_))
+        ));
+
+        let mut target = harness(SyncArch::Colibri { queues: 2 }, 50, 300.0, 21);
+        assert!(target.restore(&good[..8]).is_err(), "truncated");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(target.restore(&bad_magic).is_err(), "magic");
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xEE;
+        assert!(target.restore(&bad_version).is_err(), "version");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(target.restore(&trailing).is_err(), "trailing");
+
+        // The good bytes still restore after all those rejections.
+        target.restore(&good).unwrap();
+        assert_eq!(target.completed(), h.completed());
+    }
+
+    #[test]
+    fn payloads_are_nonzero_and_never_stop() {
+        for id in 0..10_000u64 {
+            let p = payload_for(id);
+            assert_ne!(p, 0);
+            assert_ne!(p, ServiceKernel::STOP);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-item latency recording and tail percentiles.
+
+use lrscwait_core::{StateError, StateReader, StateWriter};
+
+/// Aggregated latency distribution of a finished (or in-progress) run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Completed items recorded.
+    pub count: u64,
+    /// Mean latency in cycles.
+    pub mean: f64,
+    /// Median (nearest-rank) in cycles.
+    pub p50: u64,
+    /// 99th percentile (nearest-rank) in cycles.
+    pub p99: u64,
+    /// 99.9th percentile (nearest-rank) in cycles.
+    pub p999: u64,
+    /// Maximum observed latency in cycles.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// The all-zero distribution (no samples).
+    #[must_use]
+    pub fn empty() -> LatencyStats {
+        LatencyStats {
+            count: 0,
+            mean: 0.0,
+            p50: 0,
+            p99: 0,
+            p999: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Records per-item end-to-end latencies (enqueue cycle → completion
+/// cycle, including host-side queue wait) and queue-depth-over-time
+/// samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyRecorder {
+    latencies: Vec<u64>,
+    depth: Vec<(u64, u32)>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Records one completed item's latency in cycles.
+    pub fn record(&mut self, latency: u64) {
+        self.latencies.push(latency);
+    }
+
+    /// Records the host-side queue depth at `cycle` (waiting items, not
+    /// counting items in service).
+    pub fn sample_depth(&mut self, cycle: u64, depth: u32) {
+        self.depth.push((cycle, depth));
+    }
+
+    /// Number of recorded completions.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.latencies.len() as u64
+    }
+
+    /// Queue-depth samples, in recording order.
+    #[must_use]
+    pub fn depth_series(&self) -> &[(u64, u32)] {
+        &self.depth
+    }
+
+    /// Mean of the depth samples (0 when none were taken).
+    #[must_use]
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.depth.iter().map(|&(_, d)| u64::from(d)).sum();
+        sum as f64 / self.depth.len() as f64
+    }
+
+    /// Maximum depth sample (0 when none were taken).
+    #[must_use]
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile of the recorded latencies: the smallest
+    /// recorded value with at least `p` percent of samples at or below
+    /// it. Returns 0 when nothing was recorded.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// The full distribution summary.
+    #[must_use]
+    pub fn stats(&self) -> LatencyStats {
+        if self.latencies.is_empty() {
+            return LatencyStats::empty();
+        }
+        let sum: u64 = self.latencies.iter().sum();
+        LatencyStats {
+            count: self.count(),
+            mean: sum as f64 / self.latencies.len() as f64,
+            p50: self.percentile(50.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: *self.latencies.iter().max().expect("nonempty"),
+        }
+    }
+
+    /// Serializes all samples.
+    pub fn save_state(&self, out: &mut StateWriter) {
+        out.put_u64(self.latencies.len() as u64);
+        for &l in &self.latencies {
+            out.put_u64(l);
+        }
+        out.put_u64(self.depth.len() as u64);
+        for &(cycle, depth) in &self.depth {
+            out.put_u64(cycle);
+            out.put_u32(depth);
+        }
+    }
+
+    /// Restores samples saved by [`save_state`](LatencyRecorder::save_state),
+    /// replacing the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the buffer is truncated or the
+    /// recorded lengths are implausible for its size.
+    pub fn load_state(&mut self, src: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = src.take_u64()?;
+        if n > src.remaining() as u64 / 8 {
+            return Err(StateError::Invalid("latency sample count"));
+        }
+        let mut latencies = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            latencies.push(src.take_u64()?);
+        }
+        let d = src.take_u64()?;
+        if d > src.remaining() as u64 / 12 {
+            return Err(StateError::Invalid("depth sample count"));
+        }
+        let mut depth = Vec::with_capacity(d as usize);
+        for _ in 0..d {
+            let cycle = src.take_u64()?;
+            let value = src.take_u32()?;
+            depth.push((cycle, value));
+        }
+        self.latencies = latencies;
+        self.depth = depth;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            r.record(v);
+        }
+        assert_eq!(r.percentile(50.0), 50);
+        assert_eq!(r.percentile(99.0), 99);
+        assert_eq!(r.percentile(99.9), 100);
+        assert_eq!(r.percentile(100.0), 100);
+        let s = r.stats();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_and_empty() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.stats(), LatencyStats::empty());
+        r.record(7);
+        let s = r.stats();
+        assert_eq!((s.p50, s.p99, s.p999, s.max), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn depth_accounting() {
+        let mut r = LatencyRecorder::new();
+        r.sample_depth(10, 0);
+        r.sample_depth(20, 4);
+        r.sample_depth(30, 2);
+        assert_eq!(r.max_depth(), 4);
+        assert!((r.mean_depth() - 2.0).abs() < 1e-9);
+        assert_eq!(r.depth_series().len(), 3);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut r = LatencyRecorder::new();
+        for v in [5u64, 9, 2, 40] {
+            r.record(v);
+        }
+        r.sample_depth(100, 3);
+        let mut w = StateWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = LatencyRecorder::new();
+        restored.record(999); // must be replaced, not appended
+        let mut src = StateReader::new(&bytes);
+        restored.load_state(&mut src).unwrap();
+        assert_eq!(src.remaining(), 0);
+        assert_eq!(restored, r);
+
+        let mut src = StateReader::new(&bytes[..5]);
+        assert!(LatencyRecorder::new().load_state(&mut src).is_err());
+    }
+}
