@@ -45,7 +45,7 @@ fn run() -> Result<(), BenchError> {
     }
 
     let results = args.sweep("ablation").run(points, |(arch, bins)| {
-        let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+        let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(HistImpl::LrscWait, bins, iters, num_cores);
         let m = Experiment::new(&kernel, cfg)

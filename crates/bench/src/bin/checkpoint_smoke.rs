@@ -42,10 +42,12 @@ fn run() -> Result<(), BenchError> {
     let mut measurements = Vec::new();
     for (slug, arch) in archs {
         let kernel = HistogramKernel::new(HistImpl::AmoAdd, 8, iters, CORES);
-        let full = SimConfig::builder()
-            .cores(CORES as usize)
-            .arch(arch)
-            .build()?;
+        let full = args.configure(
+            SimConfig::builder()
+                .cores(CORES as usize)
+                .arch(arch)
+                .build()?,
+        );
         let ckpt = match &args.checkpoint {
             Some(path) => path.with_extension(format!("{slug}.snap")),
             None => args.out.join(format!("checkpoint_smoke.{slug}.snap")),
@@ -56,11 +58,13 @@ fn run() -> Result<(), BenchError> {
 
         // Starve the same run of cycles: the watchdog must fire, and the
         // snapshot must be written anyway.
-        let starved = SimConfig::builder()
-            .cores(CORES as usize)
-            .arch(arch)
-            .max_cycles(base.cycles / 2)
-            .build()?;
+        let starved = args.configure(
+            SimConfig::builder()
+                .cores(CORES as usize)
+                .arch(arch)
+                .max_cycles(base.cycles / 2)
+                .build()?,
+        );
         let outcome = Experiment::new(&kernel, starved)
             .x(iters)
             .checkpoint(&ckpt)

@@ -60,7 +60,7 @@ fn run() -> Result<(), BenchError> {
         .collect();
     let trace = args.trace;
     let results = args.sweep("fig3").run(points, |(label, impl_, arch, b)| {
-        let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+        let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
         let exp = Experiment::new(&kernel, cfg).label(label).x(b);

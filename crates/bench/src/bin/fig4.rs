@@ -44,7 +44,7 @@ fn run() -> Result<(), BenchError> {
         })
         .collect();
     let measurements = args.sweep("fig4").run(points, |(label, impl_, arch, b)| {
-        let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+        let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
         let m = Experiment::new(&kernel, cfg).label(label).x(b).run()?;

@@ -89,11 +89,13 @@ fn run() -> Result<(), BenchError> {
     }
 
     let results = args.sweep("fig5").run(points, |p| {
-        let cfg = SimConfig::builder()
-            .mempool()
-            .arch(p.arch)
-            .max_cycles(p.max_cycles)
-            .build()?;
+        let cfg = args.configure(
+            SimConfig::builder()
+                .mempool()
+                .arch(p.arch)
+                .max_cycles(p.max_cycles)
+                .build()?,
+        );
         let kernel = MatmulKernel::new(n, p.workers, num_cores, p.kind).with_poll_bins(p.bins);
         let m = Experiment::new(&kernel, cfg)
             .label(p.label)

@@ -57,11 +57,13 @@ fn run() -> Result<(), BenchError> {
     let results = args
         .sweep("fig6")
         .run(points, |(label, impl_, arch, active)| {
-            let cfg = SimConfig::builder()
-                .mempool()
-                .arch(arch)
-                .max_cycles(100_000_000)
-                .build()?;
+            let cfg = args.configure(
+                SimConfig::builder()
+                    .mempool()
+                    .arch(arch)
+                    .max_cycles(100_000_000)
+                    .build()?,
+            );
             // Non-participating cores halt immediately inside the kernel.
             let kernel = QueueKernel::new(impl_, iters, active);
             let exp = Experiment::new(&kernel, cfg).label(label).x(active);

@@ -126,11 +126,13 @@ fn run() -> Result<(), BenchError> {
     let results: Vec<Point> = args
         .sweep("fig_barriers")
         .run(points, |(impl_, arch, cores)| {
-            let cfg = SimConfig::builder()
-                .mempool_cores(cores as usize)
-                .arch(arch)
-                .max_cycles(20_000_000)
-                .build()?;
+            let cfg = args.configure(
+                SimConfig::builder()
+                    .mempool_cores(cores as usize)
+                    .arch(arch)
+                    .max_cycles(20_000_000)
+                    .build()?,
+            );
             let kernel = BarrierKernel::new(impl_, episodes, cores);
             let analysis = SharedSink::new(AnalysisSink::new());
             let heatmap = SharedSink::new(NocHeatmapSink::new());

@@ -33,7 +33,7 @@ use lrscwait_bench::{
 };
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::ServiceKernel;
-use lrscwait_sim::SimConfig;
+use lrscwait_sim::{ExecMode, SimConfig};
 use lrscwait_traffic::{
     ArrivalProcess, HarnessError, ServiceHarness, TrafficConfig, TrafficSummary,
 };
@@ -93,6 +93,7 @@ fn bench_err(label: &str, err: HarnessError) -> BenchError {
 /// One traffic run: fleet of [`SERVERS`] on `arch`, open-loop arrivals
 /// with the given mean inter-arrival time, `items` items, cycle budget
 /// sized so saturated points run out (DNF) instead of running forever.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     arch: SyncArch,
     label: &str,
@@ -100,14 +101,18 @@ fn drive(
     items: u64,
     seed: u64,
     bursty: bool,
+    exec: Option<ExecMode>,
 ) -> Result<TrafficSummary, BenchError> {
     let warmup = TrafficConfig::new(items).warmup;
     let budget = warmup + (items as f64 * mean * 1.25) as u64 + 4 * u64::from(SERVICE);
-    let cfg = SimConfig::builder()
+    let mut cfg = SimConfig::builder()
         .cores(SERVERS as usize)
         .arch(arch)
         .max_cycles(budget)
         .build()?;
+    if let Some(mode) = exec {
+        cfg.exec_mode = mode;
+    }
     let arrivals = if bursty {
         // Two-state MMPP with the same long-run mean as the Poisson
         // series: dwell alternates between 2x and 2/3x the mean rate.
@@ -151,6 +156,7 @@ fn run() -> Result<(), BenchError> {
         128,
         0x5EED,
         false,
+        args.exec,
     )?;
     check_claim(
         !cal.dnf && cal.latency.p50 >= u64::from(SERVICE),
@@ -181,7 +187,15 @@ fn run() -> Result<(), BenchError> {
             + ai as u64 * 7919
             + if model == "bursty" { 104_729 } else { 0 };
         let started = Instant::now();
-        let summary = drive(arch, &label, mean, items, seed, model == "bursty")?;
+        let summary = drive(
+            arch,
+            &label,
+            mean,
+            items,
+            seed,
+            model == "bursty",
+            args.exec,
+        )?;
         let host_seconds = started.elapsed().as_secs_f64();
         if summary.dnf {
             eprintln!(

@@ -61,7 +61,7 @@ fn run() -> Result<(), BenchError> {
     let measured = args.sweep("table2").run(
         configs,
         |(label, impl_, arch, backoff, paper_pj, paper_mw)| {
-            let cfg = SimConfig::builder().mempool().arch(arch).build()?;
+            let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
             let num_cores = cfg.topology.num_cores as u32;
             let mut kernel = HistogramKernel::new(impl_, 1, iters, num_cores);
             if backoff > 0 {

@@ -11,7 +11,7 @@
 //! | `fig6` | Fig. 6 — queue throughput vs. core count |
 //! | `table2` | Table II — power and energy per operation |
 //! | `ablation` | Reservation-capacity ablation |
-//! | `perf_smoke` | Simulator-performance smoke: event-driven vs reference speedup |
+//! | `perf_smoke` | Simulator-performance smoke: event-driven and translated speedups |
 //! | `trace` | Perfetto trace + synchronization analysis for any kernel × arch pair |
 //!
 //! Every binary accepts `--quick` (reduced sweep), `--threads N` (sweep
@@ -345,6 +345,15 @@ impl<'w> Experiment<'w> {
     #[must_use]
     pub fn reference(mut self) -> Experiment<'w> {
         self.cfg.exec_mode = ExecMode::Reference;
+        self
+    }
+
+    /// Overrides the execution mode (see [`ExecMode`]; results are
+    /// bit-identical across all modes, only the host-side speed differs).
+    /// The figure binaries route `--exec` through this.
+    #[must_use]
+    pub fn exec(mut self, mode: ExecMode) -> Experiment<'w> {
+        self.cfg.exec_mode = mode;
         self
     }
 
@@ -892,9 +901,12 @@ pub fn arch_for(impl_: HistImpl, colibri_queues: usize) -> SyncArch {
 /// Usage text shared by every figure binary.
 pub const USAGE: &str = "\
 usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE] [--trace]
-                       [--enforce-sharded]
+                       [--enforce-sharded] [--exec MODE]
   --quick          reduced sweep for CI / smoke testing
   --threads N      sweep worker threads (default: all cores, min 2)
+  --exec MODE      execution mode for every experiment: event (default),
+                   reference, or translated — results are bit-identical,
+                   only simulator speed differs
   --out DIR        results directory (default: results)
   --baseline FILE  committed BENCH_sim.json to guard simulator throughput
                    against (fails when more than 2x slower; perf_smoke)
@@ -937,6 +949,9 @@ pub struct BenchArgs {
     /// Restore the machine from this snapshot instead of starting from
     /// reset.
     pub resume: Option<PathBuf>,
+    /// Execution-mode override for every experiment the binary runs
+    /// (`None`: keep each config's own mode, normally event-driven).
+    pub exec: Option<ExecMode>,
 }
 
 impl Default for BenchArgs {
@@ -950,6 +965,7 @@ impl Default for BenchArgs {
             enforce_sharded: false,
             checkpoint: None,
             resume: None,
+            exec: None,
         }
     }
 }
@@ -1010,6 +1026,22 @@ impl BenchArgs {
                     })?;
                     parsed.resume = Some(PathBuf::from(value));
                 }
+                "--exec" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--exec needs a mode\n{USAGE}"))
+                    })?;
+                    parsed.exec = Some(match value.as_str() {
+                        "event" => ExecMode::EventDriven,
+                        "reference" => ExecMode::Reference,
+                        "translated" => ExecMode::Translated,
+                        other => {
+                            return Err(BenchError::Usage(format!(
+                                "--exec: unknown mode `{other}` \
+                                 (expected event, reference or translated)\n{USAGE}"
+                            )));
+                        }
+                    });
+                }
                 "-h" | "--help" => return Err(BenchError::Help),
                 other => {
                     return Err(BenchError::Usage(format!(
@@ -1028,6 +1060,17 @@ impl BenchArgs {
     /// See [`BenchArgs::parse`].
     pub fn from_env() -> Result<BenchArgs, BenchError> {
         BenchArgs::parse(std::env::args().skip(1))
+    }
+
+    /// Applies the `--exec` mode override to a machine configuration
+    /// (identity without the flag). Figure binaries pass every config
+    /// they build through this so one flag retargets the whole sweep.
+    #[must_use]
+    pub fn configure(&self, mut cfg: SimConfig) -> SimConfig {
+        if let Some(mode) = self.exec {
+            cfg.exec_mode = mode;
+        }
+        cfg
     }
 
     /// A [`Sweep`] honouring the `--threads` override.
@@ -1371,6 +1414,8 @@ mod tests {
                 "ckpt.snap",
                 "--resume",
                 "prev.snap",
+                "--exec",
+                "translated",
             ]
             .map(String::from),
         )
@@ -1383,8 +1428,25 @@ mod tests {
         assert!(args.enforce_sharded);
         assert_eq!(args.checkpoint, Some(PathBuf::from("ckpt.snap")));
         assert_eq!(args.resume, Some(PathBuf::from("prev.snap")));
+        assert_eq!(args.exec, Some(ExecMode::Translated));
         assert!(BenchArgs::parse(["--checkpoint".to_string()]).is_err());
         assert!(BenchArgs::parse(["--resume".to_string()]).is_err());
+        assert!(BenchArgs::parse(["--exec".to_string()]).is_err());
+        assert!(BenchArgs::parse(["--exec", "jit"].map(String::from)).is_err());
+        for (name, mode) in [
+            ("event", ExecMode::EventDriven),
+            ("reference", ExecMode::Reference),
+            ("translated", ExecMode::Translated),
+        ] {
+            let args = BenchArgs::parse(["--exec", name].map(String::from)).unwrap();
+            assert_eq!(args.exec, Some(mode));
+            let cfg = args.configure(SimConfig::builder().cores(2).build().unwrap());
+            assert_eq!(cfg.exec_mode, mode, "configure applies --exec {name}");
+        }
+        assert!(
+            BenchArgs::default().exec.is_none(),
+            "without --exec every config keeps its own mode"
+        );
         assert!(!BenchArgs::default().trace, "trace artifacts are opt-in");
         assert!(
             !BenchArgs::default().enforce_sharded,
@@ -1429,14 +1491,12 @@ mod tests {
             .unwrap();
         let kernel = HistogramKernel::new(HistImpl::LrscWait, 2, 8, 4);
         let fast = Experiment::new(&kernel, cfg).x(2).run().unwrap();
-        let reference = Experiment::new(&kernel, cfg)
-            .x(2)
-            .reference()
-            .run()
-            .unwrap();
-        assert_eq!(fast.cycles, reference.cycles);
-        assert_eq!(fast.stats, reference.stats);
-        assert_eq!(fast.csv_row(), reference.csv_row());
+        for mode in [ExecMode::Reference, ExecMode::Translated] {
+            let other = Experiment::new(&kernel, cfg).x(2).exec(mode).run().unwrap();
+            assert_eq!(fast.cycles, other.cycles, "{mode:?}");
+            assert_eq!(fast.stats, other.stats, "{mode:?}");
+            assert_eq!(fast.csv_row(), other.csv_row(), "{mode:?}");
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod disasm;
 mod encode;
 mod instr;
 mod reg;
+mod uop;
 
 pub use csr::{Csr, CSR_CYCLE, CSR_CYCLEH, CSR_INSTRET, CSR_INSTRETH, CSR_MHARTID};
 pub use decode::{decode, DecodeError};
@@ -51,6 +52,7 @@ pub use disasm::disasm;
 pub use encode::encode;
 pub use instr::{AluOp, AmoOp, BranchOp, CsrOp, Instr, MemWidth};
 pub use reg::Reg;
+pub use uop::{JumpTarget, MicroOp};
 
 /// Major opcode shared by RV32A and the Xlrscwait extension.
 pub const OPCODE_AMO: u32 = 0b010_1111;

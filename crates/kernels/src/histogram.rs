@@ -246,6 +246,11 @@ pub struct HistogramKernel {
     pub iters: u32,
     /// Backoff cycles after a failed attempt (the paper uses 128).
     pub backoff: u32,
+    /// Extra LCG mixing rounds per update (straight-line multiply/add
+    /// work between synchronization operations). `0` keeps the classic
+    /// single-round kernel; larger values model workloads that compute
+    /// between updates, sweeping the compute-to-synchronization ratio.
+    pub compute: u32,
     /// Number of cores (sizes the MCS node array).
     pub num_cores: u32,
 }
@@ -264,6 +269,7 @@ impl HistogramKernel {
             bins,
             iters,
             backoff: 128,
+            compute: 0,
             num_cores,
         }
     }
@@ -275,10 +281,34 @@ impl HistogramKernel {
         self
     }
 
+    /// Adds `rounds` extra LCG mixing rounds of straight-line compute
+    /// before each update (builder style). See
+    /// [`compute`](HistogramKernel::compute).
+    #[must_use]
+    pub fn with_compute(mut self, rounds: u32) -> HistogramKernel {
+        self.compute = rounds;
+        self
+    }
+
     /// Total increments across all cores (for conservation checks).
     #[must_use]
     pub fn expected_total(&self) -> u64 {
         u64::from(self.iters) * u64::from(self.num_cores)
+    }
+
+    /// Extra-compute snippet: `compute` additional LCG rounds folded into
+    /// the per-update seed, all register-to-register work. Empty when
+    /// `compute == 0`, keeping the classic kernel byte-identical.
+    fn mix_snippet(&self) -> String {
+        if self.compute == 0 {
+            return String::new();
+        }
+        format!(
+            "    li   t5, {rounds}\nmix_loop:\n    li   t0, 1664525\n    \
+             mul  s4, s4, t0\n    li   t1, 1013904223\n    add  s4, s4, t1\n    \
+             addi t5, t5, -1\n    bnez t5, mix_loop\n",
+            rounds = self.compute
+        )
     }
 
     /// Assembles the program.
@@ -312,7 +342,7 @@ _start:
     sw   zero, 0x0C(s0)        # barrier: aligned start
     sw   s6, 0x08(s0)          # region start
 hist_loop:
-    li   t0, 1664525
+{mix}    li   t0, 1664525
     mul  s4, s4, t0
     li   t1, 1013904223
     add  s4, s4, t1
@@ -335,6 +365,7 @@ locks:     .space LOCK_BYTES
 .align 6
 mcs_nodes: .space MCS_BYTES
 "#,
+            mix = self.mix_snippet(),
             prep = self.impl_.prep_snippet(),
             increment = self.impl_.increment_snippet(self.backoff),
         );
@@ -469,6 +500,36 @@ mod tests {
         let (m, _) = run(HistImpl::AmoAdd, 4, SyncArch::Lrsc, 2);
         assert_eq!(m.stats().total_ops(), 32);
         assert!(m.stats().throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn compute_rounds_conserve_and_add_instructions() {
+        let plain = HistogramKernel::new(HistImpl::AmoAdd, 4, 16, 2);
+        let mixed = plain.with_compute(8);
+        assert_eq!(
+            plain.program().text,
+            HistogramKernel::new(HistImpl::AmoAdd, 4, 16, 2)
+                .with_compute(0)
+                .program()
+                .text,
+            "compute == 0 must keep the classic kernel byte-identical"
+        );
+        let program = mixed.program();
+        let mut m = Machine::new(SimConfig::small(2, SyncArch::Lrsc), &program).unwrap();
+        let summary = m.run().expect("compute kernel runs");
+        assert_eq!(summary.exit, ExitReason::AllHalted);
+        assert_eq!(
+            bin_total(&m, &program, 4),
+            32,
+            "mixing rounds keep conservation"
+        );
+
+        let (plain_m, _) = run(HistImpl::AmoAdd, 4, SyncArch::Lrsc, 2);
+        assert!(
+            m.stats().cores.iter().map(|c| c.instret).sum::<u64>()
+                > plain_m.stats().cores.iter().map(|c| c.instret).sum::<u64>(),
+            "extra rounds must execute extra straight-line instructions"
+        );
     }
 
     #[test]

@@ -163,12 +163,15 @@ pub struct NetworkStats {
 #[derive(Clone, Debug)]
 pub struct Network<P> {
     nodes: Vec<Node<P>>,
-    /// Node ids with at least one queued flit, kept sorted ascending so
-    /// `advance` needs no per-cycle sort (scan set for `advance`).
+    /// Node ids with at least one queued flit, unordered (`active_flag`
+    /// dedups). Keeping it unsorted makes activation O(1); `advance`
+    /// sorts its working snapshot once per cycle, which is cheaper than
+    /// the per-activation sorted inserts it replaces once more than a
+    /// handful of routers carry traffic.
     active: Vec<NodeId>,
     active_flag: Vec<bool>,
-    /// Reusable rotated-order snapshot for `advance` (allocation-free
-    /// steady state).
+    /// Reusable sorted, rotated-order snapshot for `advance`
+    /// (allocation-free steady state).
     scratch: Vec<NodeId>,
     stats: NetworkStats,
 }
@@ -279,8 +282,7 @@ impl<P> Network<P> {
     fn mark_active(&mut self, id: NodeId) {
         if !self.active_flag[id as usize] {
             self.active_flag[id as usize] = true;
-            let pos = self.active.partition_point(|&x| x < id);
-            self.active.insert(pos, id);
+            self.active.push(id);
         }
     }
 
@@ -377,14 +379,16 @@ impl<P> Network<P> {
         if self.active.is_empty() {
             return;
         }
-        // `active` is maintained sorted, so the rotated processing order is
-        // two slice copies into the reusable scratch — no per-cycle sort,
-        // no per-cycle allocation.
-        let rotation = (now as usize) % self.active.len();
+        // The processing order is canonical regardless of how `active` is
+        // currently permuted: sort the snapshot ascending, then rotate by
+        // the cycle number. One O(k log k) sort per cycle replaces the
+        // O(k) sorted insert per activation the old scheme paid.
         let mut order = std::mem::take(&mut self.scratch);
         order.clear();
-        order.extend_from_slice(&self.active[rotation..]);
-        order.extend_from_slice(&self.active[..rotation]);
+        order.extend_from_slice(&self.active);
+        order.sort_unstable();
+        let rotation = (now as usize) % order.len();
+        order.rotate_left(rotation);
         self.active.clear();
         for &id in &order {
             self.active_flag[id as usize] = false;

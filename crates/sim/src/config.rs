@@ -47,14 +47,20 @@ pub const NUM_ARGS: usize = 8;
 
 /// How the machine schedules core stepping.
 ///
-/// Both modes are cycle-accurate and produce bit-identical results —
-/// every cycle count, statistic and benchmark CSV byte (proven
-/// continuously by the differential suites in
+/// All three modes are cycle-accurate and produce bit-identical results —
+/// every cycle count, statistic, trace stream and benchmark CSV byte
+/// (proven continuously by the differential suites in
 /// `crates/sim/tests/differential.rs` and `tests/differential.rs`); they
 /// differ only in simulation cost. Selected per run through
 /// [`SimConfigBuilder::exec_mode`]; any mode is valid with any
-/// workload or architecture, so the builder accepts both without
+/// workload or architecture, so the builder accepts all of them without
 /// further validation.
+///
+/// | Mode | Scheduling | Instruction dispatch | Cost |
+/// |---|---|---|---|
+/// | `Reference` | every core, every cycle | interpreter | O(cores × cycles) |
+/// | `EventDriven` | sorted runnable set + fast-forward | interpreter | O(events) |
+/// | `Translated` | sorted runnable set + fast-forward | superblock micro-ops, interpreter at boundaries | O(events), several-fold cheaper per busy instruction |
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
     /// Runnable-set scheduling with lazy parked-core accounting and (in
@@ -65,6 +71,23 @@ pub enum ExecMode {
     /// accounting — O(cores × cycles). Kept as the differential-testing
     /// ground truth and performance baseline.
     Reference,
+    /// Event-driven scheduling plus a translated fast path: straight-line
+    /// runs of ALU/branch micro-ops (superblocks, see
+    /// [`lrscwait_isa::MicroOp`]) execute as one tight loop charging the
+    /// same per-instruction cycle accounting, re-entering the interpreter
+    /// at every load/store/AMO/CSR/fence/ecall boundary where the NoC,
+    /// adapters, or timing model must observe the core.
+    Translated,
+}
+
+impl ExecMode {
+    /// Whether this mode uses the event-scheduled machinery (runnable
+    /// set, lazy parked accounting, fast-forward) rather than the naive
+    /// every-core-every-cycle reference walk.
+    #[must_use]
+    pub fn event_scheduled(self) -> bool {
+        !matches!(self, ExecMode::Reference)
+    }
 }
 
 /// Core pipeline timing knobs (Snitch-like single-issue in-order core).
@@ -498,9 +521,11 @@ impl SimConfigBuilder {
     /// Selects how the machine schedules core stepping.
     ///
     /// [`ExecMode::EventDriven`] (the default) is the O(events)
-    /// runnable-set scheduler; [`ExecMode::Reference`] is the naive
+    /// runnable-set scheduler; [`ExecMode::Translated`] adds the
+    /// superblock micro-op fast path on top of it (fastest for busy
+    /// workloads); [`ExecMode::Reference`] is the naive
     /// O(cores × cycles) ground-truth stepper. Results are bit-identical
-    /// either way — pick `Reference` only for differential testing or
+    /// in every mode — pick `Reference` only for differential testing or
     /// simulator-performance baselining:
     ///
     /// ```
@@ -509,9 +534,10 @@ impl SimConfigBuilder {
     /// # fn main() -> Result<(), lrscwait_sim::ConfigError> {
     /// let cfg = SimConfig::builder()
     ///     .cores(4)
-    ///     .exec_mode(ExecMode::Reference)
+    ///     .exec_mode(ExecMode::Translated)
     ///     .build()?;
-    /// assert_eq!(cfg.exec_mode, ExecMode::Reference);
+    /// assert_eq!(cfg.exec_mode, ExecMode::Translated);
+    /// assert!(cfg.exec_mode.event_scheduled());
     /// # Ok(())
     /// # }
     /// ```
@@ -662,6 +688,17 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.exec_mode, ExecMode::Reference);
+        let cfg = SimConfig::builder()
+            .cores(2)
+            .exec_mode(ExecMode::Translated)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.exec_mode, ExecMode::Translated);
+        // The translated path rides on the event-scheduled machinery;
+        // only Reference walks every core every cycle.
+        assert!(ExecMode::EventDriven.event_scheduled());
+        assert!(ExecMode::Translated.event_scheduled());
+        assert!(!ExecMode::Reference.event_scheduled());
         assert_eq!(
             SimConfig::mempool(SyncArch::Lrsc).exec_mode,
             ExecMode::EventDriven

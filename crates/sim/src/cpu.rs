@@ -7,11 +7,14 @@
 //! and consumes no network bandwidth — the property the LRSCwait extension
 //! exploits.
 
+use std::sync::{Arc, OnceLock};
+
 use lrscwait_isa::{AluOp, AmoOp, Csr, CsrOp, Instr, MemWidth, Reg};
 use lrscwait_trace::OpKind;
 
 use crate::config::CoreTiming;
 use crate::stats::CoreStats;
+use crate::translate::Translation;
 
 /// The trace [`OpKind`] a blocking atomic parks a core under — the
 /// "cause" attached to the simulator's park/wake trace events and the
@@ -32,7 +35,7 @@ pub fn amo_op_kind(op: AmoOp) -> OpKind {
 /// [`std::sync::Arc`], by all machines of a sweep: decoding (and the
 /// text/raw/source-line buffers) happens once per distinct program, not
 /// once per [`crate::Machine`].
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DecodedProgram {
     /// ROM base address.
     pub base: u32,
@@ -52,6 +55,34 @@ pub struct DecodedProgram {
     pub bss_base: u32,
     /// Size in bytes of the zero-initialized segment.
     pub bss_size: u32,
+    /// Lazily-built superblock translation for `ExecMode::Translated`
+    /// (see [`Translation`]). Built at most once per program image and
+    /// shared by every machine (and every snapshot restore) holding this
+    /// `DecodedProgram` — sweeps that share the image behind an `Arc`
+    /// translate once.
+    translation: OnceLock<Arc<Translation>>,
+}
+
+impl Clone for DecodedProgram {
+    fn clone(&self) -> DecodedProgram {
+        DecodedProgram {
+            base: self.base,
+            instrs: self.instrs.clone(),
+            raw: self.raw.clone(),
+            source_lines: self.source_lines.clone(),
+            entry: self.entry,
+            data_base: self.data_base,
+            data: self.data.clone(),
+            bss_base: self.bss_base,
+            bss_size: self.bss_size,
+            // A clone is the same program image, so the translation (if
+            // already built) stays valid and is shared, not rebuilt.
+            translation: self
+                .translation
+                .get()
+                .map_or_else(OnceLock::new, |t| OnceLock::from(Arc::clone(t))),
+        }
+    }
 }
 
 impl DecodedProgram {
@@ -79,6 +110,7 @@ impl DecodedProgram {
             data: program.data.clone(),
             bss_base: program.bss_base,
             bss_size: program.bss_size,
+            translation: OnceLock::new(),
         })
     }
 
@@ -90,6 +122,15 @@ impl DecodedProgram {
         }
         let idx = ((pc - self.base) / 4) as usize;
         (idx < self.instrs.len()).then_some(idx)
+    }
+
+    /// The superblock translation of this image, built on first use and
+    /// cached for the lifetime of the `DecodedProgram` (machines,
+    /// restores, and sweep workers all share the same `Arc`).
+    #[must_use]
+    pub fn translation(&self) -> &Arc<Translation> {
+        self.translation
+            .get_or_init(|| Arc::new(Translation::new(self)))
     }
 }
 
@@ -191,6 +232,13 @@ pub struct Core {
     pub state: CoreState,
     /// Earliest cycle the next instruction may issue.
     pub ready_at: u64,
+    /// Last cycle the translated fast path has already charged into
+    /// `stats` for this core (superblocks run ahead of the machine
+    /// clock; per-cycle visits before this point must not double-count
+    /// stalls, and `fast_forward` must not re-credit them). Always `0`
+    /// outside `ExecMode::Translated`; transient simulation state, never
+    /// serialized — snapshots reset it on restore.
+    pub charged_until: u64,
     /// Cycle at which the core last entered `WaitingMem` or `Barrier`
     /// (event-driven lazy accounting: the sleep/barrier cycle total is
     /// settled as a single delta on wake instead of one increment per
@@ -214,6 +262,7 @@ impl Core {
             pc: entry,
             state: CoreState::Running,
             ready_at: 0,
+            charged_until: 0,
             parked_at: 0,
             pending: None,
             outstanding_stores: 0,

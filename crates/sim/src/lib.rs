@@ -51,6 +51,7 @@ mod machine;
 mod phases;
 mod shard;
 mod stats;
+mod translate;
 
 pub use config::{
     mmio_reg, ConfigError, CoreTiming, ExecMode, SimConfig, SimConfigBuilder, MMIO_BASE, MMIO_SIZE,
@@ -59,3 +60,4 @@ pub use config::{
 pub use cpu::DecodedProgram;
 pub use machine::{Machine, SimError};
 pub use stats::{CoreStats, ExitReason, RunSummary, SimStats};
+pub use translate::Translation;

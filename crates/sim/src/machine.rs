@@ -35,9 +35,10 @@
 //! stays on the coordinating thread.
 //!
 //! **Determinism contract:** results are bit-identical for *any* shard
-//! count (and both [`ExecMode`]s — the differential and tracing suites
-//! enforce `shards=1` ≡ `shards=N` ≡ `Reference` on summaries, statistics,
-//! CSV bytes and trace streams). Three rules make this hold:
+//! count (and all three [`ExecMode`]s — the differential and tracing
+//! suites enforce `shards=1` ≡ `shards=N` ≡ `Reference` ≡ `Translated`
+//! on summaries, statistics, CSV bytes and trace streams). Three rules
+//! make this hold:
 //!
 //! * every cross-shard merge (dirty banks, dirty cores, runnable set,
 //!   debug prints, trace events) is performed in bank-id / core-id order —
@@ -78,15 +79,33 @@
 //!   its merge scratch, the networks' scan sets, the per-shard scratches)
 //!   is reused; steady-state cycles perform zero heap allocations.
 //!
+//! # Translated fast path
+//!
+//! [`ExecMode::Translated`] keeps the event-driven scheduling and swaps
+//! the per-instruction interpreter dispatch for superblock execution:
+//! the program image is pre-lowered into micro-ops (once per
+//! [`DecodedProgram`], shared across machines and restores), and a
+//! runnable core executes a whole straight-line-plus-branches run in one
+//! tight loop (`crate::translate::run_block`), re-entering the
+//! interpreter at every load/store/AMO/CSR/fence/ecall boundary — i.e.
+//! exactly where the NoC, the adapters, or the timing model must observe
+//! the core. Superblocks run *ahead* of the machine clock up to the run
+//! loop's horizon (watchdog/target, so both stay cycle-exact); the
+//! cycles already charged are tracked in `Core::charged_until` so
+//! per-cycle visits and `fast_forward` never double-count. Internal
+//! micro-ops are trace-silent in every mode, so trace streams are
+//! unchanged.
+//!
 //! # Equivalence guarantee
 //!
-//! Event-driven execution is an *optimization, not a model change*: cycle
-//! counts, every statistic, and therefore every benchmark CSV byte are
-//! identical to the naive reference stepper ([`ExecMode::Reference`]),
-//! which visits all cores every cycle with eager per-cycle accounting.
-//! The differential test suite (`crates/sim/tests/differential.rs` and the
-//! workspace-level `tests/differential.rs`) runs both modes — and multiple
-//! shard counts — across the kernel × architecture matrix and asserts
+//! Event-driven and translated execution are *optimizations, not model
+//! changes*: cycle counts, every statistic, and therefore every
+//! benchmark CSV byte are identical to the naive reference stepper
+//! ([`ExecMode::Reference`]), which visits all cores every cycle with
+//! eager per-cycle accounting. The differential test suite
+//! (`crates/sim/tests/differential.rs` and the workspace-level
+//! `tests/differential.rs`) runs all three modes — and multiple shard
+//! counts — across the kernel × architecture matrix and asserts
 //! bit-identical [`RunSummary`]/[`SimStats`] and byte-identical sweep
 //! CSVs. Barrier-release accounting is visit-order-free by construction:
 //! the release happens in a sequential sub-phase after stepping, charging
@@ -127,6 +146,7 @@ use crate::cpu::{Core, CoreState, DecodedProgram, PendingKind, PendingMem};
 use crate::phases::{self, CorePhase, ReqMsg, RespMsg, ShardScratch};
 use crate::shard::{Job, WorkerPool};
 use crate::stats::{ExitReason, RunSummary, SimStats};
+use crate::translate::Translation;
 
 /// Fatal simulation error (software bug in a kernel or harness misuse).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -288,6 +308,17 @@ pub struct Machine {
     bank_scratch: Vec<u32>,
     core_scratch: Vec<u32>,
     merge_scratch: Vec<u32>,
+    /// Superblock translation of the program image, built at
+    /// construction when `cfg.exec_mode == ExecMode::Translated` (kept
+    /// `None` otherwise) and shared with the `DecodedProgram`'s cache —
+    /// sweeps and snapshot restores reuse it, never rebuild it.
+    translation: Option<Arc<Translation>>,
+    /// Cycle horizon superblocks may run ahead to. Set by
+    /// [`Machine::run_until`] for the duration of the run loop (clamped
+    /// to the watchdog and the target) and reset to 0 on exit, so direct
+    /// [`Machine::step_cycle`] callers execute exactly one instruction
+    /// per core per visit in every mode.
+    step_limit: u64,
 }
 
 impl fmt::Debug for Machine {
@@ -376,6 +407,11 @@ impl Machine {
         }
 
         let entry = program.entry;
+        // Translate at construction (not lazily in the run loop) so the
+        // steady-state cycle stays allocation-free and sweep workers
+        // sharing the image behind an `Arc` translate exactly once.
+        let translation =
+            (cfg.exec_mode == ExecMode::Translated).then(|| Arc::clone(program.translation()));
         let mut machine = Machine {
             topo,
             program: Arc::clone(&program),
@@ -407,6 +443,8 @@ impl Machine {
             bank_scratch: Vec::with_capacity(num_banks),
             core_scratch: Vec::with_capacity(num_cores),
             merge_scratch: Vec::with_capacity(num_cores),
+            translation,
+            step_limit: 0,
             cfg,
         };
 
@@ -433,6 +471,16 @@ impl Machine {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.cfg.shards
+    }
+
+    /// The superblock translation this machine executes with — `Some`
+    /// exactly in [`ExecMode::Translated`]. The `Arc` is shared with the
+    /// program image's cache (`DecodedProgram::translation`), so two
+    /// machines on the same image — or one machine across a
+    /// [`Machine::restore`] — return pointer-identical translations.
+    #[must_use]
+    pub fn translation(&self) -> Option<&Arc<Translation>> {
+        self.translation.as_ref()
     }
 
     /// Attaches a trace sink. Must be called before the first cycle so
@@ -597,7 +645,7 @@ impl Machine {
             adapters.wakeups += s.wakeups;
             adapters.reservations_broken += s.reservations_broken;
         }
-        let lazy = self.cfg.exec_mode == ExecMode::EventDriven;
+        let lazy = self.cfg.exec_mode.event_scheduled();
         SimStats {
             cores: self
                 .cores
@@ -664,8 +712,22 @@ impl Machine {
     /// Returns [`SimError`] on kernel bugs (illegal pc, misalignment,
     /// breakpoints, faults).
     pub fn run_until(&mut self, target: u64) -> Result<RunSummary, SimError> {
+        // Open the superblock horizon for the duration of the run loop:
+        // the translated fast path may execute ahead of the cycle
+        // counter, but never past the watchdog or the stop target, so
+        // both stay cycle-exact. Reset on every exit so direct
+        // `step_cycle` callers get single-instruction horizons (and the
+        // per-cycle differential tests can compare all modes step by
+        // step).
+        self.step_limit = self.cfg.max_cycles.min(target);
+        let result = self.run_inner(target);
+        self.step_limit = 0;
+        result
+    }
+
+    fn run_inner(&mut self, target: u64) -> Result<RunSummary, SimError> {
         while self.halted < self.cores.len() {
-            if self.cfg.exec_mode == ExecMode::EventDriven {
+            if self.cfg.exec_mode.event_scheduled() {
                 self.fast_forward(self.cfg.max_cycles.min(target));
             }
             if self.cycle >= self.cfg.max_cycles {
@@ -740,10 +802,16 @@ impl Machine {
         if target <= now {
             return;
         }
-        let skipped = target - now;
         for i in 0..self.runnable.len() {
             let c = self.runnable[i] as usize;
-            self.cores[c].stats.stall_cycles += skipped;
+            // A superblock that ran ahead already charged this core's
+            // stalls up to `charged_until`; only credit the cycles
+            // beyond it (always all of them outside Translated mode,
+            // where `charged_until` stays 0).
+            let from = now.max(self.cores[c].charged_until);
+            if target > from {
+                self.cores[c].stats.stall_cycles += target - from;
+            }
         }
         self.cycle = target;
     }
@@ -883,11 +951,16 @@ impl Machine {
         self.resp_buf = resp_buf;
 
         // Phase 4: step the cores (event-driven: runnable set only;
-        // reference: every core with eager parked accounting).
-        if self.cfg.exec_mode == ExecMode::EventDriven {
+        // translated: runnable set + superblock fast path; reference:
+        // every core with eager parked accounting).
+        if self.cfg.exec_mode.event_scheduled() {
             self.merge_pending_wakes();
         }
         self.reset_scratch();
+        // Superblocks may run ahead to the run loop's horizon; outside
+        // `run`/`run_until` the horizon collapses to `now` (exactly one
+        // instruction per visit, like the interpreter modes).
+        let horizon = self.step_limit.max(now);
         let core_job = Job::Cores {
             cores: self.cores.as_mut_ptr(),
             qnodes: self.qnodes.as_mut_ptr(),
@@ -896,15 +969,18 @@ impl Machine {
             runnable: self.runnable.as_ptr(),
             runnable_len: self.runnable.len(),
             program: Arc::as_ptr(&self.program),
+            translation: self.translation.as_deref().map_or(std::ptr::null(), |t| t),
             cfg: &self.cfg,
             num_banks,
             now,
+            horizon,
             mode: self.cfg.exec_mode,
             tracing,
         };
         if let Some(pool) = &mut self.pool {
             pool.dispatch(core_job);
         } else {
+            let translation = self.translation.as_deref();
             let mut ctx = CorePhase {
                 core_lo: 0,
                 cores: &mut self.cores,
@@ -920,6 +996,15 @@ impl Machine {
                     &mut ctx,
                     &self.runnable,
                     now,
+                    &mut self.seq_scratch,
+                    tracing,
+                ),
+                ExecMode::Translated => phases::step_translated_cores(
+                    &mut ctx,
+                    translation.expect("translated machine builds its translation at construction"),
+                    &self.runnable,
+                    now,
+                    horizon,
                     &mut self.seq_scratch,
                     tracing,
                 ),
@@ -941,39 +1026,36 @@ impl Machine {
         // Phase 5: flush core outboxes into the request network. The start
         // index rotates each cycle so no core gets static injection
         // priority (round-robin arbitration, as in the real fabric).
-        match self.cfg.exec_mode {
-            ExecMode::EventDriven => {
-                if !self.dirty_cores.is_empty() {
-                    let n = self.cores.len();
-                    let start = (now % n as u64) as u32;
-                    let dirty = std::mem::take(&mut self.dirty_cores);
-                    let split = dirty.partition_point(|&c| c < start);
-                    for &c in dirty[split..].iter().chain(dirty[..split].iter()) {
-                        self.drain_core_outbox(c as usize, now);
-                    }
-                    let mut keep = std::mem::take(&mut self.core_scratch);
-                    keep.clear();
-                    keep.extend(
-                        dirty
-                            .iter()
-                            .copied()
-                            .filter(|&c| !self.core_outbox[c as usize].is_empty()),
-                    );
-                    self.dirty_cores = keep;
-                    self.core_scratch = dirty;
-                }
-
-                // Barrier releases become runnable next cycle; merge now
-                // so `fast_forward` sees their `ready_at`.
-                self.merge_pending_wakes();
-            }
-            ExecMode::Reference => {
+        if self.cfg.exec_mode.event_scheduled() {
+            if !self.dirty_cores.is_empty() {
                 let n = self.cores.len();
-                let start = (now as usize) % n;
-                for i in 0..n {
-                    let c = (start + i) % n;
-                    self.drain_core_outbox(c, now);
+                let start = (now % n as u64) as u32;
+                let dirty = std::mem::take(&mut self.dirty_cores);
+                let split = dirty.partition_point(|&c| c < start);
+                for &c in dirty[split..].iter().chain(dirty[..split].iter()) {
+                    self.drain_core_outbox(c as usize, now);
                 }
+                let mut keep = std::mem::take(&mut self.core_scratch);
+                keep.clear();
+                keep.extend(
+                    dirty
+                        .iter()
+                        .copied()
+                        .filter(|&c| !self.core_outbox[c as usize].is_empty()),
+                );
+                self.dirty_cores = keep;
+                self.core_scratch = dirty;
+            }
+
+            // Barrier releases become runnable next cycle; merge now
+            // so `fast_forward` sees their `ready_at`.
+            self.merge_pending_wakes();
+        } else {
+            let n = self.cores.len();
+            let start = (now as usize) % n;
+            for i in 0..n {
+                let c = (start + i) % n;
+                self.drain_core_outbox(c, now);
             }
         }
         Ok(())
@@ -1035,7 +1117,7 @@ impl Machine {
     fn merge_core_phase(&mut self, now: u64) -> Option<SimError> {
         self.drain_shard_traces(now);
         let shards = self.shard_count();
-        let event_driven = self.cfg.exec_mode == ExecMode::EventDriven;
+        let event_driven = self.cfg.exec_mode.event_scheduled();
         let mut error: Option<(u32, SimError)> = None;
         if event_driven {
             self.merge_scratch.clear();
@@ -1215,7 +1297,7 @@ impl Machine {
     /// now-1`; the core runs again in this cycle's Phase 4) and queue the
     /// core for the runnable set.
     fn wake_from_sleep(&mut self, c: usize, now: u64) {
-        if self.cfg.exec_mode == ExecMode::EventDriven {
+        if self.cfg.exec_mode.event_scheduled() {
             self.cores[c].stats.sleep_cycles += now - 1 - self.cores[c].parked_at;
             self.pending_wake.push(c as u32);
         }
@@ -1232,7 +1314,7 @@ impl Machine {
     fn release_barrier_if_ready(&mut self, now: u64) {
         let running = self.cores.len() - self.halted;
         if running > 0 && self.barrier_waiting == running {
-            let event_driven = self.cfg.exec_mode == ExecMode::EventDriven;
+            let event_driven = self.cfg.exec_mode.event_scheduled();
             let waiting = self.barrier_waiting as u32;
             self.tracer
                 .emit(now, || TraceEvent::BarrierRelease { waiting });
@@ -1262,7 +1344,11 @@ impl Machine {
 /// Snapshot file magic.
 const SNAP_MAGIC: [u8; 4] = *b"LRSW";
 /// Snapshot format version this build writes and reads.
-const SNAP_VERSION: u32 = 1;
+/// Version history: 1 = PR 6 initial format; 2 = adds the program-image
+/// fingerprint (text length, entry, FNV-1a hash) after the geometry
+/// header, so a restore can never resume — or execute translated
+/// superblocks — against a different program than the snapshot ran.
+const SNAP_VERSION: u32 = 2;
 /// Pseudo core id for host-injected requests ([`Machine::inject_store`]);
 /// responses addressed to it are consumed by the host, never routed.
 const HOST_CORE: u32 = u32::MAX;
@@ -1304,9 +1390,17 @@ impl Machine {
         out.put_u32(self.cores.len() as u32);
         out.put_u32(self.banks.len() as u32);
         out.put_u32(self.cfg.words_per_bank() as u32);
+        // Program-image fingerprint: a snapshot resumes mid-program, so
+        // restoring it onto a machine running different code would be
+        // silently wrong in any mode — and would execute stale
+        // superblocks in `ExecMode::Translated`. Mode-independent, so
+        // snapshot bytes stay identical across modes.
+        out.put_u32(self.program.raw.len() as u32);
+        out.put_u32(self.program.entry);
+        out.put_u64(program_fingerprint(&self.program));
         out.put_u64(self.cycle);
 
-        let lazy = self.cfg.exec_mode == ExecMode::EventDriven;
+        let lazy = self.cfg.exec_mode.event_scheduled();
         for core in &self.cores {
             for r in core.regs {
                 out.put_u32(r);
@@ -1459,6 +1553,17 @@ impl Machine {
                 self.cfg.words_per_bank()
             )));
         }
+        let text_len = src.take_u32()?;
+        let entry = src.take_u32()?;
+        let hash = src.take_u64()?;
+        if text_len as usize != self.program.raw.len()
+            || entry != self.program.entry
+            || hash != program_fingerprint(&self.program)
+        {
+            return Err(RestoreFail(
+                "snapshot was taken with a different program image".into(),
+            ));
+        }
         self.cycle = src.take_u64()?;
         for core in &mut self.cores {
             load_core(src, core)?;
@@ -1552,6 +1657,24 @@ impl Machine {
     }
 }
 
+/// FNV-1a-64 over the program identity (text base, entry point, raw text
+/// words as little-endian bytes). A fixed, explicit algorithm — not the
+/// standard library's unstable `DefaultHasher` — so snapshots stay
+/// portable across toolchain versions and builds.
+fn program_fingerprint(program: &DecodedProgram) -> u64 {
+    fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+        bytes
+            .iter()
+            .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3))
+    }
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, &program.base.to_le_bytes());
+    h = fnv1a(h, &program.entry.to_le_bytes());
+    for &word in &program.raw {
+        h = fnv1a(h, &word.to_le_bytes());
+    }
+    h
+}
+
 /// Restore failure message; converted to [`SimError::BadSnapshot`] at the
 /// public boundary.
 struct RestoreFail(String);
@@ -1635,6 +1758,9 @@ fn load_core(src: &mut StateReader<'_>, core: &mut Core) -> Result<(), StateErro
     core.pc = src.take_u32()?;
     core.state = core_state_from(src.take_u8()?)?;
     core.ready_at = src.take_u64()?;
+    // Transient fast-path state, never serialized: the restored machine
+    // has charged nothing beyond the snapshot cycle.
+    core.charged_until = 0;
     core.parked_at = src.take_u64()?;
     core.pending = if src.take_bool()? {
         let rd = Reg::try_new(u32::from(src.take_u8()?))

@@ -40,6 +40,7 @@ use crate::cpu::{
     MemIntent, PendingKind, PendingMem,
 };
 use crate::machine::SimError;
+use crate::translate::{run_block, Translation};
 
 /// Request-network payload.
 #[derive(Clone, Copy, Debug)]
@@ -370,6 +371,95 @@ fn walk_runnable<T: TraceCtx>(
     }
 }
 
+/// Steps this shard's slice of the runnable set in translated mode:
+/// identical scheduling to [`step_runnable_cores`], but a runnable core
+/// whose pc enters a superblock executes the whole block (up to
+/// `horizon`) in one call instead of one instruction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_translated_cores(
+    ctx: &mut CorePhase<'_>,
+    translation: &Translation,
+    runnable: &[u32],
+    now: u64,
+    horizon: u64,
+    scratch: &mut ShardScratch,
+    tracing: bool,
+) {
+    let ShardScratch {
+        kept_runnable,
+        new_dirty_cores,
+        prints,
+        newly_halted,
+        newly_barrier,
+        error,
+        error_core,
+        trace,
+        ..
+    } = scratch;
+    let mut out = StepOut {
+        new_dirty_cores,
+        prints,
+        newly_halted,
+        newly_barrier,
+        track_dirty: true,
+    };
+    if tracing {
+        walk_translated(
+            ctx,
+            translation,
+            runnable,
+            now,
+            horizon,
+            kept_runnable,
+            &mut out,
+            error,
+            error_core,
+            &mut BufTrace(trace),
+        );
+    } else {
+        walk_translated(
+            ctx,
+            translation,
+            runnable,
+            now,
+            horizon,
+            kept_runnable,
+            &mut out,
+            error,
+            error_core,
+            &mut NoTrace,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_translated<T: TraceCtx>(
+    ctx: &mut CorePhase<'_>,
+    translation: &Translation,
+    runnable: &[u32],
+    now: u64,
+    horizon: u64,
+    kept_runnable: &mut Vec<u32>,
+    out: &mut StepOut<'_>,
+    error: &mut Option<SimError>,
+    error_core: &mut u32,
+    trace: &mut T,
+) {
+    for (i, &c) in runnable.iter().enumerate() {
+        let result = ctx.step_core_translated(c, translation, now, horizon, out, trace);
+        // Same kept/fault-tail semantics as `walk_runnable`.
+        if ctx.cores[(c - ctx.core_lo) as usize].state == CoreState::Running {
+            kept_runnable.push(c);
+        }
+        if let Err(e) = result {
+            *error = Some(e);
+            *error_core = c;
+            kept_runnable.extend_from_slice(&runnable[i + 1..]);
+            return;
+        }
+    }
+}
+
 /// Visits every core of this shard (reference mode): eager accounting for
 /// parked states, then the shared running-core step.
 pub(crate) fn step_all_cores(
@@ -475,6 +565,57 @@ impl CorePhase<'_> {
             return Ok(());
         }
         self.cores[i].stats.active_cycles += 1;
+        self.interp_step(c, now, out, trace)
+    }
+
+    /// Steps one runnable core in translated mode. Scheduling guards are
+    /// identical to [`Self::step_running_core`], except that cycles a
+    /// superblock already charged in-block (`charged_until`) are not
+    /// re-charged as per-visit stalls. A pc with a superblock entry runs
+    /// the block; boundary instructions (and out-of-text pcs, which must
+    /// fault exactly like the interpreter) take the interpreter path.
+    fn step_core_translated<T: TraceCtx>(
+        &mut self,
+        c: u32,
+        translation: &Translation,
+        now: u64,
+        horizon: u64,
+        out: &mut StepOut<'_>,
+        trace: &mut T,
+    ) -> Result<(), SimError> {
+        let i = self.local(c);
+        if now < self.cores[i].ready_at || self.core_outbox[i].len() >= 4 {
+            if now > self.cores[i].charged_until {
+                self.cores[i].stats.stall_cycles += 1;
+            }
+            return Ok(());
+        }
+        if let Some(entry) = translation.entry(self.cores[i].pc) {
+            run_block(
+                &mut self.cores[i],
+                translation,
+                entry,
+                now,
+                horizon,
+                &self.cfg.timing,
+            );
+            return Ok(());
+        }
+        self.cores[i].stats.active_cycles += 1;
+        self.interp_step(c, now, out, trace)
+    }
+
+    /// Executes exactly one instruction on core `c` through the decoded-
+    /// instruction interpreter and applies its action. Shared tail of
+    /// [`Self::step_running_core`] and [`Self::step_core_translated`].
+    fn interp_step<T: TraceCtx>(
+        &mut self,
+        c: u32,
+        now: u64,
+        out: &mut StepOut<'_>,
+        trace: &mut T,
+    ) -> Result<(), SimError> {
+        let i = self.local(c);
         let action = {
             let program = self.program;
             let timing = self.cfg.timing;

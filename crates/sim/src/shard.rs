@@ -44,6 +44,7 @@ use lrscwait_trace::OpKind;
 use crate::config::{ExecMode, SimConfig};
 use crate::cpu::{Core, DecodedProgram};
 use crate::phases::{self, CorePhase, ReqMsg, RespMsg, ShardScratch};
+use crate::translate::Translation;
 
 /// How many times a worker polls the epoch counter before parking on the
 /// condvar. Phases follow each other within a few hundred nanoseconds
@@ -103,8 +104,12 @@ pub(crate) enum Job {
         runnable_len: usize,
         program: *const DecodedProgram,
         cfg: *const SimConfig,
+        /// Superblock translation; null unless `mode` is `Translated`.
+        translation: *const Translation,
         num_banks: u32,
         now: u64,
+        /// Run-ahead ceiling for translated superblocks (`now` otherwise).
+        horizon: u64,
         mode: ExecMode,
         tracing: bool,
     },
@@ -431,8 +436,10 @@ unsafe fn execute(shared: &Shared, job: &Job, shard: usize) {
             runnable_len,
             program,
             cfg,
+            translation,
             num_banks,
             now,
+            horizon,
             mode,
             tracing,
         } => {
@@ -463,6 +470,20 @@ unsafe fn execute(shared: &Shared, job: &Job, shard: usize) {
                 }
                 ExecMode::Reference => {
                     phases::step_all_cores(&mut ctx, now, scratch, tracing);
+                }
+                ExecMode::Translated => {
+                    let runnable = std::slice::from_raw_parts(runnable, runnable_len);
+                    let start = runnable.partition_point(|&c| c < lo);
+                    let end = runnable.partition_point(|&c| c < hi);
+                    phases::step_translated_cores(
+                        &mut ctx,
+                        &*translation,
+                        &runnable[start..end],
+                        now,
+                        horizon,
+                        scratch,
+                        tracing,
+                    );
                 }
             }
         }

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use lrscwait_asm::Assembler;
 use lrscwait_core::SyncArch;
-use lrscwait_sim::{Machine, SimConfig};
+use lrscwait_sim::{ExecMode, Machine, SimConfig};
 
 struct CountingAllocator;
 
@@ -42,6 +42,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 fn steady_state_cycles_do_not_allocate() {
     single_shard_steady_state();
     sharded_steady_state();
+    translated_steady_state();
 }
 
 fn single_shard_steady_state() {
@@ -149,4 +150,57 @@ fn sharded_steady_state() {
 
     let stats = machine.stats();
     assert!(stats.adapters.amos > 400, "sharded workload kept running");
+}
+
+/// The translated fast path must be just as allocation-free: the
+/// micro-op image is built once at machine construction, and
+/// `run_block` threads through it with no heap traffic.
+fn translated_steady_state() {
+    let src = r#"
+        _start:
+            la   a0, counter
+            la   a2, scratch
+            li   a3, 1
+        loop:
+            li   t1, 32
+        busy:
+            addi t1, t1, -1
+            bnez t1, busy
+            amoadd.w t0, a3, (a0)
+            sw   t0, (a2)
+            j    loop
+        .data
+        counter: .word 0
+        scratch: .word 0
+    "#;
+    let program = Assembler::new().assemble(src).expect("assembles");
+    let cfg = SimConfig::builder()
+        .cores(8)
+        .arch(SyncArch::Colibri { queues: 2 })
+        .exec_mode(ExecMode::Translated)
+        .max_cycles(u64::MAX)
+        .build()
+        .expect("valid config");
+    let mut machine = Machine::new(cfg, &program).expect("loads");
+
+    for _ in 0..20_000 {
+        machine.step_cycle().expect("warmup cycle");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        machine.step_cycle().expect("measured cycle");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "translated steady-state cycles must not touch the heap"
+    );
+
+    let stats = machine.stats();
+    assert!(
+        stats.adapters.amos > 1000,
+        "translated workload kept running"
+    );
 }

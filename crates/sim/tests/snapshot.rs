@@ -13,10 +13,12 @@ use lrscwait_sim::{ExecMode, ExitReason, Machine, SimConfig, SimError};
 use lrscwait_trace::{RecordingSink, SharedSink, TraceEvent};
 
 /// Mode/shard combinations exercised on each side of a snapshot.
-const COMBOS: [(ExecMode, usize); 3] = [
+const COMBOS: [(ExecMode, usize); 5] = [
     (ExecMode::EventDriven, 1),
     (ExecMode::Reference, 1),
+    (ExecMode::Translated, 1),
     (ExecMode::EventDriven, 3),
+    (ExecMode::Translated, 3),
 ];
 
 fn configured(base: SimConfig, mode: ExecMode, shards: usize) -> SimConfig {
@@ -381,6 +383,77 @@ fn restore_rejects_malformed_snapshots() {
     let err = other_geom.restore(&good).expect_err("geometry mismatch");
     assert!(matches!(err, SimError::BadSnapshot { .. }));
     assert!(err.to_string().contains("geometry"), "{err}");
+}
+
+#[test]
+fn restore_rejects_stale_program_image() {
+    // A snapshot must never resume over a different text image: the
+    // translated stepper would execute superblocks lowered from the wrong
+    // program (and the interpreter would silently diverge just the same).
+    let program = Assembler::new()
+        .assemble(CONTENDED_COUNTER)
+        .expect("assembles");
+    let decoded = Machine::decode(&program).expect("decodes");
+    let cfg = SimConfig::small(4, SyncArch::LrscWaitIdeal);
+    let mut m = Machine::with_decoded(cfg, decoded).expect("loads");
+    m.run_until(20).expect("run");
+    let bytes = m.snapshot();
+
+    // Same geometry and architecture, different program.
+    let other = Assembler::new().assemble(MWAIT_MAILBOX).expect("assembles");
+    let other = Machine::decode(&other).expect("decodes");
+    for (mode, shards) in COMBOS {
+        let mut target =
+            Machine::with_decoded(configured(cfg, mode, shards), other.clone()).expect("loads");
+        let err = target.restore(&bytes).expect_err("stale image");
+        assert!(
+            matches!(err, SimError::BadSnapshot { .. }),
+            "{mode:?}/{shards}: typed error, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("program image"),
+            "{mode:?}/{shards}: {err}"
+        );
+    }
+}
+
+#[test]
+fn restore_reuses_cached_translation() {
+    // Every translated machine built from (or restored over) the same
+    // decoded program must share one translation — the cache lives on the
+    // `DecodedProgram`, and `restore` must not rebuild or replace it.
+    let program = Assembler::new()
+        .assemble(CONTENDED_COUNTER)
+        .expect("assembles");
+    let decoded = Machine::decode(&program).expect("decodes");
+    let cfg = configured(
+        SimConfig::small(4, SyncArch::Colibri { queues: 2 }),
+        ExecMode::Translated,
+        1,
+    );
+
+    let mut first = Machine::with_decoded(cfg, decoded.clone()).expect("loads");
+    let original = std::sync::Arc::clone(first.translation().expect("translated mode"));
+    first.run_until(40).expect("run");
+    let bytes = first.snapshot();
+
+    let mut second = Machine::with_decoded(cfg, decoded.clone()).expect("loads");
+    assert!(
+        std::sync::Arc::ptr_eq(second.translation().expect("translated"), &original),
+        "clones of one DecodedProgram share one translation"
+    );
+    second.restore(&bytes).expect("restore");
+    assert!(
+        std::sync::Arc::ptr_eq(second.translation().expect("translated"), &original),
+        "restore must keep the cached translation, not rebuild it"
+    );
+    let summary = second.run().expect("resumed run");
+    assert_eq!(summary.exit, ExitReason::AllHalted);
+
+    // A non-translated machine carries no translation at all.
+    let plain =
+        Machine::with_decoded(configured(cfg, ExecMode::EventDriven, 1), decoded).expect("loads");
+    assert!(plain.translation().is_none());
 }
 
 #[test]

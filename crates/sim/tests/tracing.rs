@@ -1,6 +1,7 @@
 //! Machine-level tracing tests: the emitted event stream is complete,
 //! internally consistent, and — like every other observable — identical
-//! between the event-driven scheduler and the reference stepper.
+//! across the event-driven scheduler, the reference stepper, and the
+//! translated superblock stepper.
 
 use lrscwait_asm::Assembler;
 use lrscwait_core::{SyncArch, SyncEvent};
@@ -54,8 +55,10 @@ fn trace_stream_is_identical_across_exec_modes_and_shards() {
         let (fast, fast_cycles) = record_run(arch, ExecMode::EventDriven, 1);
         for (mode, shards) in [
             (ExecMode::Reference, 1),
+            (ExecMode::Translated, 1),
             (ExecMode::EventDriven, 3),
             (ExecMode::Reference, 2),
+            (ExecMode::Translated, 3),
         ] {
             let (other, other_cycles) = record_run(arch, mode, shards);
             assert_eq!(fast_cycles, other_cycles);

@@ -1,8 +1,9 @@
-//! Kernel-level differential equivalence: the event-driven scheduler and
-//! the naive reference stepper must produce byte-identical benchmark
-//! results — cycle counts, full statistics, and the rendered sweep CSV —
-//! across the kernel × architecture matrix. The machine-level suite with
-//! targeted assembly lives in `crates/sim/tests/differential.rs`.
+//! Kernel-level differential equivalence: the event-driven scheduler,
+//! the naive reference stepper, and the translated superblock stepper
+//! must produce byte-identical benchmark results — cycle counts, full
+//! statistics, and the rendered sweep CSV — across the kernel ×
+//! architecture matrix. The machine-level suite with targeted assembly
+//! lives in `crates/sim/tests/differential.rs`.
 
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{
@@ -15,18 +16,20 @@ use lrscwait_bench::{Experiment, Measurement, Sweep};
 
 fn assert_equivalent(kernel: &dyn Workload, cfg: SimConfig, what: &str) -> Measurement {
     let fast = Experiment::new(kernel, cfg).x(1).run().expect(what);
-    let reference = Experiment::new(kernel, cfg)
-        .x(1)
-        .reference()
-        .run()
-        .expect(what);
-    assert_eq!(fast.cycles, reference.cycles, "{what}: cycle count");
-    assert_eq!(fast.stats, reference.stats, "{what}: statistics");
-    assert_eq!(
-        fast.csv_row(),
-        reference.csv_row(),
-        "{what}: rendered CSV row"
-    );
+    for mode in [ExecMode::Reference, ExecMode::Translated] {
+        let other = Experiment::new(kernel, cfg)
+            .x(1)
+            .exec(mode)
+            .run()
+            .expect(what);
+        assert_eq!(fast.cycles, other.cycles, "{what}: {mode:?} cycle count");
+        assert_eq!(fast.stats, other.stats, "{what}: {mode:?} statistics");
+        assert_eq!(
+            fast.csv_row(),
+            other.csv_row(),
+            "{what}: {mode:?} rendered CSV row"
+        );
+    }
     fast
 }
 
@@ -142,7 +145,16 @@ fn sharded_barrier_matrix_is_equivalent() {
             .reference()
             .run()
             .expect(&what);
-        for (m, label) in [(&sharded, "shards=4"), (&sharded_ref, "shards=4 ref")] {
+        let sharded_trans = Experiment::new(&kernel, build(4))
+            .x(1)
+            .exec(ExecMode::Translated)
+            .run()
+            .expect(&what);
+        for (m, label) in [
+            (&sharded, "shards=4"),
+            (&sharded_ref, "shards=4 ref"),
+            (&sharded_trans, "shards=4 translated"),
+        ] {
             assert_eq!(base.cycles, m.cycles, "{what}: {label} cycle count");
             assert_eq!(base.stats, m.stats, "{what}: {label} statistics");
             assert_eq!(base.csv_row(), m.csv_row(), "{what}: {label} CSV row");
@@ -189,8 +201,10 @@ fn barrier_trace_streams_are_identical_across_modes_and_shards() {
         );
         for (mode, shards) in [
             (ExecMode::Reference, 1),
+            (ExecMode::Translated, 1),
             (ExecMode::EventDriven, 4),
             (ExecMode::Reference, 2),
+            (ExecMode::Translated, 4),
         ] {
             let (events, m) = record(impl_, arch, mode, shards);
             assert_eq!(
@@ -234,7 +248,16 @@ fn sharded_kernel_matrix_is_equivalent() {
             .reference()
             .run()
             .expect(&what);
-        for (m, label) in [(&sharded, "shards=4"), (&sharded_ref, "shards=4 ref")] {
+        let sharded_trans = Experiment::new(&kernel, build(4))
+            .x(1)
+            .exec(ExecMode::Translated)
+            .run()
+            .expect(&what);
+        for (m, label) in [
+            (&sharded, "shards=4"),
+            (&sharded_ref, "shards=4 ref"),
+            (&sharded_trans, "shards=4 translated"),
+        ] {
             assert_eq!(base.cycles, m.cycles, "{what}: {label} cycle count");
             assert_eq!(base.stats, m.stats, "{what}: {label} statistics");
             assert_eq!(base.csv_row(), m.csv_row(), "{what}: {label} CSV row");
@@ -272,7 +295,7 @@ fn sweep_csv_bytes_are_identical_across_modes_and_shards() {
     .flat_map(|(impl_, arch)| [1u32, 4, 16].map(move |bins| (impl_, arch, bins)))
     .collect();
 
-    let render = |reference: bool, shards: usize| -> String {
+    let render = |mode: ExecMode, shards: usize| -> String {
         let measurements = Sweep::new("diff-csv")
             .threads(4)
             .quiet()
@@ -284,9 +307,7 @@ fn sweep_csv_bytes_are_identical_across_modes_and_shards() {
                     .max_cycles(50_000_000)
                     .build()?;
                 let kernel = HistogramKernel::new(impl_, bins, 8, 8);
-                let exp = Experiment::new(&kernel, cfg).x(bins);
-                let exp = if reference { exp.reference() } else { exp };
-                exp.run()
+                Experiment::new(&kernel, cfg).x(bins).exec(mode).run()
             })
             .expect("sweep completes");
         let mut text = String::from("series,bins,updates_per_cycle,lo,hi,cycles,stalls\n");
@@ -297,7 +318,25 @@ fn sweep_csv_bytes_are_identical_across_modes_and_shards() {
         text
     };
 
-    let baseline = render(false, 1);
-    assert_eq!(baseline, render(true, 1), "reference CSV bytes diverge");
-    assert_eq!(baseline, render(false, 4), "sharded CSV bytes diverge");
+    let baseline = render(ExecMode::EventDriven, 1);
+    assert_eq!(
+        baseline,
+        render(ExecMode::Reference, 1),
+        "reference CSV bytes diverge"
+    );
+    assert_eq!(
+        baseline,
+        render(ExecMode::Translated, 1),
+        "translated CSV bytes diverge"
+    );
+    assert_eq!(
+        baseline,
+        render(ExecMode::EventDriven, 4),
+        "sharded CSV bytes diverge"
+    );
+    assert_eq!(
+        baseline,
+        render(ExecMode::Translated, 4),
+        "sharded translated CSV bytes diverge"
+    );
 }
