@@ -48,7 +48,8 @@ fn run() -> Result<(), BenchError> {
         let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(HistImpl::LrscWait, bins, iters, num_cores);
-        let m = Experiment::new(&kernel, cfg)
+        let m = args
+            .instrument(Experiment::new(&kernel, cfg))
             .label(arch.to_string())
             .x(bins)
             .run()?;
@@ -59,6 +60,7 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("ablation", &results);
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    args.write_profile("ablation", &results)?;
     args.guard_baseline(&perf)?;
 
     let rows: Vec<Vec<String>> = results

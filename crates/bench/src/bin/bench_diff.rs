@@ -1,0 +1,118 @@
+//! `bench_diff` — compare two `BENCH_sim.json` or `<fig>.profile.json`
+//! files and print a regression/improvement table.
+//!
+//! Both files are parsed as generic JSON and every numeric leaf is
+//! flattened to a dotted path (`sim_cycles_per_sec`,
+//! `aggregate.phases.3.ns`, …), so the tool works on any of the
+//! harness's JSON artifacts without schema knowledge. Keys whose
+//! relative change exceeds the threshold — plus keys that appear on one
+//! side only — are rendered as a markdown table; when nothing moved the
+//! tool says so. CI runs it against the committed baseline so a
+//! simulator-performance change shows up as a table in the job summary,
+//! not as an unexplained number in an artifact.
+//!
+//! ```sh
+//! cargo run --release -p lrscwait-bench --bin bench_diff -- \
+//!     crates/bench/baseline/BENCH_sim.json results/BENCH_sim.json
+//! ```
+//!
+//! Exit code 0 whether or not values moved (the table is a report, not a
+//! gate — `perf_smoke --baseline` is the gate); 2 on unreadable or
+//! malformed input.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lrscwait_bench::{diff_rows, diff_table, flatten_numeric, BenchError};
+use lrscwait_trace::json;
+
+const USAGE: &str = "\
+usage: bench_diff OLD.json NEW.json [--threshold PCT]
+  OLD.json / NEW.json  two BENCH_sim.json or <fig>.profile.json files
+  --threshold PCT      only report keys whose relative change exceeds
+                       PCT percent (default 1.0); one-sided keys are
+                       always reported
+  -h, --help           show this help";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(BenchError::Help) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_diff: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load_flat(path: &Path) -> Result<Vec<(String, f64)>, BenchError> {
+    let text = std::fs::read_to_string(path).map_err(|source| BenchError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let parsed = json::parse(&text).map_err(|e| {
+        BenchError::ClaimFailed(format!("{}: not valid JSON — {e}", path.display()))
+    })?;
+    let mut flat = Vec::new();
+    flatten_numeric(&parsed, "", &mut flat);
+    if flat.is_empty() {
+        return Err(BenchError::ClaimFailed(format!(
+            "{}: no numeric fields to compare",
+            path.display()
+        )));
+    }
+    Ok(flat)
+}
+
+fn run() -> Result<(), BenchError> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut threshold_pct = 1.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(BenchError::Help),
+            "--threshold" => {
+                let value = it.next().ok_or_else(|| {
+                    BenchError::Usage(format!("--threshold needs a percentage\n{USAGE}"))
+                })?;
+                threshold_pct = value.parse().map_err(|_| {
+                    BenchError::Usage(format!(
+                        "--threshold: `{value}` is not a percentage\n{USAGE}"
+                    ))
+                })?;
+            }
+            other if other.starts_with('-') => {
+                return Err(BenchError::Usage(format!(
+                    "unknown flag `{other}`\n{USAGE}"
+                )));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return Err(BenchError::Usage(format!(
+            "expected exactly two files, got {}\n{USAGE}",
+            files.len()
+        )));
+    };
+
+    let old = load_flat(old_path)?;
+    let new = load_flat(new_path)?;
+    let rows = diff_rows(&old, &new);
+    println!(
+        "## bench_diff: {} vs {} (threshold {threshold_pct}%)\n",
+        old_path.display(),
+        new_path.display()
+    );
+    match diff_table(&rows, threshold_pct / 100.0) {
+        Some(table) => println!("{table}"),
+        None => println!(
+            "no numeric field moved more than {threshold_pct}% across {} keys",
+            rows.len()
+        ),
+    }
+    Ok(())
+}

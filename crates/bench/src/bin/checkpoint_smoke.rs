@@ -54,7 +54,10 @@ fn run() -> Result<(), BenchError> {
         };
 
         // Uninterrupted reference run.
-        let base = Experiment::new(&kernel, full).x(iters).run()?;
+        let base = args
+            .instrument(Experiment::new(&kernel, full))
+            .x(iters)
+            .run()?;
 
         // Starve the same run of cycles: the watchdog must fire, and the
         // snapshot must be written anyway.
@@ -83,7 +86,8 @@ fn run() -> Result<(), BenchError> {
 
         // Resume with the full budget: same final cycle count, same
         // statistics, verification green.
-        let resumed = Experiment::new(&kernel, full)
+        let resumed = args
+            .instrument(Experiment::new(&kernel, full))
             .x(iters)
             .resume(&ckpt)
             .run()?;
@@ -128,5 +132,6 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("checkpoint_smoke", measurements.iter());
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    args.write_profile("checkpoint_smoke", &measurements)?;
     args.guard_baseline(&perf)
 }

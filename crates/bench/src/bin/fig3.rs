@@ -63,7 +63,10 @@ fn run() -> Result<(), BenchError> {
         let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
-        let exp = Experiment::new(&kernel, cfg).label(label).x(b);
+        let exp = args
+            .instrument(Experiment::new(&kernel, cfg))
+            .label(label)
+            .x(b);
         // With --trace, every point also collects its synchronization
         // analysis (handoff latency distribution) from the event stream.
         let (m, analysis) = if trace {
@@ -93,6 +96,7 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("fig3", &measurements);
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    args.write_profile("fig3", &measurements)?;
     args.guard_baseline(&perf)?;
 
     let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();

@@ -47,7 +47,11 @@ fn run() -> Result<(), BenchError> {
         let cfg = args.configure(SimConfig::builder().mempool().arch(arch).build()?);
         let num_cores = cfg.topology.num_cores as u32;
         let kernel = HistogramKernel::new(impl_, b, iters, num_cores);
-        let m = Experiment::new(&kernel, cfg).label(label).x(b).run()?;
+        let m = args
+            .instrument(Experiment::new(&kernel, cfg))
+            .label(label)
+            .x(b)
+            .run()?;
         eprintln!(
             "fig4 {} bins={b}: {:.4} updates/cycle",
             m.label, m.throughput
@@ -58,6 +62,7 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("fig4", &measurements);
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    args.write_profile("fig4", &measurements)?;
     args.guard_baseline(&perf)?;
 
     let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();

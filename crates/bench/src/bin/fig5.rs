@@ -97,7 +97,8 @@ fn run() -> Result<(), BenchError> {
                 .build()?,
         );
         let kernel = MatmulKernel::new(n, p.workers, num_cores, p.kind).with_poll_bins(p.bins);
-        let m = Experiment::new(&kernel, cfg)
+        let m = args
+            .instrument(Experiment::new(&kernel, cfg))
             .label(p.label)
             .x(p.bins)
             .run()?;
@@ -120,6 +121,8 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("fig5", results.iter().map(|(_, _, m)| m));
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    let fig5_measurements: Vec<_> = results.iter().map(|(_, _, m)| m.clone()).collect();
+    args.write_profile("fig5", &fig5_measurements)?;
     args.guard_baseline(&perf)?;
 
     // Baselines: idle pollers, one per worker count.

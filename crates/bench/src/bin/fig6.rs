@@ -66,7 +66,10 @@ fn run() -> Result<(), BenchError> {
             );
             // Non-participating cores halt immediately inside the kernel.
             let kernel = QueueKernel::new(impl_, iters, active);
-            let exp = Experiment::new(&kernel, cfg).label(label).x(active);
+            let exp = args
+                .instrument(Experiment::new(&kernel, cfg))
+                .label(label)
+                .x(active);
             // With --trace, every point also collects its synchronization
             // analysis (handoff latency distribution) from the event
             // stream — the per-handoff evidence behind the queue curve.
@@ -97,6 +100,7 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("fig6", &measurements);
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    args.write_profile("fig6", &measurements)?;
     args.guard_baseline(&perf)?;
 
     let rows: Vec<Vec<String>> = measurements.iter().map(Measurement::csv_row).collect();

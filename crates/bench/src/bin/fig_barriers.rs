@@ -136,7 +136,8 @@ fn run() -> Result<(), BenchError> {
             let kernel = BarrierKernel::new(impl_, episodes, cores);
             let analysis = SharedSink::new(AnalysisSink::new());
             let heatmap = SharedSink::new(NocHeatmapSink::new());
-            let outcome = Experiment::new(&kernel, cfg)
+            let outcome = args
+                .instrument(Experiment::new(&kernel, cfg))
                 .label(format!("{} on {arch}", impl_.label()))
                 .x(cores)
                 .sink(Box::new(analysis.clone()))
@@ -193,6 +194,9 @@ fn run() -> Result<(), BenchError> {
         PerfSummary::from_measurements("fig_barriers", results.iter().map(|p| &p.measurement));
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    let barrier_measurements: Vec<Measurement> =
+        results.iter().map(|p| p.measurement.clone()).collect();
+    args.write_profile("fig_barriers", &barrier_measurements)?;
     args.guard_baseline(&perf)?;
 
     // Main figure CSV: one row per (algorithm, arch, cores) point.

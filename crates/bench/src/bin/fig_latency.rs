@@ -29,11 +29,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lrscwait_bench::{
-    check_claim, markdown_table, write_bench_json, write_csv, BenchArgs, BenchError, PerfSummary,
+    check_claim, markdown_table, write_bench_json, write_csv, write_profile_set, BenchArgs,
+    BenchError, PerfSummary,
 };
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::ServiceKernel;
-use lrscwait_sim::{ExecMode, SimConfig};
+use lrscwait_sim::{ExecMode, PhaseProfile, ProfilerConfig, SimConfig};
 use lrscwait_traffic::{
     ArrivalProcess, HarnessError, ServiceHarness, TrafficConfig, TrafficSummary,
 };
@@ -74,6 +75,7 @@ struct Point {
     load_pct: u32,
     summary: TrafficSummary,
     host_seconds: f64,
+    profile: Option<PhaseProfile>,
 }
 
 /// Maps a harness failure onto the bench error vocabulary. A DNF is *not*
@@ -102,7 +104,8 @@ fn drive(
     seed: u64,
     bursty: bool,
     exec: Option<ExecMode>,
-) -> Result<TrafficSummary, BenchError> {
+    profile: bool,
+) -> Result<(TrafficSummary, Option<PhaseProfile>), BenchError> {
     let warmup = TrafficConfig::new(items).warmup;
     let budget = warmup + (items as f64 * mean * 1.25) as u64 + 4 * u64::from(SERVICE);
     let mut cfg = SimConfig::builder()
@@ -123,7 +126,11 @@ fn drive(
     let kernel = ServiceKernel::new(SERVERS, SERVICE);
     let mut harness = ServiceHarness::new(cfg, kernel, TrafficConfig::new(items), arrivals)
         .map_err(|e| bench_err(label, e))?;
-    harness.run().map_err(|e| bench_err(label, e))
+    if profile {
+        harness.enable_profiler(ProfilerConfig::default());
+    }
+    let summary = harness.run().map_err(|e| bench_err(label, e))?;
+    Ok((summary, harness.profile()))
 }
 
 fn run() -> Result<(), BenchError> {
@@ -149,7 +156,7 @@ fn run() -> Result<(), BenchError> {
     // then express every sweep point as a fraction of that capacity. The
     // nominal SERVICE constant alone would put the knee at an unknown
     // multiple of ρ = 1.
-    let cal = drive(
+    let (cal, _) = drive(
         SyncArch::Colibri { queues: 4 },
         "calibration",
         f64::from(SERVICE) * 8.0,
@@ -157,6 +164,7 @@ fn run() -> Result<(), BenchError> {
         0x5EED,
         false,
         args.exec,
+        false,
     )?;
     check_claim(
         !cal.dnf && cal.latency.p50 >= u64::from(SERVICE),
@@ -187,7 +195,7 @@ fn run() -> Result<(), BenchError> {
             + ai as u64 * 7919
             + if model == "bursty" { 104_729 } else { 0 };
         let started = Instant::now();
-        let summary = drive(
+        let (summary, profile) = drive(
             arch,
             &label,
             mean,
@@ -195,6 +203,7 @@ fn run() -> Result<(), BenchError> {
             seed,
             model == "bursty",
             args.exec,
+            args.profile,
         )?;
         let host_seconds = started.elapsed().as_secs_f64();
         if summary.dnf {
@@ -216,6 +225,7 @@ fn run() -> Result<(), BenchError> {
             load_pct: load,
             summary,
             host_seconds,
+            profile,
         })
     })?;
 
@@ -225,9 +235,21 @@ fn run() -> Result<(), BenchError> {
         total_sim_cycles: results.iter().map(|p| p.summary.cycles).sum(),
         total_host_seconds: results.iter().map(|p| p.host_seconds).sum(),
         extra: Vec::new(),
+        meta: Vec::new(),
     };
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    if args.profile {
+        let profile_points: Vec<(String, u32, PhaseProfile)> = results
+            .iter()
+            .filter_map(|p| {
+                p.profile
+                    .clone()
+                    .map(|prof| (format!("{}/{}", p.series, p.model), p.load_pct, prof))
+            })
+            .collect();
+        write_profile_set(&args.out, "fig_latency", &profile_points)?;
+    }
     args.guard_baseline(&perf)?;
 
     let rows: Vec<Vec<String>> = results

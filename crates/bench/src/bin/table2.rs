@@ -67,7 +67,11 @@ fn run() -> Result<(), BenchError> {
             if backoff > 0 {
                 kernel = kernel.with_backoff(backoff);
             }
-            let m = Experiment::new(&kernel, cfg).label(label).x(1).run()?;
+            let m = args
+                .instrument(Experiment::new(&kernel, cfg))
+                .label(label)
+                .x(1)
+                .run()?;
             let report = energy.evaluate(&m.stats, m.cycles);
             eprintln!(
                 "table2 {label}: {:.0} pJ/op, {:.1} mW (paper: {paper_pj} pJ/op, {paper_mw} mW)",
@@ -87,6 +91,8 @@ fn run() -> Result<(), BenchError> {
     let perf = PerfSummary::from_measurements("table2", measured.iter().map(|(_, m)| m));
     perf.log();
     write_bench_json(&args.out, &perf)?;
+    let table2_measurements: Vec<_> = measured.iter().map(|(_, m)| m.clone()).collect();
+    args.write_profile("table2", &table2_measurements)?;
     args.guard_baseline(&perf)?;
     let measured: Vec<Row> = measured.into_iter().map(|(row, _)| row).collect();
 

@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lrscwait_bench::{check_claim, BenchError, Experiment};
+use lrscwait_bench::{check_claim, write_profile_json, BenchError, Experiment};
 use lrscwait_core::SyncArch;
 use lrscwait_kernels::{
     BarrierImpl, BarrierKernel, HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl,
@@ -30,7 +30,7 @@ use lrscwait_trace::{
 
 const USAGE: &str = "\
 usage: trace [--kernel K] [--impl I] [--arch A] [--cores N] [--iters N]
-             [--max-cycles N] [--out DIR] [--stream]
+             [--max-cycles N] [--out DIR] [--stream] [--profile]
   --kernel K      histogram (default) | queue | matmul | barrier
   --impl I        histogram: amoadd | lrsc | lrscwait (default) | ticket | tas
                              | colibri-lock | mcs
@@ -49,6 +49,8 @@ usage: trace [--kernel K] [--impl I] [--arch A] [--cores N] [--iters N]
   --stream        write the Perfetto JSON incrementally to disk instead of
                   buffering it (constant memory, no event cap — for
                   full-scale runs)
+  --profile       attach the host-side phase profiler and write
+                  trace.profile.json next to the Perfetto export
   -h, --help      show this help";
 
 /// Cap on buffered Perfetto events: a retry-storming kernel × arch pair
@@ -81,6 +83,7 @@ struct TraceArgs {
     max_cycles: u64,
     out: PathBuf,
     stream: bool,
+    profile: bool,
 }
 
 fn usage_err(msg: impl std::fmt::Display) -> BenchError {
@@ -126,6 +129,7 @@ fn parse_args() -> Result<TraceArgs, BenchError> {
         max_cycles: 2_000_000,
         out: PathBuf::from("results"),
         stream: false,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -154,6 +158,7 @@ fn parse_args() -> Result<TraceArgs, BenchError> {
             }
             "--out" => parsed.out = PathBuf::from(value("--out")?),
             "--stream" => parsed.stream = true,
+            "--profile" => parsed.profile = true,
             "-h" | "--help" => return Err(BenchError::Help),
             other => return Err(usage_err(format!("unknown flag `{other}`"))),
         }
@@ -275,9 +280,11 @@ fn run() -> Result<(), BenchError> {
         let fanout = FanoutSink::new()
             .with(Box::new(perfetto.clone()))
             .with(Box::new(analysis.clone()));
-        let measurement = Experiment::new(kernel.as_ref(), cfg)
-            .sink(Box::new(fanout))
-            .run()?;
+        let mut exp = Experiment::new(kernel.as_ref(), cfg).sink(Box::new(fanout));
+        if args.profile {
+            exp = exp.profiled();
+        }
+        let measurement = exp.run()?;
         let written = perfetto
             .with(StreamingPerfettoSink::close)
             .map_err(|source| BenchError::Io {
@@ -294,9 +301,11 @@ fn run() -> Result<(), BenchError> {
         let fanout = FanoutSink::new()
             .with(Box::new(perfetto.clone()))
             .with(Box::new(analysis.clone()));
-        let measurement = Experiment::new(kernel.as_ref(), cfg)
-            .sink(Box::new(fanout))
-            .run()?;
+        let mut exp = Experiment::new(kernel.as_ref(), cfg).sink(Box::new(fanout));
+        if args.profile {
+            exp = exp.profiled();
+        }
+        let measurement = exp.run()?;
         let exporter = perfetto.take();
         let count = exporter.len();
         (
@@ -345,6 +354,10 @@ fn run() -> Result<(), BenchError> {
             path: path.display().to_string(),
             source,
         })?;
+    }
+
+    if args.profile {
+        write_profile_json(&args.out, "trace", std::slice::from_ref(&measurement))?;
     }
 
     println!(

@@ -55,7 +55,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lrscwait_asm::Program;
 use lrscwait_core::SyncArch;
@@ -63,9 +63,10 @@ use lrscwait_kernels::{
     HistImpl, HistogramKernel, MatmulKernel, QueueKernel, VerifyError, Workload,
 };
 use lrscwait_sim::{
-    ConfigError, DecodedProgram, ExecMode, ExitReason, Machine, SimConfig, SimError, SimStats,
-    NUM_ARGS,
+    ConfigError, DecodedProgram, ExecMode, ExitReason, Machine, PhaseProfile, ProfilerConfig,
+    RunSummary, SimConfig, SimError, SimStats, NUM_ARGS,
 };
+use lrscwait_telemetry::Heartbeat;
 use lrscwait_trace::{
     AnalysisSink, FanoutSink, PerfettoSink, SharedSink, StreamingPerfettoSink, SyncAnalysis,
     TraceSink,
@@ -248,6 +249,10 @@ pub struct Measurement {
     pub host_seconds: f64,
     /// Full statistics (for the energy model and diagnostics).
     pub stats: SimStats,
+    /// Host-side phase profile of the run (`None` unless the experiment
+    /// was [`profiled`](Experiment::profiled)). Excluded from the CSV —
+    /// host timings are not deterministic.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl Measurement {
@@ -307,6 +312,8 @@ pub struct Experiment<'w> {
     sink: Option<Box<dyn TraceSink>>,
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
+    profile: bool,
+    heartbeat: Option<(u64, Option<PathBuf>)>,
 }
 
 impl<'w> Experiment<'w> {
@@ -321,6 +328,8 @@ impl<'w> Experiment<'w> {
             sink: None,
             checkpoint: None,
             resume: None,
+            profile: false,
+            heartbeat: None,
         }
     }
 
@@ -375,6 +384,28 @@ impl<'w> Experiment<'w> {
     #[must_use]
     pub fn resume(mut self, path: impl Into<PathBuf>) -> Experiment<'w> {
         self.resume = Some(path.into());
+        self
+    }
+
+    /// Enables the host-side phase profiler for this run; the
+    /// [`Measurement`] then carries a [`PhaseProfile`]. Profiling is
+    /// strictly host-side — results are bit-identical to an unprofiled
+    /// run (the sim crate's differential suite proves it).
+    #[must_use]
+    pub fn profiled(mut self) -> Experiment<'w> {
+        self.profile = true;
+        self
+    }
+
+    /// Emits a heartbeat progress line to stderr every `secs` seconds
+    /// while the run executes (and appends an NDJSON record to
+    /// `ndjson` when given): cycles simulated against the watchdog
+    /// budget, live Mcycles/s, ETA, and checkpoint age. Implemented by
+    /// chunking the run through [`Machine::run_until`], which is
+    /// transparent — results stay bit-identical to an uninterrupted run.
+    #[must_use]
+    pub fn heartbeat(mut self, secs: u64, ndjson: Option<PathBuf>) -> Experiment<'w> {
+        self.heartbeat = Some((secs.max(1), ndjson));
         self
     }
 
@@ -495,9 +526,13 @@ impl<'w> Experiment<'w> {
         }
         let program = self.workload.program();
         let decoded = decode_shared(&program).map_err(BenchError::Load)?;
+        let budget = cfg.max_cycles;
         let mut machine = Machine::with_decoded(cfg, decoded).map_err(BenchError::Load)?;
         if let Some(sink) = self.sink {
             machine.set_tracer(sink);
+        }
+        if self.profile {
+            machine.enable_profiler(ProfilerConfig::default());
         }
         self.workload.init(&mut machine);
         if let Some(path) = &self.resume {
@@ -508,8 +543,19 @@ impl<'w> Experiment<'w> {
             machine.restore(&bytes).map_err(BenchError::Load)?;
         }
         let started = Instant::now();
-        let summary = machine.run().map_err(BenchError::Run)?;
+        let summary = match &self.heartbeat {
+            Some((secs, ndjson)) => run_with_heartbeat(
+                &mut machine,
+                &label,
+                *secs,
+                ndjson.as_deref(),
+                self.checkpoint.as_deref(),
+                budget,
+            )?,
+            None => machine.run().map_err(BenchError::Run)?,
+        };
         let host_seconds = started.elapsed().as_secs_f64();
+        let profile = machine.profile();
         if let Some(path) = &self.checkpoint {
             // Deliberately before the watchdog check: a saturated run's
             // snapshot is exactly the one worth resuming with more budget.
@@ -560,7 +606,65 @@ impl<'w> Experiment<'w> {
             cycles: summary.cycles,
             host_seconds,
             stats,
+            profile,
         })
+    }
+}
+
+/// Runs a machine to completion in [`Machine::run_until`] chunks,
+/// emitting a heartbeat line every `secs` seconds. Chunking is
+/// transparent (see `run_until`), so results are bit-identical to one
+/// uninterrupted [`Machine::run`]; the chunk size adapts toward a
+/// quarter of the heartbeat interval so beats land close to schedule
+/// without a per-cycle clock read.
+fn run_with_heartbeat(
+    machine: &mut Machine,
+    label: &str,
+    secs: u64,
+    ndjson: Option<&Path>,
+    checkpoint: Option<&Path>,
+    budget: u64,
+) -> Result<RunSummary, BenchError> {
+    let interval = Duration::from_secs(secs.max(1));
+    let mut heartbeat = Heartbeat::new(label, interval, budget);
+    let mut chunk: u64 = 100_000;
+    loop {
+        let target = machine.cycles().saturating_add(chunk);
+        let chunk_started = Instant::now();
+        let summary = machine.run_until(target).map_err(BenchError::Run)?;
+        if summary.exit != ExitReason::TargetReached {
+            return Ok(summary);
+        }
+        let chunk_secs = chunk_started.elapsed().as_secs_f64();
+        if chunk_secs > 0.0 {
+            let per_sec = chunk as f64 / chunk_secs;
+            let desired = per_sec * interval.as_secs_f64() / 4.0;
+            chunk = (desired as u64).clamp(10_000, 1_000_000_000);
+        }
+        let now = Instant::now();
+        if heartbeat.due(now) {
+            let checkpoint_age = checkpoint
+                .and_then(|p| std::fs::metadata(p).ok())
+                .and_then(|meta| meta.modified().ok())
+                .and_then(|written| written.elapsed().ok());
+            let line = heartbeat.beat(now, machine.cycles(), checkpoint_age);
+            eprintln!("{}", line.render_text());
+            if let Some(path) = ndjson {
+                use std::io::Write as _;
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|source| BenchError::Io {
+                        path: path.display().to_string(),
+                        source,
+                    })?;
+                writeln!(file, "{}", line.render_ndjson()).map_err(|source| BenchError::Io {
+                    path: path.display().to_string(),
+                    source,
+                })?;
+            }
+        }
     }
 }
 
@@ -688,6 +792,11 @@ pub struct PerfSummary {
     /// Extra named figures to include in the JSON (e.g. the event-driven
     /// vs. reference speedup measured by `perf_smoke`).
     pub extra: Vec<(String, f64)>,
+    /// Named string metadata for the JSON (host CPU count, git revision,
+    /// shard count, exec mode — run provenance for cross-machine
+    /// comparisons). [`write_bench_json`] injects `host_cpus` and
+    /// `git_rev` automatically when absent.
+    pub meta: Vec<(String, String)>,
 }
 
 impl PerfSummary {
@@ -705,6 +814,7 @@ impl PerfSummary {
             total_sim_cycles: 0,
             total_host_seconds: 0.0,
             extra: Vec::new(),
+            meta: Vec::new(),
         };
         for m in measurements {
             summary.experiments += 1;
@@ -718,6 +828,13 @@ impl PerfSummary {
     #[must_use]
     pub fn with(mut self, key: impl Into<String>, value: f64) -> PerfSummary {
         self.extra.push((key.into(), value));
+        self
+    }
+
+    /// Adds a named string metadata entry to the JSON output.
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> PerfSummary {
+        self.meta.push((key.into(), value.into()));
         self
     }
 
@@ -737,6 +854,9 @@ impl PerfSummary {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"name\": \"{}\",", self.name);
+        for (key, value) in &self.meta {
+            let _ = writeln!(out, "  \"{key}\": \"{value}\",");
+        }
         let _ = writeln!(out, "  \"experiments\": {},", self.experiments);
         let _ = writeln!(out, "  \"total_sim_cycles\": {},", self.total_sim_cycles);
         let _ = writeln!(
@@ -783,6 +903,17 @@ pub fn write_bench_json(dir: &Path, summary: &PerfSummary) -> Result<PathBuf, Be
         path: dir.display().to_string(),
         source,
     })?;
+    // Run provenance: every written record carries the host CPU count
+    // and (when available) the git revision, so numbers from different
+    // machines or commits are never compared blind.
+    let mut summary = summary.clone();
+    if !summary.meta.iter().any(|(k, _)| k == "host_cpus") {
+        let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+        summary.meta.push(("host_cpus".into(), cpus.to_string()));
+    }
+    if !summary.meta.iter().any(|(k, _)| k == "git_rev") {
+        summary.meta.push(("git_rev".into(), git_revision()));
+    }
     let json = summary.render_json();
     // `BENCH_sim.json` is the fixed name CI uploads and the baseline guard
     // reads; it holds the most recent sweep. The per-sweep copy keeps every
@@ -799,6 +930,114 @@ pub fn write_bench_json(dir: &Path, summary: &PerfSummary) -> Result<PathBuf, Be
     })?;
     eprintln!("wrote {} (and {})", path.display(), named.display());
     Ok(path)
+}
+
+/// The short git revision of the working tree, or `"unknown"` when git
+/// (or a repository) is unavailable — best-effort run provenance, never
+/// an error.
+#[must_use]
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Writes the figure-level profile artifact `<dir>/<fig>.profile.json`
+/// (schema `lrscwait.profile-set.v1`: one entry per profiled sweep
+/// point, plus the merged aggregate with its embedded Amdahl report) and
+/// the Prometheus rendering of the aggregate to `<dir>/<fig>.profile.prom`.
+/// Also prints the aggregate Amdahl report to stderr — the sweep's
+/// sequential bottleneck named right where the numbers were produced.
+///
+/// Returns `Ok(None)` when no measurement carries a profile (the sweep
+/// ran without `--profile`).
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the directory or files cannot be
+/// written.
+pub fn write_profile_json(
+    dir: &Path,
+    fig: &str,
+    measurements: &[Measurement],
+) -> Result<Option<PathBuf>, BenchError> {
+    let points: Vec<(String, u32, PhaseProfile)> = measurements
+        .iter()
+        .filter_map(|m| {
+            m.profile
+                .as_ref()
+                .map(|p| (m.label.clone(), m.x, p.clone()))
+        })
+        .collect();
+    write_profile_set(dir, fig, &points)
+}
+
+/// The lower-level sibling of [`write_profile_json`] for harnesses that
+/// measure something other than a [`Measurement`] (e.g. the open-loop
+/// traffic figure): writes the same `lrscwait.profile-set.v1` artifact
+/// from bare `(label, x, profile)` points. Returns `Ok(None)` when
+/// `points` is empty.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the directory or files cannot be
+/// written.
+pub fn write_profile_set(
+    dir: &Path,
+    fig: &str,
+    points: &[(String, u32, PhaseProfile)],
+) -> Result<Option<PathBuf>, BenchError> {
+    let Some((_, _, first)) = points.first() else {
+        return Ok(None);
+    };
+    let mut aggregate = first.clone();
+    for (_, _, profile) in &points[1..] {
+        aggregate.merge(profile);
+    }
+    let mut out = String::from("{\n  \"schema\": \"lrscwait.profile-set.v1\",\n");
+    let _ = writeln!(out, "  \"name\": \"{fig}\",");
+    out.push_str("  \"points\": [\n");
+    for (i, (label, x, profile)) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{label}\", \"x\": {x}, \"profile\": {}}}{sep}",
+            profile.to_json().trim_end(),
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"aggregate\": {}", aggregate.to_json().trim_end());
+    out.push_str("}\n");
+
+    std::fs::create_dir_all(dir).map_err(|source| BenchError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
+    let path = dir.join(format!("{fig}.profile.json"));
+    std::fs::write(&path, out).map_err(|source| BenchError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let prom_path = dir.join(format!("{fig}.profile.prom"));
+    std::fs::write(&prom_path, aggregate.registry().to_prometheus()).map_err(|source| {
+        BenchError::Io {
+            path: prom_path.display().to_string(),
+            source,
+        }
+    })?;
+    eprintln!(
+        "wrote {} (and {})\n{}",
+        path.display(),
+        prom_path.display(),
+        aggregate.amdahl().render()
+    );
+    Ok(Some(path))
 }
 
 /// Reads one numeric field out of a `BENCH_sim.json`-style file (a flat
@@ -833,6 +1072,124 @@ pub fn read_bench_field(path: &Path, field: &str) -> Result<f64, BenchError> {
             path.display()
         ))
     })
+}
+
+/// Flattens every numeric leaf of a parsed JSON document into
+/// `(dotted.path, value)` pairs, in document order. Array elements are
+/// indexed (`points.0.x`); booleans and strings are skipped. This is how
+/// `bench_diff` turns two `BENCH_sim.json` / `<fig>.profile.json` files
+/// into comparable key sets without caring about their exact schema.
+pub fn flatten_numeric(
+    json: &lrscwait_trace::json::Json,
+    prefix: &str,
+    out: &mut Vec<(String, f64)>,
+) {
+    use lrscwait_trace::json::Json;
+    match json {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(pairs) => {
+            for (key, value) in pairs {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten_numeric(value, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, value) in items.iter().enumerate() {
+                flatten_numeric(value, &format!("{prefix}.{i}"), out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+/// One row of a [`diff_table`]: a dotted key with its old/new values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// Dotted JSON path.
+    pub key: String,
+    /// Value in the old file (`None`: key only in the new file).
+    pub old: Option<f64>,
+    /// Value in the new file (`None`: key removed).
+    pub new: Option<f64>,
+}
+
+impl DiffRow {
+    /// Relative change new/old − 1, when both sides exist and old ≠ 0.
+    #[must_use]
+    pub fn relative_change(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(old), Some(new)) if old != 0.0 => Some(new / old - 1.0),
+            _ => None,
+        }
+    }
+}
+
+/// Pairs up two flattened numeric key sets: every key from either side,
+/// old-file order first, then new-only keys in new-file order.
+#[must_use]
+pub fn diff_rows(old: &[(String, f64)], new: &[(String, f64)]) -> Vec<DiffRow> {
+    let new_map: HashMap<&str, f64> = new.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let old_keys: std::collections::HashSet<&str> = old.iter().map(|(k, _)| k.as_str()).collect();
+    let mut rows: Vec<DiffRow> = old
+        .iter()
+        .map(|(key, value)| DiffRow {
+            key: key.clone(),
+            old: Some(*value),
+            new: new_map.get(key.as_str()).copied(),
+        })
+        .collect();
+    rows.extend(
+        new.iter()
+            .filter(|(key, _)| !old_keys.contains(key.as_str()))
+            .map(|(key, value)| DiffRow {
+                key: key.clone(),
+                old: None,
+                new: Some(*value),
+            }),
+    );
+    rows
+}
+
+/// Renders a regression/improvement table for two flattened files: one
+/// markdown row per key whose relative change exceeds `threshold` (or
+/// that appears on only one side). Returns `None` when nothing moved.
+#[must_use]
+pub fn diff_table(rows: &[DiffRow], threshold: f64) -> Option<String> {
+    let moved: Vec<&DiffRow> = rows
+        .iter()
+        .filter(|row| match row.relative_change() {
+            Some(change) => change.abs() > threshold,
+            // Keys on one side only are always worth showing.
+            None => !(row.old.is_none() && row.new.is_none()),
+        })
+        .filter(|row| row.old.is_none() || row.new.is_none() || row.relative_change().is_some())
+        .collect();
+    if moved.is_empty() {
+        return None;
+    }
+    let fmt_cell = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.4}"));
+    let table_rows: Vec<Vec<String>> = moved
+        .iter()
+        .map(|row| {
+            let change = row
+                .relative_change()
+                .map_or_else(|| "n/a".to_string(), |c| format!("{:+.1}%", c * 100.0));
+            vec![
+                row.key.clone(),
+                fmt_cell(row.old),
+                fmt_cell(row.new),
+                change,
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["key", "old", "new", "change"],
+        &table_rows,
+    ))
 }
 
 /// Finds the throughput of series `label` at x value `x`.
@@ -923,7 +1280,121 @@ usage: <figure binary> [--quick] [--threads N] [--out DIR] [--baseline FILE] [--
                    run can be resumed with a larger cycle budget)
   --resume FILE    restore the machine from a snapshot written by
                    --checkpoint instead of starting from reset
+  --profile        enable the host-side phase profiler: every experiment
+                   collects per-phase step timings and worker utilization,
+                   and the binary writes <fig>.profile.json plus a
+                   Prometheus rendering and an Amdahl report (results
+                   stay bit-identical; host overhead is a few percent)
+  --heartbeat SECS  emit a progress line to stderr every SECS seconds
+                   per experiment: cycles vs budget, live Mcycles/s,
+                   ETA, checkpoint age
+  --heartbeat-file FILE  also append each heartbeat as an NDJSON record
+                   to FILE
   -h, --help       show this help";
+
+/// `(flag, value placeholder, one-line help)` for every flag
+/// [`BenchArgs::parse`] accepts — the single source of the unknown-flag
+/// error's listing (a test pins every entry to [`USAGE`]).
+pub const FLAGS: &[(&str, &str, &str)] = &[
+    ("--quick", "", "reduced sweep for CI / smoke testing"),
+    (
+        "--threads",
+        "N",
+        "sweep worker threads (default: all cores, min 2)",
+    ),
+    (
+        "--exec",
+        "MODE",
+        "execution mode: event (default), reference, or translated",
+    ),
+    ("--out", "DIR", "results directory (default: results)"),
+    (
+        "--baseline",
+        "FILE",
+        "committed BENCH_sim.json to guard simulator throughput against",
+    ),
+    (
+        "--trace",
+        "",
+        "per-point synchronization analysis; writes <fig>.trace.csv",
+    ),
+    (
+        "--enforce-sharded",
+        "",
+        "make the >=2x sharded-speedup bar mandatory (perf_smoke)",
+    ),
+    (
+        "--checkpoint",
+        "FILE",
+        "write a machine snapshot to FILE when the run ends",
+    ),
+    (
+        "--resume",
+        "FILE",
+        "restore the machine from a --checkpoint snapshot",
+    ),
+    (
+        "--profile",
+        "",
+        "host-side phase profiler; writes <fig>.profile.json/.prom",
+    ),
+    (
+        "--heartbeat",
+        "SECS",
+        "stderr progress line every SECS seconds per experiment",
+    ),
+    (
+        "--heartbeat-file",
+        "FILE",
+        "also append heartbeat NDJSON records to FILE",
+    ),
+    ("--help", "", "show this help"),
+];
+
+/// One line per valid flag with its one-line help — what the
+/// unknown-flag error prints so a typo never costs a doc lookup.
+#[must_use]
+pub fn flag_listing() -> String {
+    let mut out = String::from("valid flags:");
+    for (flag, value, help) in FLAGS {
+        let head = if value.is_empty() {
+            (*flag).to_string()
+        } else {
+            format!("{flag} {value}")
+        };
+        let _ = write!(out, "\n  {head:<22} {help}");
+    }
+    out
+}
+
+/// The closest known flag by edit distance (≤ 3), for a did-you-mean
+/// hint on typos.
+fn closest_flag(input: &str) -> Option<&'static str> {
+    FLAGS
+        .iter()
+        .map(|(flag, _, _)| (*flag, edit_distance(input, flag)))
+        .filter(|&(_, d)| d <= 3)
+        .min_by_key(|&(_, d)| d)
+        .map(|(flag, _)| flag)
+}
+
+/// Plain Levenshtein distance (flag names are short; no need for
+/// anything cleverer).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            row[j + 1] = substitute.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[b.len()]
+}
 
 /// Parsed harness CLI flags.
 #[derive(Clone, Debug)]
@@ -952,6 +1423,14 @@ pub struct BenchArgs {
     /// Execution-mode override for every experiment the binary runs
     /// (`None`: keep each config's own mode, normally event-driven).
     pub exec: Option<ExecMode>,
+    /// Enable the host-side phase profiler on every experiment and write
+    /// the `<fig>.profile.json` / `.prom` artifacts.
+    pub profile: bool,
+    /// Emit a heartbeat progress line every this many seconds per
+    /// experiment.
+    pub heartbeat: Option<u64>,
+    /// Also append heartbeat NDJSON records to this file.
+    pub heartbeat_file: Option<PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -966,6 +1445,9 @@ impl Default for BenchArgs {
             checkpoint: None,
             resume: None,
             exec: None,
+            profile: false,
+            heartbeat: None,
+            heartbeat_file: None,
         }
     }
 }
@@ -1042,10 +1524,37 @@ impl BenchArgs {
                         }
                     });
                 }
+                "--profile" => parsed.profile = true,
+                "--heartbeat" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--heartbeat needs a seconds value\n{USAGE}"))
+                    })?;
+                    let secs: u64 = value.parse().map_err(|_| {
+                        BenchError::Usage(format!(
+                            "--heartbeat: `{value}` is not a seconds count\n{USAGE}"
+                        ))
+                    })?;
+                    if secs == 0 {
+                        return Err(BenchError::Usage(format!(
+                            "--heartbeat must be at least 1 second\n{USAGE}"
+                        )));
+                    }
+                    parsed.heartbeat = Some(secs);
+                }
+                "--heartbeat-file" => {
+                    let value = it.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--heartbeat-file needs a file\n{USAGE}"))
+                    })?;
+                    parsed.heartbeat_file = Some(PathBuf::from(value));
+                }
                 "-h" | "--help" => return Err(BenchError::Help),
                 other => {
+                    let hint = closest_flag(other)
+                        .map(|flag| format!(" (did you mean `{flag}`?)"))
+                        .unwrap_or_default();
                     return Err(BenchError::Usage(format!(
-                        "unknown flag `{other}`\n{USAGE}"
+                        "unknown flag `{other}`{hint}\n{}",
+                        flag_listing()
                     )));
                 }
             }
@@ -1071,6 +1580,38 @@ impl BenchArgs {
             cfg.exec_mode = mode;
         }
         cfg
+    }
+
+    /// Applies the observability flags to an experiment: `--profile`
+    /// enables the phase profiler, `--heartbeat`/`--heartbeat-file`
+    /// attach the periodic progress line. Figure binaries pass every
+    /// experiment they build through this (like [`configure`] for
+    /// configs), so the flags work uniformly across all of them.
+    ///
+    /// [`configure`]: BenchArgs::configure
+    #[must_use]
+    pub fn instrument<'w>(&self, mut exp: Experiment<'w>) -> Experiment<'w> {
+        if self.profile {
+            exp = exp.profiled();
+        }
+        if let Some(secs) = self.heartbeat {
+            exp = exp.heartbeat(secs, self.heartbeat_file.clone());
+        }
+        exp
+    }
+
+    /// Writes `<out>/<fig>.profile.json` / `.prom` from a finished
+    /// sweep's measurements when `--profile` was given (no-op
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] when the artifacts cannot be written.
+    pub fn write_profile(&self, fig: &str, measurements: &[Measurement]) -> Result<(), BenchError> {
+        if self.profile {
+            write_profile_json(&self.out, fig, measurements)?;
+        }
+        Ok(())
     }
 
     /// A [`Sweep`] honouring the `--threads` override.
@@ -1394,7 +1935,184 @@ mod tests {
         let err = BenchArgs::parse(vec!["--frobnicate".to_string()]).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("unknown flag"), "{msg}");
-        assert!(msg.contains("usage:"), "{msg}");
+        assert!(msg.contains("valid flags:"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_flag_error_lists_every_flag_and_suggests() {
+        let msg = BenchArgs::parse(vec!["--profil".to_string()])
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("unknown flag `--profil`"), "{msg}");
+        assert!(msg.contains("did you mean `--profile`?"), "{msg}");
+        for (flag, _, help) in FLAGS {
+            assert!(msg.contains(flag), "listing must include {flag}:\n{msg}");
+            assert!(
+                msg.contains(help),
+                "listing must include help for {flag}:\n{msg}"
+            );
+        }
+        // A typo nothing like any flag gets the listing but no guess.
+        let msg = BenchArgs::parse(vec!["--zzzzzzzzzzzzzzzz".to_string()])
+            .unwrap_err()
+            .to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
+        assert!(msg.contains("valid flags:"), "{msg}");
+    }
+
+    #[test]
+    fn every_flag_is_documented_in_usage() {
+        for (flag, _, _) in FLAGS {
+            assert!(USAGE.contains(flag), "USAGE must document {flag}");
+        }
+    }
+
+    #[test]
+    fn args_parse_profile_and_heartbeat_flags() {
+        let args = BenchArgs::parse(
+            [
+                "--profile",
+                "--heartbeat",
+                "30",
+                "--heartbeat-file",
+                "hb.ndjson",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(args.profile);
+        assert_eq!(args.heartbeat, Some(30));
+        assert_eq!(args.heartbeat_file, Some(PathBuf::from("hb.ndjson")));
+        assert!(!BenchArgs::default().profile, "profiling is opt-in");
+        assert!(BenchArgs::default().heartbeat.is_none());
+        assert!(BenchArgs::parse(["--heartbeat".to_string()]).is_err());
+        assert!(BenchArgs::parse(["--heartbeat", "0"].map(String::from)).is_err());
+        assert!(BenchArgs::parse(["--heartbeat", "soon"].map(String::from)).is_err());
+        assert!(BenchArgs::parse(["--heartbeat-file".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flatten_and_diff_numeric_json() {
+        use lrscwait_trace::json;
+        let old = json::parse(
+            r#"{"a": 1, "b": {"c": 2.5}, "arr": [1, 2], "s": "text", "gone": 4, "same": 3}"#,
+        )
+        .unwrap();
+        let new = json::parse(r#"{"a": 2, "b": {"c": 2.5}, "arr": [1, 3], "same": 3, "fresh": 7}"#)
+            .unwrap();
+        let mut old_flat = Vec::new();
+        flatten_numeric(&old, "", &mut old_flat);
+        let mut new_flat = Vec::new();
+        flatten_numeric(&new, "", &mut new_flat);
+        assert_eq!(
+            old_flat,
+            vec![
+                ("a".to_string(), 1.0),
+                ("b.c".to_string(), 2.5),
+                ("arr.0".to_string(), 1.0),
+                ("arr.1".to_string(), 2.0),
+                ("gone".to_string(), 4.0),
+                ("same".to_string(), 3.0),
+            ],
+            "strings are skipped, paths are dotted, arrays indexed"
+        );
+
+        let rows = diff_rows(&old_flat, &new_flat);
+        let row = |key: &str| rows.iter().find(|r| r.key == key).unwrap();
+        assert_eq!(row("a").relative_change(), Some(1.0));
+        assert_eq!(row("b.c").relative_change(), Some(0.0));
+        assert_eq!(row("gone").new, None);
+        let fresh = row("fresh");
+        assert_eq!((fresh.old, fresh.new), (None, Some(7.0)));
+
+        let table = diff_table(&rows, 0.01).expect("a and arr.1 moved");
+        assert!(table.contains("| a |"), "{table}");
+        assert!(table.contains("+100.0%"), "{table}");
+        assert!(table.contains("| gone |"), "one-sided keys always show");
+        assert!(table.contains("| fresh |"), "{table}");
+        assert!(
+            !table.contains("| b.c |") && !table.contains("| same |"),
+            "unmoved keys stay out:\n{table}"
+        );
+        // Nothing above a huge threshold except the one-sided keys.
+        let rows_same = diff_rows(&old_flat, &old_flat);
+        assert!(
+            diff_table(&rows_same, 0.01).is_none(),
+            "identical files must diff clean"
+        );
+    }
+
+    #[test]
+    fn profile_artifact_self_validates() {
+        use lrscwait_trace::json;
+        let cfg = SimConfig::builder()
+            .cores(4)
+            .arch(SyncArch::Lrsc)
+            .build()
+            .unwrap();
+        let kernel = HistogramKernel::new(HistImpl::AmoAdd, 4, 8, 4);
+        let m = Experiment::new(&kernel, cfg).x(4).profiled().run().unwrap();
+        let profile = m.profile.as_ref().expect("profiled run carries a profile");
+        let phase_sum: u64 = profile.phases.iter().map(|s| s.ns).sum();
+        assert_eq!(
+            phase_sum, profile.sampled_ns,
+            "contiguous laps: phase times must sum to the sampled total"
+        );
+        assert!(
+            profile.sampled_ns <= profile.wall_ns,
+            "sampled time cannot exceed the run-loop wall time"
+        );
+
+        let dir = std::env::temp_dir().join(format!("lrscwait-profile-{}", std::process::id()));
+        let path = write_profile_json(&dir, "unit", std::slice::from_ref(&m))
+            .unwrap()
+            .expect("a profiled measurement must produce the artifact");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).expect("profile set must be valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Json::as_str),
+            Some("lrscwait.profile-set.v1")
+        );
+        let points = doc.get("points").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(points.len(), 1);
+        let agg = doc.get("aggregate").expect("aggregate present");
+        assert_eq!(
+            agg.get("schema").and_then(json::Json::as_str),
+            Some("lrscwait.profile.v1")
+        );
+        // The embedded phase entries must re-sum to the sampled total.
+        let phases = agg.get("phases").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(phases.len(), lrscwait_telemetry::NUM_PHASES);
+        let json_sum: f64 = phases
+            .iter()
+            .filter_map(|p| p.get("ns").and_then(json::Json::as_f64))
+            .sum();
+        let sampled = agg.get("sampled_ns").and_then(json::Json::as_f64).unwrap();
+        assert!((json_sum - sampled).abs() < 0.5, "{json_sum} vs {sampled}");
+        assert!(agg.get("amdahl").is_some(), "Amdahl report embedded");
+
+        let prom = std::fs::read_to_string(dir.join("unit.profile.prom")).unwrap();
+        assert!(prom.contains("sim_phase_ns_total"), "{prom}");
+        assert!(prom.contains("sim_amdahl_sequential_fraction"), "{prom}");
+
+        // Un-profiled measurements produce no artifact at all.
+        let plain = Experiment::new(
+            &kernel,
+            SimConfig::builder()
+                .cores(4)
+                .arch(SyncArch::Lrsc)
+                .build()
+                .unwrap(),
+        )
+        .x(4)
+        .run()
+        .unwrap();
+        assert!(
+            write_profile_json(&dir, "none", std::slice::from_ref(&plain))
+                .unwrap()
+                .is_none()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1563,6 +2281,7 @@ mod tests {
             total_sim_cycles: 1_000_000,
             total_host_seconds: 0.5,
             extra: vec![("speedup_vs_reference".to_string(), 7.25)],
+            meta: vec![("exec_mode".to_string(), "event-driven".to_string())],
         };
         assert!((summary.sim_cycles_per_sec() - 2.0e6).abs() < 1e-9);
         let path = write_bench_json(&dir, &summary).unwrap();

@@ -61,3 +61,7 @@ pub use cpu::DecodedProgram;
 pub use machine::{Machine, SimError};
 pub use stats::{CoreStats, ExitReason, RunSummary, SimStats};
 pub use translate::Translation;
+
+// Host-side profiling types, re-exported so harnesses driving a
+// `Machine` need not depend on `lrscwait-telemetry` directly.
+pub use lrscwait_telemetry::{PhaseProfile, ProfilerConfig};

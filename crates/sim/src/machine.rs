@@ -138,6 +138,7 @@ use lrscwait_core::{
 };
 use lrscwait_isa::{MemWidth, Reg};
 use lrscwait_noc::{MempoolTopology, Network, NetworkStats, Route};
+use lrscwait_telemetry::{Phase, PhaseProfile, Profiler, ProfilerConfig};
 
 use lrscwait_trace::{NetDir, OpKind, TraceEvent, TraceSink, Tracer, WakeCause};
 
@@ -287,6 +288,11 @@ pub struct Machine {
     /// field is part of canonical machine state and survives snapshots
     /// taken from untraced machines.
     park_kind: Vec<OpKind>,
+    /// Host-side phase profiler: [`Profiler::Off`] by default, following
+    /// the same discipline as `tracer` — off is one predictable branch
+    /// per site, and profiling never perturbs simulated results (it only
+    /// reads host clocks between phases).
+    profiler: Profiler,
     /// Cores in `Running` state, sorted ascending (event-driven Phase 4).
     runnable: Vec<u32>,
     /// Cores that became `Running` outside the Phase 4 walk (response
@@ -431,6 +437,7 @@ impl Machine {
             barrier_waiting: 0,
             debug_log: Vec::new(),
             tracer: Tracer::Off,
+            profiler: Profiler::Off,
             park_kind: vec![OpKind::Load; num_cores],
             runnable: (0..num_cores as u32).collect(),
             pending_wake: Vec::with_capacity(num_cores),
@@ -514,6 +521,41 @@ impl Machine {
     #[must_use]
     pub fn tracing(&self) -> bool {
         !self.tracer.is_off()
+    }
+
+    /// Enables the host-side phase profiler (off by default) and, when
+    /// the machine is sharded, the worker pool's utilization counters.
+    ///
+    /// Profiling is strictly host-side: it reads monotonic clocks between
+    /// `step_cycle` sub-phases and never touches simulated state, so
+    /// cycle counts, statistics, memory contents and trace streams are
+    /// bit-identical with the profiler on or off (the differential suite
+    /// proves it). When off, each instrumentation site costs one
+    /// predictable branch, mirroring the [`Tracer`] discipline.
+    pub fn enable_profiler(&mut self, cfg: ProfilerConfig) {
+        self.profiler = Profiler::enabled(cfg);
+        if let Some(pool) = &self.pool {
+            pool.enable_telemetry();
+        }
+    }
+
+    /// Whether the phase profiler is collecting.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        !self.profiler.is_off()
+    }
+
+    /// Snapshot of the phase profile collected so far (`None` when the
+    /// profiler is off). Callable mid-run and after; snapshots are
+    /// cumulative.
+    #[must_use]
+    pub fn profile(&self) -> Option<PhaseProfile> {
+        let workers = self
+            .pool
+            .as_ref()
+            .map(WorkerPool::worker_util)
+            .unwrap_or_default();
+        self.profiler.snapshot(self.shard_count(), workers)
     }
 
     /// Current cycle count.
@@ -720,7 +762,12 @@ impl Machine {
         // per-cycle differential tests can compare all modes step by
         // step).
         self.step_limit = self.cfg.max_cycles.min(target);
+        let wall_start = (!self.profiler.is_off()).then(std::time::Instant::now);
         let result = self.run_inner(target);
+        if let Some(started) = wall_start {
+            self.profiler
+                .add_wall_ns(started.elapsed().as_nanos() as u64);
+        }
         self.step_limit = 0;
         result
     }
@@ -830,6 +877,9 @@ impl Machine {
         let now = self.cycle;
         let tracing = !self.tracer.is_off();
         let num_banks = self.banks.len() as u32;
+        // Owned clock so the laps below don't borrow `self.profiler`
+        // across the `&mut self` phase bodies; committed at the end.
+        let mut clock = self.profiler.begin_cycle();
 
         // Phase 1a: advance the request network (sequential).
         let mut req_buf = std::mem::take(&mut self.req_buf);
@@ -846,6 +896,7 @@ impl Machine {
         } else {
             self.req_net.advance(now, &mut req_buf);
         }
+        clock.lap(Phase::ReqNetAdvance);
 
         // Phase 1b: service the delivered requests, grouped by destination
         // bank and processed in (bank id, delivery index) order — the one
@@ -883,8 +934,10 @@ impl Machine {
             );
         }
         self.req_buf = req_buf;
+        clock.lap(Phase::BankService);
         self.drain_shard_traces(now);
         self.merge_new_dirty_banks();
+        clock.lap(Phase::CrossShardMerge);
 
         // Phase 2: flush bank outboxes into the response network, in bank
         // id order (deterministic for every shard count).
@@ -909,6 +962,7 @@ impl Machine {
             self.dirty_banks = still_dirty;
             self.bank_scratch = dirty;
         }
+        clock.lap(Phase::BankFlush);
 
         // Phase 3: responses reach cores (through their Qnodes).
         let mut resp_buf = std::mem::take(&mut self.resp_buf);
@@ -925,6 +979,7 @@ impl Machine {
         } else {
             self.resp_net.advance(now, &mut resp_buf);
         }
+        clock.lap(Phase::RespNetAdvance);
         for msg in &resp_buf {
             let c = msg.core as usize;
             let output = self.qnodes[c].on_response(msg.resp);
@@ -949,6 +1004,7 @@ impl Machine {
             }
         }
         self.resp_buf = resp_buf;
+        clock.lap(Phase::RespDelivery);
 
         // Phase 4: step the cores (event-driven: runnable set only;
         // translated: runnable set + superblock fast path; reference:
@@ -1013,7 +1069,9 @@ impl Machine {
                 }
             }
         }
+        clock.lap(Phase::CoreStep);
         let step_error = self.merge_core_phase(now);
+        clock.lap(Phase::CrossShardMerge);
         if let Some(err) = step_error {
             return Err(err);
         }
@@ -1022,6 +1080,7 @@ impl Machine {
         // accounting is independent of the stepping order (and therefore
         // of the shard count).
         self.release_barrier_if_ready(now);
+        clock.lap(Phase::BarrierRelease);
 
         // Phase 5: flush core outboxes into the request network. The start
         // index rotates each cycle so no core gets static injection
@@ -1058,6 +1117,8 @@ impl Machine {
                 self.drain_core_outbox(c, now);
             }
         }
+        clock.lap(Phase::CoreFlush);
+        self.profiler.commit(&clock);
         Ok(())
     }
 

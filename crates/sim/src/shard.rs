@@ -37,8 +37,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use lrscwait_core::{Qnode, SyncAdapter};
+use lrscwait_telemetry::{PoolTelemetry, WorkerUtil};
 use lrscwait_trace::OpKind;
 
 use crate::config::{ExecMode, SimConfig};
@@ -147,6 +149,9 @@ struct Shared {
     /// Workers currently parked on the condvar (diagnostics/tests only —
     /// the wake protocol itself never reads it).
     parked: AtomicUsize,
+    /// Per-worker busy/spin/park counters. Disabled (one relaxed atomic
+    /// load per loop iteration) until the machine's profiler is enabled.
+    telemetry: PoolTelemetry,
 }
 
 // SAFETY: the `UnsafeCell`s are coordinated by the epoch/done protocol —
@@ -190,6 +195,7 @@ impl WorkerPool {
             lock: Mutex::new(()),
             cv: Condvar::new(),
             parked: AtomicUsize::new(0),
+            telemetry: PoolTelemetry::new(shards - 1),
         });
         let handles = (1..shards)
             .map(|shard| {
@@ -210,6 +216,18 @@ impl WorkerPool {
     /// Number of shards (workers + coordinator).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Turns on per-worker busy/spin/park accounting (a host-side
+    /// observation only — the dispatch protocol is unchanged).
+    pub fn enable_telemetry(&self) {
+        self.shared.telemetry.enable();
+    }
+
+    /// Snapshot of per-worker utilization counters (all zero until
+    /// [`WorkerPool::enable_telemetry`]).
+    pub fn worker_util(&self) -> Vec<WorkerUtil> {
+        self.shared.telemetry.snapshot()
     }
 
     /// Number of workers currently parked on the condvar (all of
@@ -324,7 +342,13 @@ fn worker_loop(shared: &Shared, shard: usize) {
     loop {
         // Spin briefly, then park: phases follow each other closely while
         // the machine steps, but fast-forwarded stretches and sequential
-        // sub-phases should not burn a host CPU per worker.
+        // sub-phases should not burn a host CPU per worker. With pool
+        // telemetry enabled the wait splits into spin time and park time
+        // (timestamps taken outside the dispatch window, so the protocol
+        // and the phase bodies are unperturbed).
+        let timing = shared.telemetry.is_enabled();
+        let wait_start = timing.then(Instant::now);
+        let mut park_ns = 0u64;
         let mut epoch = shared.epoch.load(Ordering::Acquire);
         let mut spins = 0u32;
         while epoch == seen && spins < WORKER_SPIN_LIMIT {
@@ -333,6 +357,7 @@ fn worker_loop(shared: &Shared, shard: usize) {
             epoch = shared.epoch.load(Ordering::Acquire);
         }
         if epoch == seen {
+            let park_start = timing.then(Instant::now);
             let mut guard = shared
                 .lock
                 .lock()
@@ -349,8 +374,17 @@ fn worker_loop(shared: &Shared, shard: usize) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             shared.parked.fetch_sub(1, Ordering::Release);
+            if let Some(started) = park_start {
+                park_ns = started.elapsed().as_nanos() as u64;
+            }
         }
         seen = epoch;
+        if let Some(started) = wait_start {
+            let total_ns = started.elapsed().as_nanos() as u64;
+            shared
+                .telemetry
+                .record_wait(shard - 1, total_ns.saturating_sub(park_ns), park_ns);
+        }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -363,9 +397,15 @@ fn worker_loop(shared: &Shared, shard: usize) {
         // body must not skip the `done` signal (the coordinator would
         // spin forever waiting on this shard): catch it, poison the pool,
         // signal, and let the coordinator re-raise after the barrier.
+        let busy_start = timing.then(Instant::now);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
             execute(shared, &job, shard);
         }));
+        if let Some(started) = busy_start {
+            shared
+                .telemetry
+                .record_busy(shard - 1, started.elapsed().as_nanos() as u64);
+        }
         if result.is_err() {
             shared.poisoned.store(true, Ordering::Release);
         }

@@ -1,0 +1,284 @@
+//! The Amdahl report: what fraction of host step time is sequential,
+//! which phase is the wall, and what sharding further buys.
+//!
+//! The ROADMAP's parallelization items have always been justified by
+//! inference ("the NoC heatmaps look hot"); this report measures it.
+//! From a [`PhaseProfile`] it splits sampled step time into the
+//! parallelized phases (bank service, core stepping — already fanned out
+//! across `shards` workers when the profile was taken) and the
+//! sequential remainder, then projects speedup at higher shard counts
+//! under Amdahl's law: scaling the parallel share from the measured `S`
+//! shards to `N` leaves `seq + par · S/N`, so
+//! `speedup(N) = 1 / (f_seq + f_par · S/N)` relative to the measured
+//! run. The report names the top sequential phase outright — that is the
+//! next thing worth sharding.
+
+use crate::profiler::{Phase, PhaseProfile};
+
+/// Shard counts the report projects speedup at.
+pub const PROJECTED_SHARDS: [u32; 6] = [2, 4, 8, 16, 64, 256];
+
+/// Sequential-fraction analysis of a [`PhaseProfile`].
+#[derive(Clone, Debug)]
+pub struct AmdahlReport {
+    /// Fraction of sampled step time in sequential (coordinator-only)
+    /// phases.
+    pub sequential_fraction: f64,
+    /// Fraction in the parallelized phases (bank service, core step).
+    pub parallel_fraction: f64,
+    /// Shard count the profile was measured at.
+    pub shards_measured: usize,
+    /// The sequential phase with the largest share — the next Amdahl
+    /// wall.
+    pub top_sequential_phase: Phase,
+    /// That phase's share of total sampled step time.
+    pub top_sequential_share: f64,
+    /// `(phase, share, parallelized)` for every phase, execution order.
+    pub phase_shares: Vec<(Phase, f64, bool)>,
+    /// `(shards, projected speedup vs the measured run)` for each entry
+    /// of [`PROJECTED_SHARDS`].
+    pub projected: Vec<(u32, f64)>,
+    /// Speedup ceiling at infinite shards (`1 / sequential_fraction`).
+    pub speedup_ceiling: f64,
+}
+
+impl AmdahlReport {
+    /// Derives the report from a profile. With nothing sampled the
+    /// fractions are zero and projections are 1.0 (no information, no
+    /// claimed speedup).
+    #[must_use]
+    pub fn from_profile(profile: &PhaseProfile) -> AmdahlReport {
+        let total: u64 = profile.phases.iter().map(|s| s.ns).sum();
+        let seq: u64 = profile
+            .phases
+            .iter()
+            .filter(|s| !s.phase.parallelized())
+            .map(|s| s.ns)
+            .sum();
+        let (f_seq, f_par) = if total == 0 {
+            (0.0, 0.0)
+        } else {
+            let f_seq = seq as f64 / total as f64;
+            (f_seq, 1.0 - f_seq)
+        };
+        let top = profile
+            .phases
+            .iter()
+            .filter(|s| !s.phase.parallelized())
+            .max_by_key(|s| s.ns)
+            .map_or(Phase::ReqNetAdvance, |s| s.phase);
+        let s = profile.shards.max(1) as f64;
+        let projected = PROJECTED_SHARDS
+            .into_iter()
+            .map(|n| {
+                let denom = f_seq + f_par * s / f64::from(n);
+                let speedup = if total == 0 || denom <= 0.0 {
+                    1.0
+                } else {
+                    1.0 / denom
+                };
+                (n, speedup)
+            })
+            .collect();
+        AmdahlReport {
+            sequential_fraction: f_seq,
+            parallel_fraction: f_par,
+            shards_measured: profile.shards,
+            top_sequential_phase: top,
+            top_sequential_share: profile.share(top),
+            phase_shares: profile
+                .phases
+                .iter()
+                .map(|s| (s.phase, profile.share(s.phase), s.phase.parallelized()))
+                .collect(),
+            projected,
+            speedup_ceiling: if f_seq > 0.0 { 1.0 / f_seq } else { 1.0 },
+        }
+    }
+
+    /// Multi-line human-readable report, naming the next Amdahl wall.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Amdahl report (measured at {} shard{}):\n",
+            self.shards_measured,
+            if self.shards_measured == 1 { "" } else { "s" },
+        );
+        out.push_str(&format!(
+            "  sequential {:.1}% of step time, parallelized {:.1}%\n",
+            self.sequential_fraction * 100.0,
+            self.parallel_fraction * 100.0,
+        ));
+        for (phase, share, parallel) in &self.phase_shares {
+            out.push_str(&format!(
+                "    {:>5.1}%  {:<17} {} — {}\n",
+                share * 100.0,
+                phase.name(),
+                if *parallel {
+                    "[parallel]"
+                } else {
+                    "[sequential]"
+                },
+                phase.describe(),
+            ));
+        }
+        let projections: Vec<String> = self
+            .projected
+            .iter()
+            .map(|(n, s)| format!("{n} shards {s:.2}x"))
+            .collect();
+        out.push_str(&format!(
+            "  projected speedup vs this run: {} (ceiling {:.2}x)\n",
+            projections.join(", "),
+            self.speedup_ceiling,
+        ));
+        out.push_str(&format!(
+            "  next Amdahl wall: {} ({}) at {:.1}% of step time\n",
+            self.top_sequential_phase.name(),
+            self.top_sequential_phase.describe(),
+            self.top_sequential_share * 100.0,
+        ));
+        out
+    }
+
+    /// JSON object (fixed key order), indented by `indent` spaces for
+    /// embedding in the profile document.
+    #[must_use]
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "{inner}\"sequential_fraction\": {:.6},\n",
+            self.sequential_fraction
+        ));
+        out.push_str(&format!(
+            "{inner}\"parallel_fraction\": {:.6},\n",
+            self.parallel_fraction
+        ));
+        out.push_str(&format!(
+            "{inner}\"shards_measured\": {},\n",
+            self.shards_measured
+        ));
+        out.push_str(&format!(
+            "{inner}\"top_sequential_phase\": \"{}\",\n",
+            self.top_sequential_phase.name()
+        ));
+        out.push_str(&format!(
+            "{inner}\"top_sequential_share\": {:.6},\n",
+            self.top_sequential_share
+        ));
+        out.push_str(&format!(
+            "{inner}\"speedup_ceiling\": {:.6},\n",
+            self.speedup_ceiling
+        ));
+        out.push_str(&format!("{inner}\"projected_speedup\": [\n"));
+        for (i, (n, s)) in self.projected.iter().enumerate() {
+            let sep = if i + 1 == self.projected.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "{inner}  {{\"shards\": {n}, \"speedup\": {s:.6}}}{sep}\n"
+            ));
+        }
+        out.push_str(&format!("{inner}]\n"));
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::PhaseStat;
+
+    fn profile_with(seq_heavy: bool) -> PhaseProfile {
+        // Hand-built profile: 60/40 split one way or the other.
+        let phases = Phase::ALL
+            .into_iter()
+            .map(|phase| {
+                let ns = match (phase.parallelized(), seq_heavy) {
+                    (true, true) => 50,
+                    (false, true) => 100,
+                    (true, false) => 400,
+                    (false, false) => 10,
+                };
+                // Make the response NoC the dominant sequential phase.
+                let ns = if phase == Phase::RespNetAdvance {
+                    ns * 3
+                } else {
+                    ns
+                };
+                PhaseStat { phase, ns }
+            })
+            .collect::<Vec<_>>();
+        let sampled_ns = phases.iter().map(|s| s.ns).sum();
+        PhaseProfile {
+            wall_ns: 1000,
+            stepped_cycles: 100,
+            sampled_cycles: 10,
+            sample_every: 10,
+            sampled_ns,
+            phases,
+            shards: 4,
+            workers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn names_the_top_sequential_phase() {
+        let report = profile_with(true).amdahl();
+        assert_eq!(report.top_sequential_phase, Phase::RespNetAdvance);
+        assert!(report.sequential_fraction > 0.5);
+        let rendered = report.render();
+        assert!(rendered.contains("next Amdahl wall: resp_net_advance"));
+        assert!(rendered.contains("Network::advance (response NoC)"));
+    }
+
+    #[test]
+    fn projections_monotone_and_bounded() {
+        let report = profile_with(false).amdahl();
+        let mut last = 0.0;
+        for &(_, s) in &report.projected {
+            assert!(s >= last, "projection must grow with shards");
+            assert!(s <= report.speedup_ceiling + 1e-9);
+            last = s;
+        }
+        // More shards than measured must project > 1x for a
+        // parallel-heavy profile.
+        assert!(report.projected.last().expect("non-empty").1 > 1.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let report = profile_with(true).amdahl();
+        assert!((report.sequential_fraction + report.parallel_fraction - 1.0).abs() < 1e-9);
+        let share_sum: f64 = report.phase_shares.iter().map(|(_, s, _)| s).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_degrades_gracefully() {
+        let profile = PhaseProfile {
+            wall_ns: 0,
+            stepped_cycles: 0,
+            sampled_cycles: 0,
+            sample_every: 1,
+            sampled_ns: 0,
+            phases: Phase::ALL
+                .into_iter()
+                .map(|phase| PhaseStat { phase, ns: 0 })
+                .collect(),
+            shards: 1,
+            workers: Vec::new(),
+        };
+        let report = profile.amdahl();
+        assert_eq!(report.sequential_fraction, 0.0);
+        assert!(report
+            .projected
+            .iter()
+            .all(|&(_, s)| (s - 1.0).abs() < 1e-9));
+    }
+}

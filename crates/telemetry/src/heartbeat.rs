@@ -1,0 +1,260 @@
+//! Heartbeat bookkeeping for long-running sweeps.
+//!
+//! A watchdog-bound 1024-core run or a billion-cycle checkpoint-resumed
+//! sweep can sit for hours with no output; the heartbeat turns that into
+//! a periodic progress line: cycles simulated against the cycle budget,
+//! *live* Mcycles/s since the previous beat (not the run average, so
+//! slowdowns show immediately), the ETA to the budget at that rate, and
+//! the age of the last checkpoint. This module is pure bookkeeping and
+//! formatting — the bench harness decides when to call
+//! [`Heartbeat::due`], writes the text line to stderr and appends the
+//! NDJSON line to the optional log file, so everything here is testable
+//! without clocks or I/O.
+
+use std::time::{Duration, Instant};
+
+/// Heartbeat state for one run.
+#[derive(Debug)]
+pub struct Heartbeat {
+    label: String,
+    interval: Duration,
+    budget: u64,
+    started: Instant,
+    last_beat: Instant,
+    last_cycles: u64,
+    beats: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat emitting every `interval`, for a run whose watchdog /
+    /// target budget is `budget` cycles (`u64::MAX`: unbudgeted).
+    #[must_use]
+    pub fn new(label: impl Into<String>, interval: Duration, budget: u64) -> Heartbeat {
+        let now = Instant::now();
+        Heartbeat {
+            label: label.into(),
+            interval,
+            budget,
+            started: now,
+            last_beat: now,
+            last_cycles: 0,
+            beats: 0,
+        }
+    }
+
+    /// Whether a beat is due at `now`.
+    #[must_use]
+    pub fn due(&self, now: Instant) -> bool {
+        now.duration_since(self.last_beat) >= self.interval
+    }
+
+    /// Emits a beat: computes the live rate since the previous beat and
+    /// advances the bookkeeping. `checkpoint_age` is the age of the most
+    /// recent checkpoint file, when the run writes one.
+    pub fn beat(
+        &mut self,
+        now: Instant,
+        cycles: u64,
+        checkpoint_age: Option<Duration>,
+    ) -> HeartbeatLine {
+        let window = now.duration_since(self.last_beat);
+        let delta_cycles = cycles.saturating_sub(self.last_cycles);
+        let live = rate(delta_cycles, window);
+        let elapsed = now.duration_since(self.started);
+        let average = rate(cycles, elapsed);
+        let eta = if self.budget == u64::MAX || live <= 0.0 {
+            None
+        } else {
+            let remaining = self.budget.saturating_sub(cycles);
+            Some(Duration::from_secs_f64(remaining as f64 / live))
+        };
+        self.beats += 1;
+        self.last_beat = now;
+        self.last_cycles = cycles;
+        HeartbeatLine {
+            label: self.label.clone(),
+            beat: self.beats,
+            cycles,
+            budget: self.budget,
+            elapsed,
+            live_cycles_per_sec: live,
+            avg_cycles_per_sec: average,
+            eta,
+            checkpoint_age,
+        }
+    }
+
+    /// Beats emitted so far.
+    #[must_use]
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+}
+
+fn rate(cycles: u64, window: Duration) -> f64 {
+    let secs = window.as_secs_f64();
+    if secs > 0.0 {
+        cycles as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// One emitted heartbeat, ready to render.
+#[derive(Clone, Debug)]
+pub struct HeartbeatLine {
+    /// Run label (experiment label; sweeps interleave several runs).
+    pub label: String,
+    /// 1-based beat index.
+    pub beat: u64,
+    /// Cycles simulated so far.
+    pub cycles: u64,
+    /// Cycle budget (`u64::MAX`: unbudgeted).
+    pub budget: u64,
+    /// Wall time since the heartbeat was created.
+    pub elapsed: Duration,
+    /// Cycles per second since the previous beat.
+    pub live_cycles_per_sec: f64,
+    /// Cycles per second over the whole run.
+    pub avg_cycles_per_sec: f64,
+    /// Time to reach the budget at the live rate (`None`: unbudgeted or
+    /// no progress this window).
+    pub eta: Option<Duration>,
+    /// Age of the most recent checkpoint file, when one exists.
+    pub checkpoint_age: Option<Duration>,
+}
+
+impl HeartbeatLine {
+    /// The stderr progress line, e.g.
+    /// `heartbeat fig3/lrsc: cycle 12300000/100000000 (12.3%) | live 4.21 Mcycles/s | eta<=21s | ckpt 33s ago`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let progress = if self.budget == u64::MAX {
+            format!("cycle {}", self.cycles)
+        } else {
+            format!(
+                "cycle {}/{} ({:.1}%)",
+                self.cycles,
+                self.budget,
+                percent(self.cycles, self.budget),
+            )
+        };
+        let eta = match self.eta {
+            Some(eta) => format!(" | eta<={}s", eta.as_secs()),
+            None => String::new(),
+        };
+        let ckpt = match self.checkpoint_age {
+            Some(age) => format!(" | ckpt {}s ago", age.as_secs()),
+            None => String::new(),
+        };
+        format!(
+            "heartbeat {}: {progress} | live {:.2} Mcycles/s (avg {:.2}){eta}{ckpt}",
+            self.label,
+            self.live_cycles_per_sec / 1e6,
+            self.avg_cycles_per_sec / 1e6,
+        )
+    }
+
+    /// The NDJSON log line (one JSON object, no trailing newline;
+    /// deterministic key order).
+    #[must_use]
+    pub fn render_ndjson(&self) -> String {
+        let eta = self
+            .eta
+            .map_or("null".to_string(), |d| format!("{:.3}", d.as_secs_f64()));
+        let ckpt = self
+            .checkpoint_age
+            .map_or("null".to_string(), |d| format!("{:.3}", d.as_secs_f64()));
+        let budget = if self.budget == u64::MAX {
+            "null".to_string()
+        } else {
+            self.budget.to_string()
+        };
+        format!(
+            "{{\"label\": \"{}\", \"beat\": {}, \"cycles\": {}, \"budget\": {budget}, \
+             \"elapsed_secs\": {:.3}, \"live_cycles_per_sec\": {:.1}, \
+             \"avg_cycles_per_sec\": {:.1}, \"eta_secs\": {eta}, \"checkpoint_age_secs\": {ckpt}}}",
+            escape(&self.label),
+            self.beat,
+            self.cycles,
+            self.elapsed.as_secs_f64(),
+            self.live_cycles_per_sec,
+            self.avg_cycles_per_sec,
+        )
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+fn escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_respects_interval() {
+        let hb = Heartbeat::new("t", Duration::from_secs(5), 1000);
+        let now = Instant::now();
+        assert!(!hb.due(now));
+        assert!(hb.due(now + Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn live_rate_uses_the_window_not_the_run() {
+        let mut hb = Heartbeat::new("t", Duration::from_secs(1), 10_000_000);
+        let t0 = Instant::now();
+        let first = hb.beat(t0 + Duration::from_secs(2), 4_000_000, None);
+        assert!((first.live_cycles_per_sec - 2e6).abs() < 1e3);
+        // Second window: 1M cycles in 1s — the live rate halves while
+        // the average reflects the whole run.
+        let second = hb.beat(t0 + Duration::from_secs(3), 5_000_000, None);
+        assert!((second.live_cycles_per_sec - 1e6).abs() < 1e3);
+        assert!(second.avg_cycles_per_sec > second.live_cycles_per_sec);
+        assert_eq!(second.beat, 2);
+    }
+
+    #[test]
+    fn eta_tracks_remaining_budget() {
+        let mut hb = Heartbeat::new("t", Duration::from_secs(1), 3_000_000);
+        let t0 = Instant::now();
+        let line = hb.beat(t0 + Duration::from_secs(1), 1_000_000, None);
+        let eta = line.eta.expect("budgeted run has an eta");
+        assert!((eta.as_secs_f64() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unbudgeted_run_has_no_eta() {
+        let mut hb = Heartbeat::new("t", Duration::from_secs(1), u64::MAX);
+        let line = hb.beat(Instant::now() + Duration::from_secs(1), 500, None);
+        assert!(line.eta.is_none());
+        assert!(line.render_text().contains("cycle 500"));
+        assert!(line.render_ndjson().contains("\"budget\": null"));
+    }
+
+    #[test]
+    fn text_and_ndjson_carry_the_same_facts() {
+        let mut hb = Heartbeat::new("fig3/lrsc", Duration::from_secs(1), 10_000_000);
+        let line = hb.beat(
+            Instant::now() + Duration::from_secs(2),
+            5_000_000,
+            Some(Duration::from_secs(33)),
+        );
+        let text = line.render_text();
+        assert!(text.contains("heartbeat fig3/lrsc"));
+        assert!(text.contains("cycle 5000000/10000000 (50.0%)"));
+        assert!(text.contains("ckpt 33s ago"));
+        let json = line.render_ndjson();
+        assert!(json.contains("\"cycles\": 5000000"));
+        assert!(json.contains("\"checkpoint_age_secs\": 33.000"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,0 +1,326 @@
+//! A typed, dependency-free metrics registry with deterministic-schema
+//! JSON and Prometheus text exposition.
+//!
+//! Three metric kinds, matching the Prometheus model: monotonically
+//! accumulated **counters**, last-value **gauges**, and fixed-bucket
+//! **histograms**. Keys are `(name, sorted labels)`; all exports iterate
+//! a `BTreeMap`, so two registries fed the same data render byte-equal
+//! output regardless of insertion order — the property the bench
+//! harness's diffable artifacts rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `(metric name, sorted label pairs)` — the registry key.
+type Key = (String, Vec<(String, String)>);
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
+/// bucket `i`, with an implicit `+Inf` bucket at the end.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (one longer than `bounds`: the
+    /// last entry is the `+Inf` bucket).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+/// Typed counters / gauges / histograms aggregated per run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds to an unlabeled counter (created at zero on first use).
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counter_labeled(name, &[], value);
+    }
+
+    /// Adds to a labeled counter.
+    pub fn counter_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        *self.counters.entry(key(name, labels)).or_insert(0) += value;
+    }
+
+    /// Sets an unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauge_labeled(name, &[], value);
+    }
+
+    /// Sets a labeled gauge.
+    pub fn gauge_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(key(name, labels), value);
+    }
+
+    /// Declares an unlabeled histogram with the given inclusive bucket
+    /// upper bounds (ascending; an implicit `+Inf` bucket is appended).
+    /// Re-declaring an existing histogram keeps its observations.
+    pub fn declare_histogram(&mut self, name: &str, bounds: &[f64]) {
+        self.histograms
+            .entry(key(name, &[]))
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Observes a value in a declared histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the histogram was never declared (a harness bug, not
+    /// an input error).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .get_mut(&key(name, &[]))
+            .unwrap_or_else(|| panic!("histogram `{name}` was never declared"))
+            .observe(value);
+    }
+
+    /// Reads a counter back (0 when absent).
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters.get(&key(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge back.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&key(name, labels)).copied()
+    }
+
+    /// Renders the registry as a deterministic JSON object
+    /// (`lrscwait.metrics.v1`): three sections in fixed order, keys
+    /// sorted, labels rendered Prometheus-style inside the key string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"lrscwait.metrics.v1\",\n");
+        out.push_str("  \"counters\": {");
+        push_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("  },\n  \"gauges\": {");
+        push_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, format!("{v:.6}"))),
+        );
+        out.push_str("  },\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let buckets: Vec<String> = h
+                    .bounds
+                    .iter()
+                    .map(|b| format!("\"{b}\""))
+                    .chain(std::iter::once("\"+Inf\"".to_string()))
+                    .zip(h.counts.iter())
+                    .map(|(le, c)| format!("{{\"le\": {le}, \"count\": {c}}}"))
+                    .collect();
+                (
+                    k,
+                    format!(
+                        "{{\"sum\": {:.6}, \"count\": {}, \"buckets\": [{}]}}",
+                        h.sum,
+                        h.count,
+                        buckets.join(", ")
+                    ),
+                )
+            }),
+        );
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (`# TYPE` comments, `_bucket`/`_sum`/`_count` histogram series
+    /// with cumulative `le` buckets).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for ((name, labels), value) in &self.counters {
+            if *name != last_name {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_name.clone_from(name);
+            }
+            let _ = writeln!(out, "{name}{} {value}", render_labels(labels));
+        }
+        last_name.clear();
+        for ((name, labels), value) in &self.gauges {
+            if *name != last_name {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                last_name.clone_from(name);
+            }
+            let _ = writeln!(out, "{name}{} {value}", render_labels(labels));
+        }
+        for ((name, labels), h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let base = render_labels(labels);
+            debug_assert!(
+                labels.is_empty(),
+                "labeled histograms are not exposed (declare_histogram is unlabeled)"
+            );
+            let mut cumulative = 0u64;
+            for (i, count) in h.counts.iter().enumerate() {
+                cumulative += count;
+                let le = h
+                    .bounds
+                    .get(i)
+                    .map_or_else(|| "+Inf".to_string(), ToString::to_string);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum{base} {}", h.sum);
+            let _ = writeln!(out, "{name}_count{base} {}", h.count);
+        }
+        out
+    }
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn push_map<'a, I>(out: &mut String, entries: I)
+where
+    I: Iterator<Item = (&'a Key, String)>,
+{
+    let entries: Vec<(String, String)> = entries
+        .map(|((name, labels), v)| (format!("{name}{}", render_labels(labels)), v))
+        .collect();
+    if entries.is_empty() {
+        out.push('\n');
+    } else {
+        out.push('\n');
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let sep = if i + 1 == entries.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{}\": {v}{sep}", escape(k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("runs_total", 1);
+        reg.counter("runs_total", 2);
+        reg.counter_labeled("phase_ns_total", &[("phase", "core_step")], 100);
+        reg.counter_labeled("phase_ns_total", &[("phase", "bank_service")], 50);
+        reg.gauge("sequential_fraction", 0.25);
+        reg.declare_histogram("busy_frac", &[0.5, 0.9]);
+        reg.observe("busy_frac", 0.3);
+        reg.observe("busy_frac", 0.7);
+        reg.observe("busy_frac", 0.95);
+        reg
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let reg = filled();
+        assert_eq!(reg.counter_value("runs_total", &[]), 3);
+        assert_eq!(
+            reg.counter_value("phase_ns_total", &[("phase", "core_step")]),
+            100
+        );
+        assert_eq!(reg.gauge_value("sequential_fraction", &[]), Some(0.25));
+    }
+
+    #[test]
+    fn output_is_insertion_order_independent() {
+        let mut other = MetricsRegistry::new();
+        other.declare_histogram("busy_frac", &[0.5, 0.9]);
+        other.observe("busy_frac", 0.3);
+        other.observe("busy_frac", 0.7);
+        other.observe("busy_frac", 0.95);
+        other.gauge("sequential_fraction", 0.25);
+        other.counter_labeled("phase_ns_total", &[("phase", "bank_service")], 50);
+        other.counter_labeled("phase_ns_total", &[("phase", "core_step")], 100);
+        other.counter("runs_total", 3);
+        assert_eq!(filled().to_json(), other.to_json());
+        assert_eq!(filled().to_prometheus(), other.to_prometheus());
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let prom = filled().to_prometheus();
+        assert!(prom.contains("# TYPE busy_frac histogram"));
+        assert!(prom.contains("busy_frac_bucket{le=\"0.5\"} 1"));
+        assert!(prom.contains("busy_frac_bucket{le=\"0.9\"} 2"));
+        assert!(prom.contains("busy_frac_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("busy_frac_count 3"));
+    }
+
+    #[test]
+    fn json_parses_and_carries_schema() {
+        let json = filled().to_json();
+        assert!(json.contains("\"schema\": \"lrscwait.metrics.v1\""));
+        // Inside a JSON key string the label quotes are escaped.
+        assert!(json.contains("phase_ns_total{phase=\\\"core_step\\\"}"));
+        // Balanced braces as a cheap well-formedness check (the bench
+        // crate's tests parse profile JSON with a real parser).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn type_comment_emitted_once_per_metric_name() {
+        let prom = filled().to_prometheus();
+        assert_eq!(prom.matches("# TYPE phase_ns_total counter").count(), 1);
+        assert_eq!(prom.matches("phase_ns_total{").count(), 2);
+    }
+}

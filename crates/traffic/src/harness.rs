@@ -26,7 +26,7 @@ use std::fmt;
 
 use lrscwait_core::{StateError, StateReader, StateWriter};
 use lrscwait_kernels::{ServiceKernel, VerifyError, Workload};
-use lrscwait_sim::{ExitReason, Machine, SimConfig, SimError};
+use lrscwait_sim::{ExitReason, Machine, PhaseProfile, ProfilerConfig, SimConfig, SimError};
 
 use crate::arrival::ArrivalProcess;
 use crate::latency::{LatencyRecorder, LatencyStats};
@@ -233,6 +233,20 @@ impl ServiceHarness {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.machine.cycles()
+    }
+
+    /// Enables the host-side phase profiler on the underlying machine.
+    /// Profiling never changes simulated results — latencies and
+    /// checksums are bit-identical with it on or off.
+    pub fn enable_profiler(&mut self, cfg: ProfilerConfig) {
+        self.machine.enable_profiler(cfg);
+    }
+
+    /// The machine's phase profile so far (None until the profiler is
+    /// enabled).
+    #[must_use]
+    pub fn profile(&self) -> Option<PhaseProfile> {
+        self.machine.profile()
     }
 
     /// Items completed so far.
