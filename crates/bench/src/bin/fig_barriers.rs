@@ -145,10 +145,15 @@ fn run() -> Result<(), BenchError> {
                 .run();
             let measurement = match outcome {
                 Ok(m) => m,
-                Err(BenchError::Watchdog { label, cycles }) => {
+                Err(BenchError::Watchdog {
+                    label,
+                    cycles,
+                    reason,
+                    ..
+                }) => {
                     eprintln!(
                         "fig_barriers {label} cores={cores}: DNF — watchdog after \
-                         {cycles} cycles (barrier collapse at this scale)"
+                         {cycles} cycles, {reason} (barrier collapse at this scale)"
                     );
                     return Ok(None);
                 }

@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+pub mod litmus;
+
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -85,12 +87,19 @@ pub enum BenchError {
     Load(SimError),
     /// The simulation itself faulted (kernel bug).
     Run(SimError),
-    /// The watchdog fired before every core halted.
+    /// The watchdog fired before every core halted — a DNF point.
     Watchdog {
         /// Label of the offending experiment.
         label: String,
         /// Cycle count when the watchdog fired.
         cycles: u64,
+        /// Why the point did not finish: which part of the machine was
+        /// still live when the budget ran out.
+        reason: String,
+        /// Final-cycle machine snapshot, when the experiment was
+        /// configured with a checkpoint path — exactly the state worth
+        /// resuming with a larger budget or post-morteming.
+        snapshot: Option<PathBuf>,
     },
     /// The run completed but computed wrong results.
     Verify {
@@ -135,8 +144,20 @@ impl fmt::Display for BenchError {
             BenchError::Config(e) => write!(f, "invalid configuration: {e}"),
             BenchError::Load(e) => write!(f, "failed to load program: {e}"),
             BenchError::Run(e) => write!(f, "simulation faulted: {e}"),
-            BenchError::Watchdog { label, cycles } => {
-                write!(f, "{label}: watchdog fired after {cycles} cycles")
+            BenchError::Watchdog {
+                label,
+                cycles,
+                reason,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "{label}: watchdog fired after {cycles} cycles ({reason})"
+                )?;
+                if let Some(path) = snapshot {
+                    write!(f, "; final-cycle snapshot: {}", path.display())?;
+                }
+                Ok(())
             }
             BenchError::Verify { label, source } => {
                 write!(f, "{label}: verification failed: {source}")
@@ -556,6 +577,7 @@ impl<'w> Experiment<'w> {
         };
         let host_seconds = started.elapsed().as_secs_f64();
         let profile = machine.profile();
+        let mut snapshot_path = None;
         if let Some(path) = &self.checkpoint {
             // Deliberately before the watchdog check: a saturated run's
             // snapshot is exactly the one worth resuming with more budget.
@@ -565,15 +587,25 @@ impl<'w> Experiment<'w> {
                     source,
                 })?;
             }
-            std::fs::write(path, machine.snapshot()).map_err(|source| BenchError::Io {
-                path: path.display().to_string(),
-                source,
+            let bytes = machine.snapshot();
+            retry_transient_io(|| std::fs::write(path, &bytes)).map_err(|source| {
+                BenchError::Io {
+                    path: path.display().to_string(),
+                    source,
+                }
             })?;
+            snapshot_path = Some(path.clone());
         }
         if summary.exit != ExitReason::AllHalted {
+            let live = machine.cores() - machine.halted_cores();
             return Err(BenchError::Watchdog {
                 label,
                 cycles: summary.cycles,
+                reason: format!(
+                    "{live} of {} cores never halted within the {budget}-cycle budget",
+                    machine.cores()
+                ),
+                snapshot: snapshot_path,
             });
         }
         self.workload
@@ -675,6 +707,35 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map_or(2, std::num::NonZeroUsize::get)
         .max(2)
+}
+
+/// Whether an I/O failure is worth one retry: interruption and
+/// contention kinds that clear themselves, as opposed to a bad path or a
+/// full disk.
+#[must_use]
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `f`, retrying exactly once when it fails with a transient I/O
+/// error (see [`is_transient_io`]). Checkpoint writes at the end of a
+/// multi-minute point hit these on loaded CI runners; one retry beats
+/// failing the whole point.
+///
+/// # Errors
+///
+/// Returns the second error when the retry also fails, or the first
+/// error when it is not transient.
+pub fn retry_transient_io<T>(mut f: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    match f() {
+        Err(e) if is_transient_io(&e) => f(),
+        other => other,
+    }
 }
 
 fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {

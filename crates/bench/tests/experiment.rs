@@ -88,6 +88,90 @@ fn watchdog_surfaces_as_typed_error() {
 }
 
 #[test]
+fn watchdog_records_dnf_reason_and_no_snapshot_without_checkpoint() {
+    let cfg = SimConfig::builder()
+        .cores(4)
+        .arch(SyncArch::Lrsc)
+        .max_cycles(100)
+        .build()
+        .unwrap();
+    let kernel = HistogramKernel::new(HistImpl::AmoAdd, 8, 64, 4);
+    match Experiment::new(&kernel, cfg).run() {
+        Err(BenchError::Watchdog {
+            reason, snapshot, ..
+        }) => {
+            assert!(
+                reason.contains("never halted"),
+                "DNF reason must say which cores were still live: {reason}"
+            );
+            assert!(
+                snapshot.is_none(),
+                "no checkpoint configured, so no snapshot path: {snapshot:?}"
+            );
+        }
+        other => panic!("expected Watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_records_final_cycle_snapshot_path_with_checkpoint() {
+    let dir = scratch_dir("dnf-snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("dnf.snap");
+    let cfg = SimConfig::builder()
+        .cores(4)
+        .arch(SyncArch::Lrsc)
+        .max_cycles(100)
+        .build()
+        .unwrap();
+    let kernel = HistogramKernel::new(HistImpl::AmoAdd, 8, 64, 4);
+    match Experiment::new(&kernel, cfg).checkpoint(&ckpt).run() {
+        Err(BenchError::Watchdog { snapshot, .. }) => {
+            let path = snapshot.expect("checkpointed DNF must record its snapshot path");
+            assert_eq!(path, ckpt);
+            assert!(path.exists(), "the recorded snapshot file must exist");
+        }
+        other => panic!("expected Watchdog, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn transient_io_errors_are_retried_once() {
+    use std::io::{Error, ErrorKind};
+    // One transient failure, then success: the retry absorbs it.
+    let mut calls = 0;
+    let out = lrscwait_bench::retry_transient_io(|| {
+        calls += 1;
+        if calls == 1 {
+            Err(Error::from(ErrorKind::Interrupted))
+        } else {
+            Ok(calls)
+        }
+    });
+    assert_eq!(out.unwrap(), 2);
+    assert_eq!(calls, 2);
+
+    // Persistent transient failure: retried exactly once, then surfaced.
+    let mut calls = 0;
+    let out: std::io::Result<()> = lrscwait_bench::retry_transient_io(|| {
+        calls += 1;
+        Err(Error::from(ErrorKind::Interrupted))
+    });
+    assert_eq!(out.unwrap_err().kind(), ErrorKind::Interrupted);
+    assert_eq!(calls, 2);
+
+    // Non-transient errors fail immediately, no retry.
+    let mut calls = 0;
+    let out: std::io::Result<()> = lrscwait_bench::retry_transient_io(|| {
+        calls += 1;
+        Err(Error::from(ErrorKind::PermissionDenied))
+    });
+    assert_eq!(out.unwrap_err().kind(), ErrorKind::PermissionDenied);
+    assert_eq!(calls, 1);
+}
+
+#[test]
 fn watchdog_error_through_sweep() {
     let err = Sweep::new("watchdog")
         .threads(2)

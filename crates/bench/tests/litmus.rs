@@ -1,0 +1,130 @@
+//! Mutation self-tests: the chaos engine's proof of its own teeth.
+//!
+//! A checker that never fires is indistinguishable from no checker, so
+//! these tests run deliberately-broken machines ([`Mutation`] variants
+//! that violate the architecture's contract for real) and require the
+//! invariant checker or kernel verification to catch each one by name —
+//! then re-run the identical case mutation-off and require green.
+
+use lrscwait_bench::litmus::{run_litmus_case, LitmusCase};
+use lrscwait_chaos::violated_invariants;
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::LitmusScenario;
+use lrscwait_sim::{FaultPlan, Mutation};
+
+/// Lost-wakeup victim: Colibri queues with deep parking, a modest cycle
+/// budget so the induced deadlock reaches the watchdog quickly.
+fn lost_wakeup_case() -> LitmusCase {
+    LitmusCase {
+        scenario: LitmusScenario::LostWakeup,
+        arch: SyncArch::Colibri { queues: 2 },
+        wait_primitives: false,
+        cores: 4,
+        iters: 6,
+        max_cycles: 300_000,
+    }
+}
+
+/// Retry-mill on scwait: the victim for [`Mutation::LoseScSuccess`].
+fn spurious_retry_wait_case() -> LitmusCase {
+    LitmusCase {
+        scenario: LitmusScenario::SpuriousRetry,
+        arch: SyncArch::LrscWait { slots: 4 },
+        wait_primitives: true,
+        cores: 4,
+        iters: 6,
+        max_cycles: 5_000_000,
+    }
+}
+
+#[test]
+fn drop_wakeup_mutation_is_caught_by_named_invariants() {
+    let case = lost_wakeup_case();
+    let mut plan = FaultPlan::standard(3);
+    plan.mutation = Mutation::DropWakeup { nth: 2 };
+    let verdict = run_litmus_case(&case, plan).expect("harness must not error");
+    assert!(
+        !verdict.passed(),
+        "a machine that drops a wakeup for real must fail the litmus"
+    );
+    let names = violated_invariants(&verdict.invariants.violations);
+    assert!(
+        names.contains(&"lost-wakeup"),
+        "expected the lost-wakeup invariant by name, got {names:?}"
+    );
+    assert!(
+        names.contains(&"progress"),
+        "the induced deadlock must trip the progress watchdog, got {names:?}"
+    );
+    assert!(
+        !verdict.invariants.wait_graph.is_empty(),
+        "the progress violation must dump the parked-core wait graph"
+    );
+}
+
+#[test]
+fn drop_wakeup_mutation_off_same_case_is_green() {
+    let case = lost_wakeup_case();
+    let verdict = run_litmus_case(&case, FaultPlan::standard(3)).expect("harness must not error");
+    assert!(
+        verdict.passed(),
+        "mutation off, same case and seed must be green: {}",
+        verdict.summary()
+    );
+}
+
+#[test]
+fn lose_sc_success_is_caught_by_counter_conservation() {
+    let case = spurious_retry_wait_case();
+    let mut plan = FaultPlan::quiet(1);
+    plan.mutation = Mutation::LoseScSuccess { nth: 1 };
+    let verdict = run_litmus_case(&case, plan).expect("harness must not error");
+    // The committed-but-denied scwait makes the victim re-increment, so
+    // the kernel's own counter-conservation check is the trap here.
+    assert!(
+        !verdict.passed(),
+        "a lost SC success must break counter conservation"
+    );
+    let failure = verdict.failure.expect("expected a verification failure");
+    assert!(
+        failure.contains("verification failed"),
+        "expected a verification failure, got: {failure}"
+    );
+}
+
+#[test]
+fn lose_sc_success_mutation_off_same_case_is_green() {
+    let case = spurious_retry_wait_case();
+    let verdict = run_litmus_case(&case, FaultPlan::quiet(1)).expect("harness must not error");
+    assert!(
+        verdict.passed(),
+        "mutation off, same case and seed must be green: {}",
+        verdict.summary()
+    );
+}
+
+#[test]
+fn clean_standard_plan_sweep_is_green() {
+    for arch in [
+        SyncArch::Lrsc,
+        SyncArch::LrscWait { slots: 4 },
+        SyncArch::Colibri { queues: 2 },
+    ] {
+        for scenario in LitmusScenario::all() {
+            let case = LitmusCase {
+                scenario,
+                arch,
+                wait_primitives: false,
+                cores: 4,
+                iters: 4,
+                max_cycles: 5_000_000,
+            };
+            if !case.kernel().supports(arch) {
+                continue;
+            }
+            let verdict =
+                run_litmus_case(&case, FaultPlan::standard(7)).expect("harness must not error");
+            assert!(verdict.passed(), "{}", verdict.summary());
+        }
+    }
+}

@@ -232,6 +232,25 @@ pub trait SyncAdapter: fmt::Debug + Send {
         self.handle_traced(src, req, mem, out, &mut no_trace);
     }
 
+    /// Chaos hook: spuriously evicts any reservation covering `addr` —
+    /// the classic LR/SC slot and, for wait-queue architectures, an
+    /// *active and valid* `lrwait` head — as if invalidated by capacity
+    /// pressure. This is an architecturally legal perturbation: software
+    /// must already tolerate reservations lost to intervening writes.
+    /// Armed `mwait` monitors are **never** touched (dropping a monitor
+    /// would be a lost wakeup — a hardware bug, not a legal fault).
+    ///
+    /// Each broken reservation increments
+    /// [`reservations_broken`](AdapterStats::reservations_broken) and
+    /// emits one [`SyncEvent::ReservationBroken`], preserving the 1:1
+    /// event/stat contract. Returns `true` when anything was evicted.
+    /// The default implementation holds no evictable state and does
+    /// nothing.
+    fn chaos_evict(&mut self, addr: Addr, emit: &mut dyn FnMut(SyncEvent)) -> bool {
+        let _ = (addr, emit);
+        false
+    }
+
     /// Human-readable architecture label (used in reports and plots).
     fn label(&self) -> String;
 

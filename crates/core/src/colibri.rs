@@ -433,6 +433,31 @@ impl SyncAdapter for ColibriAdapter {
         }
     }
 
+    fn chaos_evict(&mut self, addr: Addr, emit: &mut dyn FnMut(SyncEvent)) -> bool {
+        let mut evicted = false;
+        if self.slot.on_write(addr) {
+            self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
+            evicted = true;
+        }
+        // Invalidate a valid lrwait head exactly as an intervening write
+        // would; its scwait will fail and still dequeue it. Armed mwait
+        // monitors and heads pending a bounced WakeUp are left alone.
+        let mut broke = false;
+        if let Some(slot) = self.slot_for(addr) {
+            if slot.head_valid && !slot.waiting_wakeup && !slot.armed_mwait {
+                slot.head_valid = false;
+                broke = true;
+            }
+        }
+        if broke {
+            self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
+            evicted = true;
+        }
+        evicted
+    }
+
     fn label(&self) -> String {
         format!("Colibri{}", self.slots.len())
     }
@@ -495,6 +520,87 @@ mod tests {
         let mut out = Vec::new();
         a.handle(src, &req, mem, &mut out);
         out
+    }
+
+    #[test]
+    fn chaos_evict_invalidates_valid_head_only() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 0, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        let mut events = Vec::new();
+        assert!(a.chaos_evict(0x40, &mut |e| events.push(e)));
+        assert_eq!(events, vec![SyncEvent::ReservationBroken { addr: 0x40 }]);
+        assert_eq!(a.stats().reservations_broken, 1);
+        // The evicted head's scwait fails but still dequeues it; the
+        // successor arrives via the bounced WakeUp as usual.
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 7,
+            },
+        );
+        assert_eq!(r, vec![(0, MemResponse::ScWait { success: false })]);
+        assert_eq!(mem.read_word(0x40), 0, "failed scwait must not write");
+        let r = run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::WakeUp {
+                addr: 0x40,
+                successor: 1,
+                mode: WaitMode::LrWait,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(
+                1,
+                MemResponse::Wait {
+                    value: 0,
+                    reserved: true
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn chaos_evict_never_touches_armed_mwait() {
+        let mut a = ColibriAdapter::new(1);
+        let mut mem = MapStorage::new();
+        run(
+            &mut a,
+            &mut mem,
+            0,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        let mut events = Vec::new();
+        assert!(!a.chaos_evict(0x40, &mut |e| events.push(e)));
+        assert!(events.is_empty());
+        // The monitor still fires on a real write.
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 8,
+                mask: !0,
+            },
+        );
+        assert!(r.contains(&(
+            0,
+            MemResponse::Wait {
+                value: 8,
+                reserved: true
+            }
+        )));
     }
 
     #[test]

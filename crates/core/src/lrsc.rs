@@ -129,6 +129,16 @@ impl SyncAdapter for LrscAdapter {
         }
     }
 
+    fn chaos_evict(&mut self, addr: u32, emit: &mut dyn FnMut(SyncEvent)) -> bool {
+        if self.slot.on_write(addr) {
+            self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
+            true
+        } else {
+            false
+        }
+    }
+
     fn label(&self) -> String {
         "LRSC".to_string()
     }
@@ -279,6 +289,28 @@ mod tests {
         assert_eq!(r, vec![(1, MemResponse::Sc { success: false })]);
         assert_eq!(mem.read_word(0x40), 9);
         assert_eq!(a.stats().reservations_broken, 1);
+    }
+
+    #[test]
+    fn chaos_evict_clears_matching_reservation() {
+        let mut a = LrscAdapter::new();
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::Lr { addr: 0x40 });
+        let mut events = Vec::new();
+        assert!(!a.chaos_evict(0x44, &mut |e| events.push(e)), "other addr");
+        assert!(a.chaos_evict(0x40, &mut |e| events.push(e)));
+        assert_eq!(events, vec![SyncEvent::ReservationBroken { addr: 0x40 }]);
+        assert_eq!(a.stats().reservations_broken, 1);
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::Sc {
+                addr: 0x40,
+                value: 1,
+            },
+        );
+        assert_eq!(r, vec![(1, MemResponse::Sc { success: false })]);
     }
 
     #[test]

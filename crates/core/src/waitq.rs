@@ -387,6 +387,28 @@ impl SyncAdapter for WaitQueueAdapter {
         }
     }
 
+    fn chaos_evict(&mut self, addr: Addr, emit: &mut dyn FnMut(SyncEvent)) -> bool {
+        let mut evicted = false;
+        if self.slot.on_write(addr) {
+            self.stats.reservations_broken += 1;
+            emit(SyncEvent::ReservationBroken { addr });
+            evicted = true;
+        }
+        // Invalidate an active-and-valid lrwait head exactly as an
+        // intervening write would; its scwait will fail and advance the
+        // queue. Armed mwait monitors are deliberately left alone.
+        if let Some(idx) = self.first_index_for(addr) {
+            let entry = self.entries[idx];
+            if entry.active && entry.valid && entry.mode == WaitMode::LrWait {
+                self.entries[idx].valid = false;
+                self.stats.reservations_broken += 1;
+                emit(SyncEvent::ReservationBroken { addr });
+                evicted = true;
+            }
+        }
+        evicted
+    }
+
     fn label(&self) -> String {
         if self.ideal {
             "LRSCwait_ideal".to_string()
@@ -845,6 +867,78 @@ mod tests {
             )),
             "mwait behind an lrwait head wakes when the scwait writes: {r:?}"
         );
+    }
+
+    #[test]
+    fn chaos_evict_breaks_active_lrwait_head() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(&mut a, &mut mem, 1, MemRequest::LrWait { addr: 0x40 });
+        run(&mut a, &mut mem, 2, MemRequest::LrWait { addr: 0x40 });
+        let mut events = Vec::new();
+        assert!(a.chaos_evict(0x40, &mut |e| events.push(e)));
+        assert_eq!(events, vec![SyncEvent::ReservationBroken { addr: 0x40 }]);
+        assert_eq!(a.stats().reservations_broken, 1);
+        // The evicted head's scwait fails but still advances the queue.
+        let r = run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::ScWait {
+                addr: 0x40,
+                value: 7,
+            },
+        );
+        assert_eq!(
+            r,
+            vec![
+                (1, MemResponse::ScWait { success: false }),
+                (
+                    2,
+                    MemResponse::Wait {
+                        value: 0,
+                        reserved: true
+                    }
+                ),
+            ]
+        );
+        assert_eq!(mem.read_word(0x40), 0, "failed scwait must not write");
+    }
+
+    #[test]
+    fn chaos_evict_never_touches_armed_mwait() {
+        let mut a = WaitQueueAdapter::new(8);
+        let mut mem = MapStorage::new();
+        run(
+            &mut a,
+            &mut mem,
+            1,
+            MemRequest::MWait {
+                addr: 0x40,
+                expected: 0,
+            },
+        );
+        let mut events = Vec::new();
+        assert!(!a.chaos_evict(0x40, &mut |e| events.push(e)));
+        assert!(events.is_empty());
+        // The monitor still fires on a real write.
+        let r = run(
+            &mut a,
+            &mut mem,
+            2,
+            MemRequest::Store {
+                addr: 0x40,
+                value: 8,
+                mask: !0,
+            },
+        );
+        assert!(r.contains(&(
+            1,
+            MemResponse::Wait {
+                value: 8,
+                reserved: true
+            }
+        )));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 mod barrier;
 mod histogram;
+mod litmus;
 mod matmul;
 mod queue;
 mod service;
@@ -46,6 +47,7 @@ mod workload;
 
 pub use barrier::{BarrierImpl, BarrierKernel};
 pub use histogram::{HistImpl, HistogramKernel};
+pub use litmus::{LitmusKernel, LitmusScenario};
 pub use matmul::{MatmulKernel, PollerKind};
 pub use queue::{QueueImpl, QueueKernel};
 pub use service::ServiceKernel;

@@ -334,6 +334,32 @@ impl<P> Network<P> {
     where
         F: FnMut(NocEvent),
     {
+        self.try_send_extra_traced(route, payload, now, 0, emit)
+    }
+
+    /// [`try_send_traced`](Network::try_send_traced) with `extra` cycles of
+    /// additional injection latency on top of the first node's configured
+    /// latency (chaos-injected NoC jitter). FIFO order within the node is
+    /// preserved by construction — a later flit cannot overtake the queue
+    /// front, so [`next_ready_at`](Network::next_ready_at) (the front
+    /// flit) remains the binding fast-forward bound. `extra = 0` is
+    /// bit-identical to the plain entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back when the first node's queue is full — the
+    /// caller must stall and retry (backpressure reaches the source).
+    pub fn try_send_extra_traced<F>(
+        &mut self,
+        route: Route,
+        payload: P,
+        now: u64,
+        extra: u32,
+        emit: &mut F,
+    ) -> Result<(), P>
+    where
+        F: FnMut(NocEvent),
+    {
         let first = route.hops()[0];
         let node = &mut self.nodes[first as usize];
         if node.queue.len() >= node.spec.capacity {
@@ -341,7 +367,7 @@ impl<P> Network<P> {
             emit(NocEvent::InjectStalled { node: first });
             return Err(payload);
         }
-        let ready_at = now + u64::from(node.spec.latency);
+        let ready_at = now + u64::from(node.spec.latency) + u64::from(extra);
         node.queue.push_back(Flit {
             payload,
             route,

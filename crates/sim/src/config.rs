@@ -9,6 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
+use lrscwait_chaos::FaultPlan;
 use lrscwait_core::SyncArch;
 use lrscwait_noc::TopologyConfig;
 
@@ -174,6 +175,13 @@ pub enum ConfigError {
     },
     /// The watchdog limit must be non-zero.
     ZeroMaxCycles,
+    /// A chaos fault-plan probability exceeds 1000 per mille.
+    ChaosRateOutOfRange {
+        /// Which rate field is out of range.
+        field: &'static str,
+        /// The offending value.
+        per_mille: u16,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -235,6 +243,12 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::ZeroMaxCycles => write!(f, "watchdog limit must be non-zero"),
+            ConfigError::ChaosRateOutOfRange { field, per_mille } => {
+                write!(
+                    f,
+                    "chaos {field} = {per_mille}\u{2030} exceeds 1000\u{2030}"
+                )
+            }
         }
     }
 }
@@ -265,6 +279,14 @@ pub struct SimConfig {
     /// bit-identical to `shards == 1` (see the `Machine` docs for the
     /// determinism contract). Validated: `1 ≤ shards ≤ min(cores, banks)`.
     pub shards: usize,
+    /// Optional chaos fault-injection plan (see [`FaultPlan`]). `None`
+    /// (the default) disables the engine entirely — one predictable
+    /// branch per injection site, results bit-identical to a build
+    /// without the engine. `Some(plan)` runs the chaos-on path; a
+    /// [`quiet`](FaultPlan::is_quiet) plan decides "no fault" everywhere
+    /// and still produces bit-identical results (proven by the
+    /// differential suite in `crates/sim/tests/chaos.rs`).
+    pub chaos: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -287,6 +309,7 @@ impl SimConfig {
             args: [0; NUM_ARGS],
             exec_mode: ExecMode::EventDriven,
             shards: 1,
+            chaos: None,
         }
     }
 
@@ -302,6 +325,7 @@ impl SimConfig {
             args: [0; NUM_ARGS],
             exec_mode: ExecMode::EventDriven,
             shards: 1,
+            chaos: None,
         }
     }
 
@@ -383,6 +407,18 @@ impl SimConfig {
         if self.max_cycles == 0 {
             return Err(ConfigError::ZeroMaxCycles);
         }
+        if let Some(plan) = self.chaos {
+            for (field, per_mille) in [
+                ("evict_per_mille", plan.evict_per_mille),
+                ("sc_fail_per_mille", plan.sc_fail_per_mille),
+                ("wake_delay_per_mille", plan.wake_delay_per_mille),
+                ("jitter_per_mille", plan.jitter_per_mille),
+            ] {
+                if per_mille > 1000 {
+                    return Err(ConfigError::ChaosRateOutOfRange { field, per_mille });
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -415,6 +451,7 @@ pub struct SimConfigBuilder {
     args: Vec<(usize, u32)>,
     exec_mode: ExecMode,
     shards: usize,
+    chaos: Option<FaultPlan>,
 }
 
 impl Default for SimConfigBuilder {
@@ -436,6 +473,7 @@ impl SimConfigBuilder {
             args: Vec::new(),
             exec_mode: ExecMode::EventDriven,
             shards: 1,
+            chaos: None,
         }
     }
 
@@ -576,6 +614,28 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables chaos fault injection with the given [`FaultPlan`]
+    /// (validated at [`build`](Self::build): all rates ≤ 1000 per mille).
+    ///
+    /// ```
+    /// use lrscwait_chaos::FaultPlan;
+    /// use lrscwait_sim::SimConfig;
+    ///
+    /// # fn main() -> Result<(), lrscwait_sim::ConfigError> {
+    /// let cfg = SimConfig::builder()
+    ///     .cores(4)
+    ///     .chaos(FaultPlan::standard(42))
+    ///     .build()?;
+    /// assert!(cfg.chaos.is_some());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn chaos(mut self, plan: FaultPlan) -> SimConfigBuilder {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -602,6 +662,7 @@ impl SimConfigBuilder {
             args,
             exec_mode: self.exec_mode,
             shards: self.shards,
+            chaos: self.chaos,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -822,6 +883,39 @@ mod tests {
         topo.banks_per_tile = 4; // exactly 8 banks for 8 cores
         let cfg = SimConfig::builder().topology(topo).shards(8).build();
         assert_eq!(cfg.map(|c| c.shards), Ok(8));
+    }
+
+    #[test]
+    fn builder_chaos_defaults_off_and_rejects_bad_rates() {
+        assert!(SimConfig::builder()
+            .cores(2)
+            .build()
+            .unwrap()
+            .chaos
+            .is_none());
+        assert!(SimConfig::mempool(SyncArch::Lrsc).chaos.is_none());
+        let cfg = SimConfig::builder()
+            .cores(2)
+            .chaos(FaultPlan::standard(1))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.chaos, Some(FaultPlan::standard(1)));
+        let err = SimConfig::builder()
+            .cores(2)
+            .chaos(FaultPlan {
+                evict_per_mille: 1001,
+                ..FaultPlan::quiet(0)
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ChaosRateOutOfRange {
+                field: "evict_per_mille",
+                per_mille: 1001
+            }
+        );
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -65,3 +65,8 @@ pub use translate::Translation;
 // Host-side profiling types, re-exported so harnesses driving a
 // `Machine` need not depend on `lrscwait-telemetry` directly.
 pub use lrscwait_telemetry::{PhaseProfile, ProfilerConfig};
+
+// Chaos fault-injection types, re-exported so harnesses enabling the
+// engine through `SimConfigBuilder::chaos` need not depend on
+// `lrscwait-chaos` directly.
+pub use lrscwait_chaos::{FaultPlan, Mutation};

@@ -133,6 +133,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use lrscwait_asm::Program;
+use lrscwait_chaos::Chaos;
 use lrscwait_core::{
     AdapterStats, MemRequest, MemResponse, Qnode, StateError, StateReader, StateWriter, SyncAdapter,
 };
@@ -293,6 +294,18 @@ pub struct Machine {
     /// per site, and profiling never perturbs simulated results (it only
     /// reads host clocks between phases).
     profiler: Profiler,
+    /// Chaos fault-injection engine, built from [`SimConfig::chaos`] at
+    /// construction. [`Chaos::Off`] (the default) follows the
+    /// `tracer`/`profiler` discipline: one predictable branch per
+    /// injection site, results bit-identical to a build without the
+    /// engine. All injection happens in sequential coordinator code
+    /// (eviction pre-pass, bank-outbox flush, core-outbox drain,
+    /// arbitration start), keyed on quantities the determinism contract
+    /// already fixes — so chaos-on runs are equally deterministic across
+    /// exec modes and shard counts. Mutation candidate counters (the only
+    /// stateful part) are not captured by snapshots: combining mutations
+    /// with mid-run checkpoint/restore is unsupported.
+    chaos: Chaos,
     /// Cores in `Running` state, sorted ascending (event-driven Phase 4).
     runnable: Vec<u32>,
     /// Cores that became `Running` outside the Phase 4 walk (response
@@ -438,6 +451,7 @@ impl Machine {
             debug_log: Vec::new(),
             tracer: Tracer::Off,
             profiler: Profiler::Off,
+            chaos: Chaos::from_plan(cfg.chaos),
             park_kind: vec![OpKind::Load; num_cores],
             runnable: (0..num_cores as u32).collect(),
             pending_wake: Vec::with_capacity(num_cores),
@@ -568,6 +582,19 @@ impl Machine {
     #[must_use]
     pub fn debug_log(&self) -> &[(u64, u32, u32)] {
         &self.debug_log
+    }
+
+    /// Cores that have halted (executed `ecall` or wrote the EXIT
+    /// register) so far — `cores() - halted_cores()` live cores remain.
+    #[must_use]
+    pub fn halted_cores(&self) -> usize {
+        self.halted
+    }
+
+    /// Total cores in the machine.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores.len()
     }
 
     /// Bank holding the word at `addr`.
@@ -906,6 +933,38 @@ impl Machine {
         self.req_order
             .extend(req_buf.iter().enumerate().map(|(i, m)| (m.bank, i as u32)));
         self.req_order.sort_unstable();
+        // Chaos eviction pre-pass (sequential, before the parallel bank
+        // service): walk the service schedule and spuriously evict
+        // reservations immediately before their requests are serviced.
+        // A spurious `sc`/`scwait` failure *is* such an eviction — the
+        // adapters' own fail paths then advance their queues exactly as
+        // for a reservation lost to an intervening write, so all protocol
+        // state stays consistent by construction. Decisions are stateless
+        // hashes of (seed, cycle, bank, delivery index) — identical in
+        // every exec mode and shard count.
+        if let Chaos::On(state) = self.chaos {
+            let plan = state.plan;
+            if plan.evict_per_mille > 0 || plan.sc_fail_per_mille > 0 {
+                let order = std::mem::take(&mut self.req_order);
+                let adapters = &mut self.adapters;
+                let tracer = &mut self.tracer;
+                for &(bank, idx) in &order {
+                    let req = &req_buf[idx as usize].req;
+                    let is_sc = matches!(req, MemRequest::Sc { .. } | MemRequest::ScWait { .. });
+                    let evict = if is_sc {
+                        plan.fail_sc(now, bank, idx)
+                    } else {
+                        plan.evict_request(now, bank, idx)
+                    };
+                    if evict {
+                        adapters[bank as usize].chaos_evict(req.addr(), &mut |event| {
+                            tracer.emit(now, || TraceEvent::Sync { bank, event });
+                        });
+                    }
+                }
+                self.req_order = order;
+            }
+        }
         self.reset_scratch();
         let bank_job = Job::Banks {
             reqs: req_buf.as_ptr(),
@@ -947,10 +1006,36 @@ impl Machine {
             let dirty = std::mem::take(&mut self.dirty_banks);
             for &bank in &dirty {
                 while let Some(&msg) = self.bank_outbox[bank as usize].front() {
-                    let route = self.topo.response_route(bank as usize, msg.core as usize);
-                    match self.resp_try_send(route, msg, now) {
+                    // Chaos: mutations rewrite/drop the response and wake
+                    // delay / jitter add injection latency. Mutation
+                    // counters are committed only when the message actually
+                    // leaves the outbox, so network backpressure cannot
+                    // double-count a candidate.
+                    let (send, extra, staged) = match &self.chaos {
+                        Chaos::Off => (Some(msg), 0, None),
+                        Chaos::On(state) => {
+                            let mut staged = *state;
+                            let send = staged.mutate_response(msg.resp).map(|resp| RespMsg {
+                                core: msg.core,
+                                resp,
+                            });
+                            let extra = state.plan.response_delay(now, bank, msg.core, &msg.resp);
+                            (send, extra, Some(staged))
+                        }
+                    };
+                    let Some(send) = send else {
+                        // Mutation dropped the response on the floor.
+                        self.bank_outbox[bank as usize].pop_front();
+                        self.chaos = Chaos::On(staged.expect("drop implies chaos on"));
+                        continue;
+                    };
+                    let route = self.topo.response_route(bank as usize, send.core as usize);
+                    match self.resp_try_send(route, send, now, extra) {
                         Ok(()) => {
                             self.bank_outbox[bank as usize].pop_front();
+                            if let Some(staged) = staged {
+                                self.chaos = Chaos::On(staged);
+                            }
                         }
                         Err(_) => break,
                     }
@@ -1088,7 +1173,12 @@ impl Machine {
         if self.cfg.exec_mode.event_scheduled() {
             if !self.dirty_cores.is_empty() {
                 let n = self.cores.len();
-                let start = (now % n as u64) as u32;
+                let start = match &self.chaos {
+                    Chaos::On(state) if state.plan.perturb_arbitration => {
+                        state.plan.arbitration_start(now, n as u64) as u32
+                    }
+                    _ => (now % n as u64) as u32,
+                };
                 let dirty = std::mem::take(&mut self.dirty_cores);
                 let split = dirty.partition_point(|&c| c < start);
                 for &c in dirty[split..].iter().chain(dirty[..split].iter()) {
@@ -1111,7 +1201,12 @@ impl Machine {
             self.merge_pending_wakes();
         } else {
             let n = self.cores.len();
-            let start = (now as usize) % n;
+            let start = match &self.chaos {
+                Chaos::On(state) if state.plan.perturb_arbitration => {
+                    state.plan.arbitration_start(now, n as u64) as usize
+                }
+                _ => (now as usize) % n,
+            };
             for i in 0..n {
                 let c = (start + i) % n;
                 self.drain_core_outbox(c, now);
@@ -1224,11 +1319,20 @@ impl Machine {
 
     /// Injects a core's queued requests until the network backpressures.
     fn drain_core_outbox(&mut self, c: usize, now: u64) {
+        // Ordinal of the request within this core's drain this cycle —
+        // the chaos request-jitter key (identical across exec modes and
+        // shard counts: the drain is sequential coordinator code).
+        let mut ordinal = 0u32;
         while let Some(&msg) = self.core_outbox[c].front() {
+            let extra = match &self.chaos {
+                Chaos::Off => 0,
+                Chaos::On(state) => state.plan.request_jitter(now, c as u32, ordinal),
+            };
             let route = self.topo.request_route(c, msg.bank as usize);
-            match self.req_try_send(route, msg, now) {
+            match self.req_try_send(route, msg, now, extra) {
                 Ok(()) => {
                     self.core_outbox[c].pop_front();
+                    ordinal += 1;
                 }
                 Err(_) => break,
             }
@@ -1236,40 +1340,47 @@ impl Machine {
     }
 
     /// Request-network injection with the tracing hook applied when a
-    /// sink is attached (identical behaviour either way).
+    /// sink is attached (identical behaviour either way) and `extra`
+    /// cycles of chaos-injected latency (0 outside chaos runs).
     fn req_try_send(
         &mut self,
         route: lrscwait_noc::Route,
         msg: ReqMsg,
         now: u64,
+        extra: u32,
     ) -> Result<(), ReqMsg> {
         if self.tracer.is_off() {
-            self.req_net.try_send(route, msg, now)
+            self.req_net
+                .try_send_extra_traced(route, msg, now, extra, &mut |_| {})
         } else {
             let tracer = &mut self.tracer;
-            self.req_net.try_send_traced(route, msg, now, &mut |event| {
-                tracer.emit(now, || TraceEvent::Noc {
-                    net: NetDir::Request,
-                    event,
-                });
-            })
+            self.req_net
+                .try_send_extra_traced(route, msg, now, extra, &mut |event| {
+                    tracer.emit(now, || TraceEvent::Noc {
+                        net: NetDir::Request,
+                        event,
+                    });
+                })
         }
     }
 
     /// Response-network injection with the tracing hook applied when a
-    /// sink is attached (identical behaviour either way).
+    /// sink is attached (identical behaviour either way) and `extra`
+    /// cycles of chaos-injected latency (0 outside chaos runs).
     fn resp_try_send(
         &mut self,
         route: lrscwait_noc::Route,
         msg: RespMsg,
         now: u64,
+        extra: u32,
     ) -> Result<(), RespMsg> {
         if self.tracer.is_off() {
-            self.resp_net.try_send(route, msg, now)
+            self.resp_net
+                .try_send_extra_traced(route, msg, now, extra, &mut |_| {})
         } else {
             let tracer = &mut self.tracer;
             self.resp_net
-                .try_send_traced(route, msg, now, &mut |event| {
+                .try_send_extra_traced(route, msg, now, extra, &mut |event| {
                     tracer.emit(now, || TraceEvent::Noc {
                         net: NetDir::Response,
                         event,

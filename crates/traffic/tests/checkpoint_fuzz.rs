@@ -1,0 +1,103 @@
+//! LRTF checkpoint-loader hardening, mirroring the sim crate's snapshot
+//! fuzz: truncated and bit-flipped checkpoint images must restore as a
+//! typed [`HarnessError`] (`BadCheckpoint` for framing damage, `Sim` for
+//! damage inside the embedded machine snapshot) or succeed outright when
+//! the flip lands in payload bytes — never panic or abort.
+
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::ServiceKernel;
+use lrscwait_sim::SimConfig;
+use lrscwait_traffic::{ArrivalProcess, HarnessError, ServiceHarness, StepStatus, TrafficConfig};
+
+fn fresh_harness() -> ServiceHarness {
+    let kernel = ServiceKernel::new(4, 100);
+    let cfg = SimConfig::small(4, SyncArch::Colibri { queues: 2 });
+    ServiceHarness::new(
+        cfg,
+        kernel,
+        TrafficConfig::new(50),
+        ArrivalProcess::poisson(21, 300.0),
+    )
+    .expect("harness builds")
+}
+
+/// A mid-run checkpoint with live queue state and in-flight items.
+fn mid_run_checkpoint() -> Vec<u8> {
+    let mut h = fresh_harness();
+    while h.completed() < 10 {
+        assert_eq!(h.step().expect("steps"), StepStatus::Running);
+    }
+    h.checkpoint()
+}
+
+/// Restore must return a typed error or succeed; any panic crashes the
+/// test.
+fn restore_is_total(bytes: &[u8], what: &str) -> bool {
+    let mut h = fresh_harness();
+    match h.restore(bytes) {
+        Ok(()) => true,
+        Err(HarnessError::BadCheckpoint(_) | HarnessError::Sim(_)) => false,
+        Err(other) => panic!("{what}: restore must fail typed, got {other}"),
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let good = mid_run_checkpoint();
+    let mut lengths: Vec<usize> = (0..good.len().min(24)).collect();
+    lengths.extend((24..good.len()).step_by(31));
+    lengths.push(good.len() - 1);
+    for len in lengths {
+        assert!(
+            !restore_is_total(&good[..len], "truncation"),
+            "a {len}-byte prefix of a {}-byte checkpoint restored successfully",
+            good.len()
+        );
+    }
+}
+
+#[test]
+fn every_bit_flip_is_typed_or_legal() {
+    let good = mid_run_checkpoint();
+    let mut rejected = 0usize;
+    for pos in (0..good.len()).step_by(13) {
+        let mut mutant = good.clone();
+        mutant[pos] ^= 1 << (pos % 8);
+        if !restore_is_total(&mutant, "bit flip") {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "no corrupted checkpoint was rejected");
+}
+
+#[test]
+fn hostile_lengths_are_typed_errors() {
+    let good = mid_run_checkpoint();
+    // The embedded-snapshot length field lives at offset 8 (after magic
+    // and version): overstating it must be a clean truncation error, and
+    // u64::MAX must not attempt an allocation.
+    for value in [u64::MAX, u64::MAX / 2, good.len() as u64 * 2] {
+        let mut mutant = good.clone();
+        mutant[8..16].copy_from_slice(&value.to_le_bytes());
+        assert!(
+            !restore_is_total(&mutant, "hostile snapshot length"),
+            "snapshot length {value:#x} was accepted"
+        );
+    }
+    // Saturate every aligned u32 in the first 128 bytes.
+    for offset in (0..good.len().min(128)).step_by(4) {
+        let mut mutant = good.clone();
+        mutant[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let _ = restore_is_total(&mutant, "hostile u32");
+    }
+}
+
+#[test]
+fn appended_garbage_is_a_typed_error() {
+    let mut good = mid_run_checkpoint();
+    good.extend_from_slice(&[0x5A; 5]);
+    assert!(
+        !restore_is_total(&good, "trailing bytes"),
+        "a checkpoint with trailing garbage restored successfully"
+    );
+}
