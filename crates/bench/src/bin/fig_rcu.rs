@@ -1,0 +1,370 @@
+//! `fig_rcu` — the RCU epoch-reclamation study: grace-period latency vs
+//! reader throughput as the reader count scales (64 → 1024 cores on the
+//! scaled MemPool geometry), across the three synchronization substrates.
+//!
+//! A handful of contending writers run publish → double flip-and-wait →
+//! reclaim rounds under a shared writer mutex while every other core
+//! hammers read-side sections (two `amoadd.w` bumps on a private counter
+//! line each). The mutex handoff and the drain are where the substrates
+//! part ways:
+//!
+//! * plain LR/SC — contending writers dispense their mutex ticket
+//!   through an lr/sc retry loop with seeded exponential backoff, then
+//!   *poll* the owner word (each handoff overshoots by up to a backoff
+//!   interval) and poll each straggling reader's counter in a bounded
+//!   loop;
+//! * LRSCwait (ideal) — the same ticket dispense runs retry-free
+//!   through the word's reservation queue, and writers *park* with
+//!   `mwait.w` on the owner word and on each straggler's own counter
+//!   word, waking exactly on the stores that matter;
+//! * Colibri — the same parking through the bounded Qnode/monitor-queue
+//!   hardware the paper costs at 6% area.
+//!
+//! Per point the sweep records the guest-stamped per-sync latency
+//! distribution (p50/p99/max via [`RcuKernel::grace_cycles`] — mutex
+//! wait included, the latency a `synchronize_rcu` caller actually
+//! feels — read through the experiment's `inspect` hook) and the
+//! aggregate reader throughput. A streaming trace sink folds the park/wake/request
+//! stream into the paper's physics check: **a parked writer issues zero
+//! polling requests while it waits** (Qnode `WakeUp` bounces excepted —
+//! one message per handoff is the mechanism that replaces polling). The
+//! headline claim — LRSCwait grace-period p99 beats retry-LRSC — is
+//! checked at the largest core count where every series completed; a
+//! point that cannot finish within the 40 M-cycle watchdog is reported
+//! as **DNF** and dropped from the CSV (the fig_barriers policy).
+//!
+//! Writer arrivals are staggered at start-up and spaced by seeded
+//! think-time draws sized to keep the mutex below saturation, so the
+//! per-sync latency distribution measures handoff queueing — where
+//! exact wakeups and backoff polling genuinely part ways — rather
+//! than a work-conserving makespan that every substrate shares.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use lrscwait_bench::{
+    check_claim, markdown_table, write_bench_json, write_csv, BenchArgs, BenchError, Experiment,
+    Measurement, PerfSummary,
+};
+use lrscwait_core::SyncArch;
+use lrscwait_kernels::RcuKernel;
+use lrscwait_sim::SimConfig;
+use lrscwait_trace::{OpKind, SharedSink, TraceEvent, TraceSink};
+
+fn main() -> ExitCode {
+    lrscwait_bench::run_main("fig_rcu", run)
+}
+
+const ARCHES: [SyncArch; 3] = [
+    SyncArch::Lrsc,
+    SyncArch::LrscWaitIdeal,
+    SyncArch::Colibri { queues: 4 },
+];
+
+/// The header of the figure CSV (also the self-check contract).
+const CSV_HEADER: [&str; 13] = [
+    "series",
+    "cores",
+    "readers",
+    "syncs",
+    "grace_p50",
+    "grace_p99",
+    "grace_max",
+    "reader_ops_per_cycle",
+    "cycles",
+    "stall_cycles",
+    "parks",
+    "wait_parks",
+    "polls_while_parked",
+];
+
+/// Streaming fold of the zero-polling physics over the event stream: no
+/// `ReqSent` may carry a parked core's id strictly after its `Park` and
+/// before its `Wake` — except `WakeUp` messages, which the core's Qnode
+/// (a hardware unit that stays awake) bounces on the sleeper's behalf.
+/// Folding online keeps host memory flat at kilocore scale, where a
+/// recorded stream would not.
+#[derive(Debug, Default)]
+struct ParkedTraffic {
+    parked_at: HashMap<u32, u64>,
+    parks: u64,
+    wait_parks: u64,
+    polls_while_parked: u64,
+}
+
+impl TraceSink for ParkedTraffic {
+    fn record(&mut self, cycle: u64, event: TraceEvent) {
+        match event {
+            TraceEvent::Park { core, cause } => {
+                self.parked_at.insert(core, cycle);
+                self.parks += 1;
+                // Any blocking access parks a core; only these causes
+                // prove the *wait primitives* put it to sleep.
+                if matches!(cause, OpKind::LrWait | OpKind::ScWait | OpKind::MWait) {
+                    self.wait_parks += 1;
+                }
+            }
+            TraceEvent::Wake { core, .. } => {
+                self.parked_at.remove(&core);
+            }
+            TraceEvent::ReqSent { core, kind, .. } => {
+                if kind == OpKind::WakeUp {
+                    return; // Qnode hardware handoff, not core traffic
+                }
+                if let Some(&since) = self.parked_at.get(&core) {
+                    if cycle > since {
+                        self.polls_while_parked += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Point {
+    measurement: Measurement,
+    arch: SyncArch,
+    cores: u32,
+    readers: u32,
+    syncs: u32,
+    grace: Vec<u64>,
+    parks: u64,
+    wait_parks: u64,
+    polls_while_parked: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::from_env()?;
+    let cores: Vec<u32> = if args.quick {
+        vec![64, 256]
+    } else {
+        vec![64, 256, 1024]
+    };
+    // Several contending writers: the retry-vs-parking contrast lives in
+    // the writer-mutex handoff, and `synchronize_rcu` latency as a caller
+    // feels it includes that wait. Readers are everyone else, so the
+    // x-axis still sweeps the reader count.
+    let writers = 16;
+    let syncs = if args.quick { 6 } else { 12 };
+    let iters = if args.quick { 48 } else { 128 };
+
+    let mut points: Vec<(SyncArch, u32)> = Vec::new();
+    for &arch in &ARCHES {
+        for &c in &cores {
+            points.push((arch, c));
+        }
+    }
+
+    let results: Vec<Point> = args
+        .sweep("fig_rcu")
+        .run(points, |(arch, cores)| {
+            let cfg = args.configure(
+                SimConfig::builder()
+                    .mempool_cores(cores as usize)
+                    .arch(arch)
+                    .max_cycles(40_000_000)
+                    .build()?,
+            );
+            let kernel = RcuKernel::new(cores, writers, syncs, iters);
+            let parked = SharedSink::new(ParkedTraffic::default());
+            let mut grace = Vec::new();
+            let outcome = args
+                .instrument(Experiment::new(&kernel, cfg))
+                .label(format!("rcu on {arch}"))
+                .x(cores)
+                .sink(Box::new(parked.clone()))
+                .inspect(|machine| grace = kernel.grace_cycles(machine))
+                .run();
+            let measurement = match outcome {
+                Ok(m) => m,
+                Err(BenchError::Watchdog {
+                    label,
+                    cycles,
+                    reason,
+                    ..
+                }) => {
+                    eprintln!(
+                        "fig_rcu {label} cores={cores}: DNF — watchdog after {cycles} \
+                         cycles, {reason} (grace-period collapse at this scale)"
+                    );
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            };
+            let traffic = parked.take();
+            grace.sort_unstable();
+            let point = Point {
+                measurement,
+                arch,
+                cores,
+                readers: kernel.readers(),
+                syncs: kernel.total_syncs(),
+                grace,
+                parks: traffic.parks,
+                wait_parks: traffic.wait_parks,
+                polls_while_parked: traffic.polls_while_parked,
+            };
+            eprintln!(
+                "fig_rcu rcu on {arch} cores={cores}: grace p50 {} p99 {} max {} cycles, \
+                 {:.4} reader ops/cycle ({} parks, {} wait-parks, {} polls-while-parked)",
+                percentile(&point.grace, 0.50),
+                percentile(&point.grace, 0.99),
+                point.grace.last().copied().unwrap_or(0),
+                point.measurement.throughput,
+                point.parks,
+                point.wait_parks,
+                point.polls_while_parked,
+            );
+            Ok(Some(point))
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+    let expected_rows = results.len();
+    check_claim(
+        !results.is_empty(),
+        "every RCU point hit the watchdog — no figure to report",
+    )?;
+
+    let perf = PerfSummary::from_measurements("fig_rcu", results.iter().map(|p| &p.measurement));
+    perf.log();
+    write_bench_json(&args.out, &perf)?;
+    let measurements: Vec<Measurement> = results.iter().map(|p| p.measurement.clone()).collect();
+    args.write_profile("fig_rcu", &measurements)?;
+    args.guard_baseline(&perf)?;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|p| {
+            vec![
+                p.arch.to_string(),
+                p.cores.to_string(),
+                p.readers.to_string(),
+                p.syncs.to_string(),
+                percentile(&p.grace, 0.50).to_string(),
+                percentile(&p.grace, 0.99).to_string(),
+                p.grace.last().copied().unwrap_or(0).to_string(),
+                format!("{:.4}", p.measurement.throughput),
+                p.measurement.cycles.to_string(),
+                p.measurement.stats.total_stall_cycles().to_string(),
+                p.parks.to_string(),
+                p.wait_parks.to_string(),
+                p.polls_while_parked.to_string(),
+            ]
+        })
+        .collect();
+    let csv_path = write_csv(&args.out, "fig_rcu", &CSV_HEADER, &rows)?;
+
+    // Self-check, CI style: the artifact round-trips with the declared
+    // header and exactly the rendered row count.
+    let text = std::fs::read_to_string(&csv_path).map_err(|source| BenchError::Io {
+        path: csv_path.display().to_string(),
+        source,
+    })?;
+    let mut lines = text.lines();
+    check_claim(
+        lines.next() == Some(CSV_HEADER.join(",").as_str()),
+        "fig_rcu.csv header mismatch",
+    )?;
+    check_claim(
+        lines.count() == expected_rows,
+        format!("fig_rcu.csv must hold {expected_rows} data rows"),
+    )?;
+
+    println!("\n## RCU study — grace-period latency vs reader count\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "series",
+                "cores",
+                "grace p50",
+                "grace p99",
+                "grace max",
+                "reader ops/cycle"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r[0].clone(),
+                    r[1].clone(),
+                    r[4].clone(),
+                    r[5].clone(),
+                    r[6].clone(),
+                    r[7].clone()
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    // Physics: a parked writer issues zero polling requests while it
+    // waits, at every completing point of every wait-capable series —
+    // and on those series the writer must actually have parked.
+    for p in &results {
+        if p.arch == SyncArch::Lrsc {
+            continue;
+        }
+        check_claim(
+            p.polls_while_parked == 0,
+            format!(
+                "rcu on {} cores={}: a parked core issued {} memory requests",
+                p.arch, p.cores, p.polls_while_parked
+            ),
+        )?;
+        check_claim(
+            p.wait_parks > 0,
+            format!(
+                "rcu on {} cores={}: no core ever slept on a wait primitive — \
+                 the wait path did not engage",
+                p.arch, p.cores
+            ),
+        )?;
+    }
+
+    // Headline: polling-free grace periods beat retry-LRSC ones at the
+    // largest core count where every series completed (a DNF above that
+    // only strengthens the conclusion).
+    let top = *cores
+        .iter()
+        .rev()
+        .find(|&&c| {
+            ARCHES
+                .iter()
+                .all(|&a| results.iter().any(|p| p.arch == a && p.cores == c))
+        })
+        .ok_or(BenchError::MissingPoint {
+            series: "rcu comparison".to_string(),
+            x: 0,
+        })?;
+    let p99 = |arch: SyncArch| -> Result<u64, BenchError> {
+        results
+            .iter()
+            .find(|p| p.arch == arch && p.cores == top)
+            .map(|p| percentile(&p.grace, 0.99))
+            .ok_or(BenchError::MissingPoint {
+                series: format!("rcu on {arch}"),
+                x: top,
+            })
+    };
+    let lrsc = p99(SyncArch::Lrsc)?;
+    let lrscwait = p99(SyncArch::LrscWaitIdeal)?;
+    let colibri = p99(SyncArch::Colibri { queues: 4 })?;
+    println!(
+        "at {top} cores: grace p99 — LRSC {lrsc} | LRSCwait {lrscwait} | Colibri {colibri} cycles"
+    );
+    check_claim(
+        lrscwait < lrsc,
+        format!(
+            "LRSCwait grace-period p99 must beat retry-LRSC at {top} cores \
+             ({lrscwait} vs {lrsc} cycles)"
+        ),
+    )
+}

@@ -43,7 +43,7 @@ usage: litmus [--seeds N] [--seed-start S] [--seed S] [--scenario NAME]
   --seed-start S  first seed of the fuzz range (default 1)
   --seed S        run exactly one seed (repro mode; overrides --seeds)
   --scenario NAME restrict to one scenario: aba | spurious-retry |
-                  lost-wakeup | wakeup-race | eviction-storm
+                  lost-wakeup | wakeup-race | eviction-storm | rcu-grace
   --arch A        restrict to one architecture: lrsc | ideal |
                   lrscwait:<slots> | colibri:<queues>
   --wait          restrict to wait-primitive flavors

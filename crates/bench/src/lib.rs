@@ -324,7 +324,26 @@ impl Measurement {
 /// [`run`](Experiment::run). The run loads the program, applies the
 /// workload's MMIO arguments and memory initialization, simulates to
 /// completion, enforces the watchdog, and functionally verifies the result
-/// — no benchmark number without a correct run.
+/// — no benchmark number without a correct run:
+///
+/// ```
+/// use lrscwait_bench::Experiment;
+/// use lrscwait_core::SyncArch;
+/// use lrscwait_kernels::{HistImpl, HistogramKernel};
+/// use lrscwait_sim::SimConfig;
+///
+/// # fn main() -> Result<(), lrscwait_bench::BenchError> {
+/// let kernel = HistogramKernel::new(HistImpl::AmoAdd, 4, 16, 4);
+/// let cfg = SimConfig::builder()
+///     .cores(4)
+///     .arch(SyncArch::Lrsc)
+///     .build()?;
+/// let m = Experiment::new(&kernel, cfg).label("amoadd").x(4).run()?;
+/// assert_eq!(m.label, "amoadd");
+/// assert!(m.throughput > 0.0); // 64 verified increments happened
+/// # Ok(())
+/// # }
+/// ```
 pub struct Experiment<'w> {
     workload: &'w dyn Workload,
     cfg: SimConfig,
@@ -335,7 +354,11 @@ pub struct Experiment<'w> {
     resume: Option<PathBuf>,
     profile: bool,
     heartbeat: Option<(u64, Option<PathBuf>)>,
+    inspect: Option<InspectHook<'w>>,
 }
+
+/// Post-verify machine hook (see [`Experiment::inspect`]).
+type InspectHook<'w> = Box<dyn FnOnce(&Machine) + 'w>;
 
 impl<'w> Experiment<'w> {
     /// Pairs a workload with a machine configuration.
@@ -351,6 +374,7 @@ impl<'w> Experiment<'w> {
             resume: None,
             profile: false,
             heartbeat: None,
+            inspect: None,
         }
     }
 
@@ -427,6 +451,18 @@ impl<'w> Experiment<'w> {
     #[must_use]
     pub fn heartbeat(mut self, secs: u64, ndjson: Option<PathBuf>) -> Experiment<'w> {
         self.heartbeat = Some((secs.max(1), ndjson));
+        self
+    }
+
+    /// Registers a closure that receives the finished, *verified* machine
+    /// just before [`run`](Experiment::run) returns. `run` consumes the
+    /// machine, so this is the hook for workloads whose guest memory
+    /// carries measurements beyond the standard [`Measurement`] fields —
+    /// e.g. the RCU kernel's per-sync grace-period cycle stamps. The hook
+    /// only observes (`&Machine`); it cannot change the result.
+    #[must_use]
+    pub fn inspect(mut self, hook: impl FnOnce(&Machine) + 'w) -> Experiment<'w> {
+        self.inspect = Some(Box::new(hook));
         self
     }
 
@@ -627,6 +663,9 @@ impl<'w> Experiment<'w> {
                     },
                 });
             }
+        }
+        if let Some(hook) = self.inspect {
+            hook(&machine);
         }
         let (lo, hi) = stats.throughput_range().unwrap_or((0.0, 0.0));
         Ok(Measurement {

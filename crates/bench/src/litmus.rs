@@ -113,11 +113,13 @@ pub fn parse_arch(text: &str) -> Result<SyncArch, BenchError> {
 }
 
 /// The default fault plan for a scenario at a given seed: the eviction
-/// storm gets its namesake plan, everything else the standard mix.
+/// storm gets its namesake plan — and so does the RCU grace-period case,
+/// whose whole point is fuzzing reclamation under reservation pressure —
+/// everything else the standard mix.
 #[must_use]
 pub fn scenario_plan(scenario: LitmusScenario, seed: u64) -> FaultPlan {
     match scenario {
-        LitmusScenario::EvictionStorm => FaultPlan::eviction_storm(seed),
+        LitmusScenario::EvictionStorm | LitmusScenario::RcuGrace => FaultPlan::eviction_storm(seed),
         _ => FaultPlan::standard(seed),
     }
 }
@@ -225,7 +227,11 @@ pub fn run_litmus_case(case: &LitmusCase, plan: FaultPlan) -> Result<LitmusVerdi
         .max_cycles(case.max_cycles)
         .chaos(plan)
         .build()?;
-    let checker = SharedSink::new(InvariantChecker::new());
+    // Scenarios whose region markers delimit a locked critical section
+    // (the RCU write side) opt into the mutual-exclusion invariant.
+    let checker = SharedSink::new(
+        InvariantChecker::new().check_mutual_exclusion(kernel.checks_mutual_exclusion()),
+    );
     let result = Experiment::new(&kernel, cfg)
         .label(case.label())
         .sink(Box::new(checker.clone()))

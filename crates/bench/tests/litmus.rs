@@ -103,6 +103,72 @@ fn lose_sc_success_mutation_off_same_case_is_green() {
     );
 }
 
+/// RCU grace-period fuzz victim: the only scenario that arms the
+/// mutual-exclusion invariant on its write side.
+fn rcu_grace_case(arch: SyncArch) -> LitmusCase {
+    LitmusCase {
+        scenario: LitmusScenario::RcuGrace,
+        arch,
+        wait_primitives: false,
+        cores: 4,
+        iters: 4,
+        max_cycles: 5_000_000,
+    }
+}
+
+#[test]
+fn rcu_grace_holds_under_eviction_storms_on_every_arch() {
+    for arch in [
+        SyncArch::Lrsc,
+        SyncArch::LrscWaitIdeal,
+        SyncArch::LrscWait { slots: 4 },
+        SyncArch::Colibri { queues: 2 },
+    ] {
+        for seed in [3, 29] {
+            let verdict = run_litmus_case(&rcu_grace_case(arch), FaultPlan::eviction_storm(seed))
+                .expect("harness must not error");
+            assert!(
+                verdict.passed(),
+                "rcu-grace on {arch:?} seed {seed}: {}",
+                verdict.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn lose_sc_success_on_the_rcu_write_lock_trips_the_watchdog() {
+    // Committing the acquiring scwait while reporting failure leaves the
+    // lock held by a writer that believes it lost the race; both writers
+    // then park on a release that never comes. The readers drain their
+    // iterations and block on the final barrier, so the run must die by
+    // watchdog rather than silently "pass" with a stuck grace period.
+    // nth 0 is the first *successful* scwait — the initial lock acquire.
+    // (nth 1 would hit the other writer's close-session store, whose
+    // result the lock protocol deliberately ignores.)
+    let mut case = rcu_grace_case(SyncArch::Colibri { queues: 2 });
+    case.max_cycles = 300_000;
+    let mut plan = FaultPlan::quiet(5);
+    plan.mutation = Mutation::LoseScSuccess { nth: 0 };
+    let verdict = run_litmus_case(&case, plan).expect("harness must not error");
+    assert!(
+        !verdict.passed(),
+        "a lost scwait success on the write lock must not verify clean"
+    );
+}
+
+#[test]
+fn lose_sc_success_mutation_off_rcu_case_is_green() {
+    let mut case = rcu_grace_case(SyncArch::Colibri { queues: 2 });
+    case.max_cycles = 300_000;
+    let verdict = run_litmus_case(&case, FaultPlan::quiet(5)).expect("harness must not error");
+    assert!(
+        verdict.passed(),
+        "mutation off, same case and seed must be green: {}",
+        verdict.summary()
+    );
+}
+
 #[test]
 fn clean_standard_plan_sweep_is_green() {
     for arch in [

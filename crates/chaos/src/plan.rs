@@ -50,6 +50,23 @@ impl Mutation {
 /// whose every class is disabled is *quiet* — the simulator treats it like
 /// chaos-off. Decision functions are stateless hashes of `(seed, site,
 /// cycle, ids)`; see the crate docs for the determinism argument.
+///
+/// ```
+/// use lrscwait_chaos::FaultPlan;
+///
+/// let plan = FaultPlan::standard(42);
+/// assert!(!plan.is_quiet());
+/// // Every decision is a pure function of (seed, site, cycle, ids) —
+/// // the same question always gets the same answer, on any thread:
+/// assert_eq!(plan.evict_request(100, 3, 0), plan.evict_request(100, 3, 0));
+///
+/// // A quiet plan runs the chaos-on code path but decides "no fault"
+/// // everywhere; the differential suite proves it is bit-identical to
+/// // running with no plan at all.
+/// let quiet = FaultPlan::quiet(42);
+/// assert!(quiet.is_quiet());
+/// assert!(!quiet.evict_request(100, 3, 0));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Seed every decision hash is keyed on.

@@ -9,6 +9,7 @@
 //! | Fig. 6 — concurrent queue throughput | [`QueueKernel`] |
 //! | 1024-core multi-barrier study (Bertuletti et al.) | [`BarrierKernel`] |
 //! | Open-loop tail-latency study (`lrscwait-traffic` harness) | [`ServiceKernel`] |
+//! | RCU grace-period study (Quicksand `RCULock` idiom) | [`RcuKernel`] |
 //!
 //! All kernels use the MMIO harness (barrier, op counter, region markers)
 //! so measured regions exclude setup, exactly as bare-metal MemPool
@@ -42,6 +43,7 @@ mod histogram;
 mod litmus;
 mod matmul;
 mod queue;
+mod rcu;
 mod service;
 mod workload;
 
@@ -50,5 +52,6 @@ pub use histogram::{HistImpl, HistogramKernel};
 pub use litmus::{LitmusKernel, LitmusScenario};
 pub use matmul::{MatmulKernel, PollerKind};
 pub use queue::{QueueImpl, QueueKernel};
+pub use rcu::RcuKernel;
 pub use service::ServiceKernel;
 pub use workload::{VerifyError, Workload};

@@ -14,6 +14,7 @@
 //! | [`LitmusScenario::LostWakeup`] | every parked `lrwait` owner must be woken |
 //! | [`LitmusScenario::WakeupTimeoutRace`] | `mwait` arm-vs-store race must not hang |
 //! | [`LitmusScenario::EvictionStorm`] | progress under relentless reservation eviction |
+//! | [`LitmusScenario::RcuGrace`] | RCU grace periods must outlive every reader |
 //!
 //! Scenarios come in two primitive flavors: *classic* (`lr.w`/`sc.w`,
 //! runs on every adapter including the plain-LRSC baseline) and *wait*
@@ -26,6 +27,7 @@ use lrscwait_asm::{Assembler, Program};
 use lrscwait_core::SyncArch;
 use lrscwait_sim::Machine;
 
+use crate::rcu::RcuKernel;
 use crate::workload::{VerifyError, Workload};
 
 /// Which synchronization guarantee a litmus kernel traps.
@@ -53,18 +55,25 @@ pub enum LitmusScenario {
     /// `FaultPlan::eviction_storm`: forward progress and conservation must
     /// survive reservations being broken at hundreds of per-mille.
     EvictionStorm,
+    /// The full [`RcuKernel`] (two writers fighting over the writer mutex,
+    /// the rest reading) run under `FaultPlan::eviction_storm`: grace
+    /// periods must never let reclamation overtake a live reader, and the
+    /// region-marked writer critical sections opt into the checker's
+    /// mutual-exclusion invariant.
+    RcuGrace,
 }
 
 impl LitmusScenario {
     /// All scenarios, in documentation order.
     #[must_use]
-    pub fn all() -> [LitmusScenario; 5] {
+    pub fn all() -> [LitmusScenario; 6] {
         [
             LitmusScenario::Aba,
             LitmusScenario::SpuriousRetry,
             LitmusScenario::LostWakeup,
             LitmusScenario::WakeupTimeoutRace,
             LitmusScenario::EvictionStorm,
+            LitmusScenario::RcuGrace,
         ]
     }
 
@@ -77,6 +86,7 @@ impl LitmusScenario {
             LitmusScenario::LostWakeup => "lost-wakeup",
             LitmusScenario::WakeupTimeoutRace => "wakeup-race",
             LitmusScenario::EvictionStorm => "eviction-storm",
+            LitmusScenario::RcuGrace => "rcu-grace",
         }
     }
 
@@ -131,12 +141,13 @@ impl LitmusKernel {
     ///
     /// Wait-primitive retry loops rely on `scwait` eventually succeeding,
     /// which never happens on the fail-fast plain-LRSC adapter. The
-    /// `mwait` ping-pong is the exception: fail-fast turns it into a
-    /// polling loop that still terminates.
+    /// `mwait` ping-pong and the RCU kernel are the exceptions: both
+    /// carry fallback paths that turn fail-fast into polling loops that
+    /// still terminate.
     #[must_use]
     pub fn supports(&self, arch: SyncArch) -> bool {
         match self.scenario {
-            LitmusScenario::WakeupTimeoutRace => true,
+            LitmusScenario::WakeupTimeoutRace | LitmusScenario::RcuGrace => true,
             LitmusScenario::LostWakeup | LitmusScenario::EvictionStorm => {
                 !matches!(arch, SyncArch::Lrsc)
             }
@@ -146,14 +157,36 @@ impl LitmusKernel {
         }
     }
 
+    /// Whether the scenario's region markers delimit a *locked* critical
+    /// section, so the litmus runner should arm the checker's opt-in
+    /// mutual-exclusion invariant. The throughput scenarios mark their
+    /// measured region on every core concurrently, which is not a mutex
+    /// claim — only the RCU write side makes one.
+    #[must_use]
+    pub fn checks_mutual_exclusion(&self) -> bool {
+        self.scenario == LitmusScenario::RcuGrace
+    }
+
     /// Cores that actually run the scenario body.
     #[must_use]
     pub fn participants(&self) -> u32 {
         match self.scenario {
             LitmusScenario::Aba => 2,
             LitmusScenario::WakeupTimeoutRace => (self.num_cores / 2).max(1) * 2,
+            LitmusScenario::RcuGrace => self.rcu().active,
             _ => self.num_cores,
         }
+    }
+
+    /// The [`RcuKernel`] an `RcuGrace` case delegates to: two writers
+    /// (so the mutual-exclusion invariant audits real lock handoffs)
+    /// whenever the machine has room for a reader besides, each running
+    /// `iters` grace periods against readers doing 8 sections per sync.
+    fn rcu(&self) -> RcuKernel {
+        let active = self.num_cores.max(2);
+        let writers = if active >= 3 { 2 } else { 1 };
+        let syncs = self.iters.max(1);
+        RcuKernel::new(active, writers, syncs, 8 * syncs)
     }
 
     /// Expected final value of the shared counter (conservation scenarios).
@@ -164,7 +197,9 @@ impl LitmusKernel {
 
     fn wait_flavor(&self) -> bool {
         match self.scenario {
-            LitmusScenario::LostWakeup | LitmusScenario::EvictionStorm => true,
+            LitmusScenario::LostWakeup
+            | LitmusScenario::EvictionStorm
+            | LitmusScenario::RcuGrace => true,
             LitmusScenario::WakeupTimeoutRace => false,
             LitmusScenario::Aba | LitmusScenario::SpuriousRetry => self.wait_primitives,
         }
@@ -328,12 +363,18 @@ es_loop:
     sw   zero, 0x0C(s0)        # barrier: all increments committed
 "#
             ),
+            LitmusScenario::RcuGrace => {
+                unreachable!("rcu-grace delegates whole-program to RcuKernel")
+            }
         }
     }
 
     /// Assembles the program.
     #[must_use]
     pub fn program(&self) -> Program {
+        if self.scenario == LitmusScenario::RcuGrace {
+            return self.rcu().program();
+        }
         let nactive = self.participants();
         let src = format!(
             r#"
@@ -397,6 +438,9 @@ impl Workload for LitmusKernel {
     }
 
     fn verify(&self, machine: &Machine) -> Result<(), VerifyError> {
+        if self.scenario == LitmusScenario::RcuGrace {
+            return self.rcu().verify(machine);
+        }
         let program = LitmusKernel::program(self);
         match self.scenario {
             LitmusScenario::Aba => {
@@ -453,6 +497,7 @@ impl Workload for LitmusKernel {
                 }
                 Ok(())
             }
+            LitmusScenario::RcuGrace => unreachable!("handled by the early delegation"),
         }
     }
 
@@ -462,6 +507,7 @@ impl Workload for LitmusKernel {
             LitmusScenario::WakeupTimeoutRace => {
                 Some(u64::from(self.participants()) * u64::from(self.iters))
             }
+            LitmusScenario::RcuGrace => self.rcu().expected_ops(),
             _ => Some(u64::from(self.expected_counter())),
         }
     }
@@ -591,6 +637,20 @@ mod tests {
         let classic = LitmusKernel::new(LitmusScenario::SpuriousRetry, 4, 4);
         assert!(classic.supports(SyncArch::Lrsc));
         assert!(!classic.with_wait_primitives(true).supports(SyncArch::Lrsc));
+    }
+
+    #[test]
+    fn rcu_grace_delegates_to_the_rcu_kernel() {
+        // Supported everywhere (the RCU kernel degrades on plain LRSC),
+        // and the whole verification stack rides along.
+        for arch in [SyncArch::Lrsc, SyncArch::Colibri { queues: 2 }] {
+            run(LitmusKernel::new(LitmusScenario::RcuGrace, 4, 3), arch);
+        }
+        let k = LitmusKernel::new(LitmusScenario::RcuGrace, 4, 3);
+        assert!(k.checks_mutual_exclusion());
+        assert!(!LitmusKernel::new(LitmusScenario::EvictionStorm, 4, 3).checks_mutual_exclusion());
+        // 2 writers + 2 readers at 8 sections per sync.
+        assert_eq!(k.expected_ops(), Some(2 * 3 * 8));
     }
 
     #[test]

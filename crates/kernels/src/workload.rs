@@ -74,6 +74,21 @@ impl Error for VerifyError {}
 /// Implementations are plain data descriptions; [`program`](Workload::program)
 /// assembles the actual RV32IMA + Xlrscwait code on demand. `Send + Sync`
 /// are supertraits so sweep runners can fan workloads across threads.
+///
+/// Every kernel in this crate implements the trait; the histogram kernel
+/// shows the shape — a label for the legend, a program that assembles on
+/// demand, and an op count for the harness to enforce:
+///
+/// ```
+/// use lrscwait_kernels::{HistImpl, HistogramKernel, Workload};
+///
+/// let kernel = HistogramKernel::new(HistImpl::LrscWait, 8, 32, 4);
+/// assert_eq!(kernel.label(), "LRSCwait");
+/// let program = kernel.program(); // assembles RV32IMA + Xlrscwait now
+/// assert!(!program.text.is_empty());
+/// assert!(program.symbols.contains_key("bins"));
+/// assert_eq!(kernel.expected_ops(), Some(4 * 32)); // cores × iters
+/// ```
 pub trait Workload: Send + Sync {
     /// Short human-readable label (figure legend entry).
     fn label(&self) -> String;

@@ -292,6 +292,16 @@ pub struct SimConfig {
 impl SimConfig {
     /// Starts a validating configuration builder (defaults: 4 cores,
     /// LRSC baseline, 64 KiB SPM, 2 M cycle watchdog).
+    ///
+    /// ```
+    /// use lrscwait_sim::{ExecMode, SimConfig};
+    ///
+    /// let cfg = SimConfig::builder().cores(8).build().unwrap();
+    /// assert_eq!(cfg.topology.num_cores, 8);
+    /// assert_eq!(cfg.exec_mode, ExecMode::EventDriven);
+    /// // Validation happens at build(): more shards than cores is rejected.
+    /// assert!(SimConfig::builder().cores(4).shards(64).build().is_err());
+    /// ```
     #[must_use]
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder::new()

@@ -224,6 +224,18 @@ pub trait TraceSink {
 /// event costs nothing and the whole site is a single predictable
 /// branch. Dispatch to a live sink is one enum match plus one virtual
 /// call.
+///
+/// ```
+/// use lrscwait_trace::{OpKind, RecordingSink, SharedSink, TraceEvent, Tracer};
+///
+/// let mut off = Tracer::Off;
+/// off.emit(0, || unreachable!("closure never evaluated while off"));
+///
+/// let shared = SharedSink::new(RecordingSink::new());
+/// let mut on = Tracer::sink(Box::new(shared.clone()));
+/// on.emit(3, || TraceEvent::Park { core: 7, cause: OpKind::MWait });
+/// assert_eq!(shared.take().events.len(), 1);
+/// ```
 #[derive(Default)]
 pub enum Tracer {
     /// Tracing disabled (the default): emits are no-ops.

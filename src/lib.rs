@@ -24,9 +24,16 @@
 //! | [`noc`] | Backpressured hierarchical interconnect |
 //! | [`sim`] | Cycle-accurate MemPool-like manycore simulator |
 //! | [`trace`] | Zero-overhead tracing: structured events, Perfetto export, handoff/occupancy analysis |
+//! | [`telemetry`] | Host-side observability: phase profiler, Amdahl report, worker metrics, heartbeat |
+//! | [`chaos`] | Seeded fault injection and the trace-stream invariant checker |
 //! | [`kernels`] | The paper's benchmarks as real assembly, behind the `Workload` trait |
+//! | [`traffic`] | Open-loop arrival processes and the service harness for tail-latency studies |
 //! | [`model`] | Area (Table I) and energy (Table II) models |
 //! | `lrscwait-bench` | `Experiment`/`Sweep` runners regenerating every figure and table |
+//!
+//! `ARCHITECTURE.md` at the repository root is the guided tour: one
+//! paragraph per crate, the nine sub-phases of a simulated cycle, the
+//! three execution modes, and the determinism contract.
 //!
 //! # Quickstart
 //!
@@ -89,10 +96,13 @@
 //! ```
 
 pub use lrscwait_asm as asm;
+pub use lrscwait_chaos as chaos;
 pub use lrscwait_core as core;
 pub use lrscwait_isa as isa;
 pub use lrscwait_kernels as kernels;
 pub use lrscwait_model as model;
 pub use lrscwait_noc as noc;
 pub use lrscwait_sim as sim;
+pub use lrscwait_telemetry as telemetry;
 pub use lrscwait_trace as trace;
+pub use lrscwait_traffic as traffic;

@@ -8,7 +8,7 @@
 use lrscwait::core::SyncArch;
 use lrscwait::kernels::{
     BarrierImpl, BarrierKernel, HistImpl, HistogramKernel, MatmulKernel, PollerKind, QueueImpl,
-    QueueKernel, Workload,
+    QueueKernel, RcuKernel, Workload,
 };
 use lrscwait::sim::{ExecMode, SimConfig};
 use lrscwait::trace::{RecordingSink, SharedSink};
@@ -214,6 +214,119 @@ fn barrier_trace_streams_are_identical_across_modes_and_shards() {
             assert_eq!(
                 base_events, events,
                 "{impl_:?} on {arch}: trace stream diverges for {mode:?} shards={shards}"
+            );
+        }
+    }
+}
+
+/// The architectures the RCU differential and tracing suites cover: the
+/// parking path on both wait architectures, the bounded-slot fail-fast
+/// hybrid, and the pure software-backoff degradation on plain LRSC.
+const RCU_ARCHES: [SyncArch; 4] = [
+    SyncArch::Lrsc,
+    SyncArch::LrscWaitIdeal,
+    SyncArch::LrscWait { slots: 2 },
+    SyncArch::Colibri { queues: 4 },
+];
+
+fn rcu_kernel() -> RcuKernel {
+    RcuKernel::new(8, 2, 2, 8)
+}
+
+#[test]
+fn rcu_matrix_is_equivalent() {
+    for arch in RCU_ARCHES {
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .arch(arch)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        assert_equivalent(&rcu_kernel(), cfg, &format!("rcu on {arch}"));
+    }
+}
+
+#[test]
+fn sharded_rcu_matrix_is_equivalent() {
+    // Grace periods park the writer on reader-owned counter lines that
+    // live in different banks, so the cross-shard merge sub-phase carries
+    // the wakeups — shards=1, shards=4 and the sharded reference and
+    // translated steppers must agree byte-for-byte.
+    for arch in RCU_ARCHES {
+        let kernel = rcu_kernel();
+        let build = |shards: usize| {
+            SimConfig::builder()
+                .cores(8)
+                .arch(arch)
+                .shards(shards)
+                .max_cycles(50_000_000)
+                .build()
+                .unwrap()
+        };
+        let what = format!("sharded rcu on {arch}");
+        let base = Experiment::new(&kernel, build(1)).x(1).run().expect(&what);
+        let sharded = Experiment::new(&kernel, build(4)).x(1).run().expect(&what);
+        let sharded_ref = Experiment::new(&kernel, build(4))
+            .x(1)
+            .reference()
+            .run()
+            .expect(&what);
+        let sharded_trans = Experiment::new(&kernel, build(4))
+            .x(1)
+            .exec(ExecMode::Translated)
+            .run()
+            .expect(&what);
+        for (m, label) in [
+            (&sharded, "shards=4"),
+            (&sharded_ref, "shards=4 ref"),
+            (&sharded_trans, "shards=4 translated"),
+        ] {
+            assert_eq!(base.cycles, m.cycles, "{what}: {label} cycle count");
+            assert_eq!(base.stats, m.stats, "{what}: {label} statistics");
+            assert_eq!(base.csv_row(), m.csv_row(), "{what}: {label} CSV row");
+        }
+    }
+}
+
+#[test]
+fn rcu_trace_streams_are_identical_across_modes_and_shards() {
+    // The full structured event stream of an RCU run — the writer's
+    // park/wake on straggling reader counters, region markers around each
+    // grace period, adapter and NoC events — must be identical for every
+    // (exec mode, shard count) combination.
+    let record = |arch: SyncArch, mode: ExecMode, shards: usize| {
+        let kernel = rcu_kernel();
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .arch(arch)
+            .exec_mode(mode)
+            .shards(shards)
+            .max_cycles(50_000_000)
+            .build()
+            .unwrap();
+        let sink = SharedSink::new(RecordingSink::new());
+        let m = Experiment::new(&kernel, cfg)
+            .x(1)
+            .sink(Box::new(sink.clone()))
+            .run()
+            .expect("traced rcu run");
+        (sink.take().events, m)
+    };
+    for arch in [SyncArch::Lrsc, SyncArch::Colibri { queues: 4 }] {
+        let (base_events, base_m) = record(arch, ExecMode::EventDriven, 1);
+        assert!(!base_events.is_empty(), "rcu on {arch}: stream non-empty");
+        for (mode, shards) in [
+            (ExecMode::Reference, 1),
+            (ExecMode::Translated, 1),
+            (ExecMode::EventDriven, 4),
+            (ExecMode::Reference, 2),
+            (ExecMode::Translated, 4),
+        ] {
+            let (events, m) = record(arch, mode, shards);
+            assert_eq!(base_m.cycles, m.cycles, "rcu {mode:?} shards={shards}");
+            assert_eq!(
+                base_events, events,
+                "rcu on {arch}: trace stream diverges for {mode:?} shards={shards}"
             );
         }
     }
